@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation A2: context-switch handling for the SNC (paper Section
+ * 4.3 leaves this open). Compares flushing the SNC to the encrypted
+ * in-memory table on every switch against an untouched SNC (the
+ * tagging design, where entries are compartment-tagged and survive),
+ * across context-switch frequencies.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "secure/engines.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+/** Run one benchmark, flushing the SNC every @p interval ops. */
+uint64_t
+runWithFlushes(const std::string &bench, uint64_t interval,
+               const bench::HarnessOptions &options)
+{
+    const auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    uint64_t remaining = options.measure_instructions;
+    while (remaining > 0) {
+        const uint64_t chunk = std::min(remaining, interval);
+        system.run(chunk);
+        remaining -= chunk;
+        if (remaining > 0) {
+            auto *otp = dynamic_cast<secure::OtpEngine *>(
+                &system.engine());
+            otp->flushSnc(system.core().cycles());
+        }
+    }
+    return system.stats().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto options = bench::HarnessOptions::fromEnvironment();
+
+    // Focus on the SNC-sensitive benchmarks to keep runtime modest.
+    const std::vector<std::string> benches = {"ammp", "gcc", "mcf",
+                                              "parser"};
+
+    util::Table table({"bench", "tagged (no flush)", "flush @1M ops",
+                       "flush @250K ops", "flush @50K ops"});
+    for (const std::string &name : benches) {
+        const auto base = bench::runConfig(
+            name, sim::paperConfig(secure::SecurityModel::Baseline),
+            options);
+        std::vector<std::string> row = {name};
+        const uint64_t intervals[] = {~0ull, 1'000'000, 250'000,
+                                      50'000};
+        for (const uint64_t interval : intervals) {
+            const uint64_t cycles =
+                runWithFlushes(name, interval, options);
+            row.push_back(util::formatDouble(
+                bench::slowdownPct(base.cycles, cycles), 2));
+        }
+        table.addRow(row);
+    }
+
+    std::cout << "== Ablation A2: SNC context-switch policies ==\n"
+              << "(slowdown % vs baseline; 'tagged' models "
+                 "compartment-ID tags that let entries survive "
+                 "switches, 'flush' spills and refetches the SNC)\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation A10: memory-latency sweep.
+ *
+ * The OTP fast path costs max(memory, crypto) + 1 cycles, so the
+ * scheme's overhead *vanishes* once memory is slower than the crypto
+ * engine and only shows when memory gets faster than crypto — the
+ * crossover the formula predicts at memory == crypto. XOM's overhead
+ * is a constant +crypto per fill regardless. This sweep walks memory
+ * latency from 40 to 400 cycles at both of the paper's crypto
+ * latencies (50 and 102) and reports where each scheme's slowdown
+ * lands, exposing the crossover directly.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+sim::SystemConfig
+sweepConfig(secure::SecurityModel model, uint32_t mem_latency,
+            uint32_t crypto_latency)
+{
+    sim::SystemConfig config = sim::paperConfig(model);
+    config.channel.access_latency = mem_latency;
+    config.protection.crypto.latency = crypto_latency;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+    // One memory-bound and one balanced benchmark tell the story.
+    const std::vector<std::string> benches = {"mcf", "gcc"};
+    const std::vector<uint32_t> memories = {40, 70, 100, 200, 400};
+
+    for (const uint32_t crypto : {50u, 102u}) {
+        util::Table table({"bench", "mem latency", "XOM %",
+                           "SNC-LRU %", "XOM-OTP gap"});
+        for (const std::string &name : benches) {
+            for (const uint32_t mem : memories) {
+                const auto base = bench::runConfig(
+                    name,
+                    sweepConfig(secure::SecurityModel::Baseline, mem,
+                                crypto),
+                    options);
+                const auto xom = bench::runConfig(
+                    name,
+                    sweepConfig(secure::SecurityModel::Xom, mem,
+                                crypto),
+                    options);
+                const auto otp = bench::runConfig(
+                    name,
+                    sweepConfig(secure::SecurityModel::OtpSnc, mem,
+                                crypto),
+                    options);
+                const double xom_pct =
+                    bench::slowdownPct(base.cycles, xom.cycles);
+                const double otp_pct =
+                    bench::slowdownPct(base.cycles, otp.cycles);
+                table.addRow({name, std::to_string(mem),
+                              util::formatDouble(xom_pct, 2),
+                              util::formatDouble(otp_pct, 2),
+                              util::formatDouble(xom_pct - otp_pct,
+                                                 2)});
+            }
+        }
+        std::cout << "== Ablation A10: memory-latency sweep, "
+                  << crypto << "-cycle crypto ==\n"
+                  << "(slowdown % vs baseline at the same memory "
+                     "latency)\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

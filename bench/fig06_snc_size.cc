@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 6: sensitivity of the OTP scheme to SNC capacity — 32KB,
+ * 64KB and 128KB LRU SNCs (2-byte entries cover 2MB / 4MB / 8MB of
+ * memory respectively).
+ *
+ * Paper averages: 3.25% / 1.28% / 0.51%.
+ */
+
+#include "bench/harness.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+sim::SystemConfig
+sncConfig(uint64_t capacity_bytes)
+{
+    auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.snc.capacity_bytes = capacity_bytes;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    auto baseline = [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    };
+
+    std::vector<bench::FigureColumn> columns;
+    columns.push_back(
+        {"32KB",
+         [](const std::string &) { return sncConfig(32 * 1024); },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_lru_32k;
+         }});
+    columns.push_back(
+        {"64KB",
+         [](const std::string &) { return sncConfig(64 * 1024); },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_lru;
+         }});
+    columns.push_back(
+        {"128KB",
+         [](const std::string &) { return sncConfig(128 * 1024); },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_lru_128k;
+         }});
+
+    bench::runSlowdownFigure(
+        "Figure 6: slowdown for different SNC sizes (LRU)", baseline,
+        columns, options);
+    return 0;
+}

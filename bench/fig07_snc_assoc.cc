@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 7: fully associative versus 32-way set associative 64KB
+ * SNC. Apart from ammp (2.76% -> 9.62%, a set-conflict pathology)
+ * the two are equivalent.
+ *
+ * Paper averages: 1.28% (fully associative) vs 1.90% (32-way).
+ */
+
+#include "bench/harness.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+sim::SystemConfig
+sncAssocConfig(uint32_t assoc)
+{
+    auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.snc.assoc = assoc;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    auto baseline = [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    };
+
+    std::vector<bench::FigureColumn> columns;
+    columns.push_back(
+        {"fully-assoc",
+         [](const std::string &) { return sncAssocConfig(0); },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_lru;
+         }});
+    columns.push_back(
+        {"32-way",
+         [](const std::string &) { return sncAssocConfig(32); },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).snc_32way;
+         }});
+
+    bench::runSlowdownFigure(
+        "Figure 7: fully associative vs 32-way set associative SNC "
+        "(64KB, LRU)",
+        baseline, columns, options);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 8: is the SNC's chip area better spent on a larger L2?
+ *
+ * Following the paper's Section 5.4: CACTI says a 4-way 256KB L2
+ * plus a 32-way 64KB SNC occupies area between a 5-way 320KB and a
+ * 6-way 384KB L2, so XOM is granted the 6-way 384KB L2 and compared
+ * at equal area. Normalized execution time vs the 256KB baseline;
+ * paper averages: XOM-256K 1.17, XOM-384K 1.09, SNC-32way-256K 1.02
+ * (gcc/mesa/vortex even speed up with the larger L2).
+ */
+
+#include <iostream>
+
+#include "area/cacti_lite.hh"
+#include "bench/harness.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+sim::SystemConfig
+withL2(sim::SystemConfig config, uint64_t size, uint32_t assoc)
+{
+    config.l2.size_bytes = size;
+    config.l2.assoc = assoc;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    // Area side of the argument.
+    const double l2_256 = area::cacheArea(256 * 1024, 4, 128);
+    const double snc = area::sncArea(64 * 1024, 32);
+    const double l2_320 = area::cacheArea(320 * 1024, 5, 128);
+    const double l2_384 = area::cacheArea(384 * 1024, 6, 128);
+    std::cout << "== Figure 8: larger L2 vs L2 + SNC at equal area ==\n";
+    std::cout << "CactiLite area (relative units):\n"
+              << "  256KB 4-way L2 + 64KB 32-way SNC : "
+              << util::formatDouble(l2_256 + snc, 0) << "\n"
+              << "  320KB 5-way L2                   : "
+              << util::formatDouble(l2_320, 0) << "\n"
+              << "  384KB 6-way L2                   : "
+              << util::formatDouble(l2_384, 0) << "\n"
+              << "  ordering holds (paper Section 5.4): "
+              << (area::paperAreaOrderingHolds() ? "yes" : "NO")
+              << "\n\n";
+
+    util::Table table({"bench", "XOM-256K paper", "XOM-256K meas",
+                       "XOM-384K paper", "XOM-384K meas",
+                       "SNC-32w paper", "SNC-32w meas"});
+    double sums[6] = {};
+
+    for (const std::string &name : sim::benchmarkNames()) {
+        const auto paper = sim::paperNumbers(name);
+
+        const auto base = bench::runConfig(
+            name, sim::paperConfig(secure::SecurityModel::Baseline),
+            options);
+
+        const auto xom256 = bench::runConfig(
+            name, sim::paperConfig(secure::SecurityModel::Xom),
+            options);
+
+        auto xom384_config =
+            withL2(sim::paperConfig(secure::SecurityModel::Xom),
+                   384 * 1024, 6);
+        const auto xom384 =
+            bench::runConfig(name, xom384_config, options);
+
+        auto snc_config =
+            sim::paperConfig(secure::SecurityModel::OtpSnc);
+        snc_config.protection.snc.assoc = 32;
+        const auto snc32 = bench::runConfig(name, snc_config, options);
+
+        const double norm256 = static_cast<double>(xom256.cycles) /
+                               static_cast<double>(base.cycles);
+        const double norm384 = static_cast<double>(xom384.cycles) /
+                               static_cast<double>(base.cycles);
+        const double norm_snc = static_cast<double>(snc32.cycles) /
+                                static_cast<double>(base.cycles);
+
+        const double paper256 = 1.0 + paper.xom_slowdown / 100.0;
+        const double paper_snc = 1.0 + paper.snc_32way / 100.0;
+        const double cells[6] = {paper256,          norm256,
+                                 paper.xom_384k_norm, norm384,
+                                 paper_snc,         norm_snc};
+        for (int i = 0; i < 6; ++i)
+            sums[i] += cells[i];
+
+        table.addRow({name, util::formatDouble(cells[0], 2),
+                      util::formatDouble(cells[1], 2),
+                      util::formatDouble(cells[2], 2),
+                      util::formatDouble(cells[3], 2),
+                      util::formatDouble(cells[4], 2),
+                      util::formatDouble(cells[5], 2)});
+    }
+
+    const double n = static_cast<double>(sim::benchmarkNames().size());
+    table.addRow({"average", util::formatDouble(sums[0] / n, 2),
+                  util::formatDouble(sums[1] / n, 2),
+                  util::formatDouble(sums[2] / n, 2),
+                  util::formatDouble(sums[3] / n, 2),
+                  util::formatDouble(sums[4] / n, 2),
+                  util::formatDouble(sums[5] / n, 2)});
+
+    std::cout << "(normalized execution time w.r.t. the insecure "
+                 "4-way 256KB-L2 baseline)\n";
+    table.print(std::cout);
+    return 0;
+}

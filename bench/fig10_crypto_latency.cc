@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 10: sensitivity to crypto-engine latency. With a 102-cycle
+ * unit (the paper's stronger-cipher estimate) XOM roughly doubles
+ * its slowdown while the OTP fast path merely moves from
+ * max(100,50)+1 to max(100,102)+1.
+ *
+ * Paper averages at 102 cycles: XOM 34.20%, SNC-NoRepl 9.21%,
+ * SNC-LRU 1.26%.
+ */
+
+#include "bench/harness.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+constexpr uint32_t kSlowCrypto = 102;
+
+sim::SystemConfig
+withCrypto(sim::SystemConfig config)
+{
+    config.protection.crypto.latency = kSlowCrypto;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto options = bench::HarnessOptions::fromEnvironment();
+
+    auto baseline = [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    };
+
+    std::vector<bench::FigureColumn> columns;
+    columns.push_back(
+        {"XOM",
+         [](const std::string &) {
+             return withCrypto(
+                 sim::paperConfig(secure::SecurityModel::Xom));
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).xom_102;
+         }});
+    columns.push_back(
+        {"SNC-NoRepl",
+         [](const std::string &) {
+             auto config = withCrypto(
+                 sim::paperConfig(secure::SecurityModel::OtpSnc));
+             config.protection.snc.allow_replacement = false;
+             return config;
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).norepl_102;
+         }});
+    columns.push_back(
+        {"SNC-LRU",
+         [](const std::string &) {
+             return withCrypto(
+                 sim::paperConfig(secure::SecurityModel::OtpSnc));
+         },
+         [](const std::string &bench) {
+             return sim::paperNumbers(bench).lru_102;
+         }});
+
+    bench::runSlowdownFigure(
+        "Figure 10: 102-cycle encryption/decryption unit", baseline,
+        columns, options);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "bench/harness.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+namespace secproc::bench
+{
+
+HarnessOptions
+HarnessOptions::fromEnvironment()
+{
+    HarnessOptions options;
+    if (const char *value = std::getenv("SECPROC_WARMUP"))
+        options.warmup_instructions = std::strtoull(value, nullptr, 10);
+    if (const char *value = std::getenv("SECPROC_MEASURE"))
+        options.measure_instructions =
+            std::strtoull(value, nullptr, 10);
+    return options;
+}
+
+sim::RunStats
+runConfig(const std::string &bench, const sim::SystemConfig &config,
+          const HarnessOptions &options)
+{
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    system.run(options.measure_instructions);
+    return system.stats();
+}
+
+double
+slowdownPct(uint64_t base_cycles, uint64_t model_cycles)
+{
+    if (base_cycles == 0)
+        return 0.0;
+    return (static_cast<double>(model_cycles) /
+                static_cast<double>(base_cycles) -
+            1.0) *
+           100.0;
+}
+
+std::vector<double>
+runSlowdownFigure(
+    const std::string &figure_title,
+    const std::function<sim::SystemConfig(const std::string &)> &
+        make_baseline,
+    const std::vector<FigureColumn> &columns,
+    const HarnessOptions &options)
+{
+    std::vector<std::string> headers = {"bench"};
+    for (const FigureColumn &column : columns) {
+        headers.push_back(column.label + " paper");
+        headers.push_back(column.label + " measured");
+    }
+    util::Table table(headers);
+
+    std::vector<double> paper_sums(columns.size(), 0.0);
+    std::vector<double> measured_sums(columns.size(), 0.0);
+
+    for (const std::string &bench : sim::benchmarkNames()) {
+        const sim::RunStats base =
+            runConfig(bench, make_baseline(bench), options);
+
+        std::vector<std::string> row = {bench};
+        for (size_t c = 0; c < columns.size(); ++c) {
+            const sim::RunStats model =
+                runConfig(bench, columns[c].config(bench), options);
+            const double measured =
+                slowdownPct(base.cycles, model.cycles);
+            const double paper = columns[c].paper(bench);
+            paper_sums[c] += paper;
+            measured_sums[c] += measured;
+            row.push_back(util::formatDouble(paper, 2));
+            row.push_back(util::formatDouble(measured, 2));
+        }
+        table.addRow(row);
+    }
+
+    const double n = static_cast<double>(sim::benchmarkNames().size());
+    std::vector<std::string> avg_row = {"average"};
+    std::vector<double> measured_avgs;
+    for (size_t c = 0; c < columns.size(); ++c) {
+        avg_row.push_back(util::formatDouble(paper_sums[c] / n, 2));
+        avg_row.push_back(util::formatDouble(measured_sums[c] / n, 2));
+        measured_avgs.push_back(measured_sums[c] / n);
+    }
+    table.addRow(avg_row);
+
+    std::cout << "== " << figure_title << " ==\n";
+    std::cout << "(program slowdown in % over the insecure baseline; "
+              << options.measure_instructions
+              << " instructions measured after "
+              << options.warmup_instructions << " warm-up)\n";
+    table.print(std::cout);
+    std::cout << std::endl;
+    return measured_avgs;
+}
+
+} // namespace secproc::bench

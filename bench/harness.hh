@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared experiment harness for the figure-reproduction benchmarks.
+ *
+ * Every bench/fig* binary uses this to run the 11 workload profiles
+ * under a set of machine configurations and print a
+ * paper-vs-measured table for the corresponding figure.
+ */
+
+#ifndef SECPROC_BENCH_HARNESS_HH
+#define SECPROC_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+
+namespace secproc::bench
+{
+
+/** Run-length controls (overridable via environment for quick runs). */
+struct HarnessOptions
+{
+    uint64_t warmup_instructions = 1'000'000;
+    uint64_t measure_instructions = 4'000'000;
+
+    /** Reads SECPROC_WARMUP / SECPROC_MEASURE when set. */
+    static HarnessOptions fromEnvironment();
+};
+
+/**
+ * Run one benchmark under one machine configuration.
+ *
+ * @param bench Benchmark name (see sim::benchmarkNames()).
+ * @param config Machine description.
+ * @param options Run lengths.
+ * @return Statistics over the measurement window.
+ */
+sim::RunStats runConfig(const std::string &bench,
+                        const sim::SystemConfig &config,
+                        const HarnessOptions &options);
+
+/** Percent slowdown of @p model over @p base cycle counts. */
+double slowdownPct(uint64_t base_cycles, uint64_t model_cycles);
+
+/**
+ * Standard figure experiment: for each benchmark, run the baseline
+ * plus every named configuration and print measured slowdowns next
+ * to paper values.
+ */
+struct FigureColumn
+{
+    std::string label;
+    /** Machine for this column, per benchmark. */
+    std::function<sim::SystemConfig(const std::string &bench)> config;
+    /** Paper number for this column, per benchmark (percent). */
+    std::function<double(const std::string &bench)> paper;
+};
+
+/**
+ * Run a slowdown-style figure (Figs. 3, 5, 6, 7, 10) and print it.
+ *
+ * @param figure_title Heading, e.g. "Figure 5".
+ * @param columns Configurations to compare against the baseline.
+ * @param make_baseline Baseline machine per benchmark.
+ * @return measured per-column averages (for assertions/logging).
+ */
+std::vector<double> runSlowdownFigure(
+    const std::string &figure_title,
+    const std::function<sim::SystemConfig(const std::string &)> &
+        make_baseline,
+    const std::vector<FigureColumn> &columns,
+    const HarnessOptions &options);
+
+} // namespace secproc::bench
+
+#endif // SECPROC_BENCH_HARNESS_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Adversary's-eye view: run the attack suite against XOM-style
+ * direct encryption and against the paper's one-time-pad scheme,
+ * then show how the integrity extension closes what privacy alone
+ * cannot (spoofing detection, replay detection).
+ */
+
+#include <iostream>
+
+#include "mem/main_memory.hh"
+#include "mem/virtual_memory.hh"
+#include "secure/engines.hh"
+#include "secure/integrity.hh"
+#include "secure/key_table.hh"
+#include "util/strutil.hh"
+#include "xom/attack_sim.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+struct Victim
+{
+    mem::MainMemory memory;
+    mem::VirtualMemory vm;
+    secure::KeyTable keys;
+    mem::MemoryChannel channel;
+    std::unique_ptr<secure::ProtectionEngine> engine;
+
+    explicit Victim(secure::SecurityModel model)
+    {
+        keys.install(1, secure::CipherKind::Des,
+                     {0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xCD, 0xFF});
+        secure::ProtectionConfig config;
+        config.model = model;
+        engine = secure::makeProtectionEngine(config, channel, keys);
+    }
+};
+
+void
+report(const xom::AttackOutcome &outcome)
+{
+    std::cout << "    " << outcome.attack << ": "
+              << (outcome.succeeded ? "ATTACK SUCCEEDED"
+                                    : "defeated")
+              << " -- " << outcome.detail << "\n";
+}
+
+void
+runSuite(const char *title, secure::SecurityModel model)
+{
+    std::cout << title << "\n";
+    Victim victim(model);
+
+    // Pattern analysis: the program stores a memory full of zeroes
+    // (the most common value in real memories).
+    const std::vector<uint8_t> zeros(128, 0);
+    for (uint64_t i = 0; i < 64; ++i) {
+        const uint64_t line_va = 0x100000 + i * 128;
+        auto bytes = zeros;
+        victim.engine->encryptLine(line_va, mem::RegionKind::Protected,
+                                   bytes);
+        victim.memory.write(victim.vm.translate(1, line_va),
+                            bytes.data(), bytes.size());
+    }
+    uint64_t repeats = 0;
+    for (uint64_t i = 0; i < 64; ++i) {
+        const uint64_t pa =
+            victim.vm.translate(1, 0x100000 + i * 128);
+        repeats += xom::patternLeak(victim.memory, pa, 128, 8);
+    }
+    std::cout << "    pattern analysis: " << repeats
+              << " repeated cipher blocks visible in 8KB of "
+                 "zero-filled memory\n";
+
+    report(xom::splicingAttack(*victim.engine, victim.memory,
+                               victim.vm, 1, 0x200000, 0x240000));
+    report(xom::replayAttack(*victim.engine, victim.memory, victim.vm,
+                             1, 0x280000));
+    report(xom::spoofingAttack(*victim.engine, victim.memory,
+                               victim.vm, 1, 0x2C0000));
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== secproc attack analysis ===\n\n";
+    runSuite("[XOM: direct (ECB) line encryption]",
+             secure::SecurityModel::Xom);
+    runSuite("[This paper: one-time pad + sequence numbers]",
+             secure::SecurityModel::OtpSnc);
+
+    std::cout << "[Integrity extension: per-line MACs over (address, "
+                 "seqnum, ciphertext)]\n";
+    secure::IntegrityConfig config;
+    config.mode = secure::IntegrityMode::MacBlocking;
+    secure::IntegrityEngine integrity(config);
+    integrity.setMacKey({0xDE, 0xAD, 0xBE, 0xEF});
+
+    std::vector<uint8_t> ciphertext(128, 0x5A);
+    integrity.storeMac(0x1000,
+                       integrity.computeMac(0x1000, 1, ciphertext));
+
+    auto tampered = ciphertext;
+    tampered[64] ^= 0x01;
+    std::cout << "    spoof (bit flip):      "
+              << (integrity.verifyMac(0x1000, 1, tampered)
+                      ? "UNDETECTED"
+                      : "detected")
+              << "\n";
+    std::cout << "    replay (stale seqnum): "
+              << (integrity.verifyMac(0x1000, 2, ciphertext)
+                      ? "UNDETECTED"
+                      : "detected")
+              << "\n";
+    std::cout << "    splice (wrong line):   "
+              << (integrity.verifyMac(0x2000, 1, ciphertext)
+                      ? "UNDETECTED"
+                      : "detected")
+              << "\n\n";
+
+    std::cout << "Summary: OTP seeds bound to (address, sequence "
+                 "number) remove the\nciphertext patterns and "
+                 "position-independence XOM leaks; MACs (or the\n"
+                 "Merkle-tree engine) add detection for spoofing and "
+                 "replay, completing\nthe threat model of the paper's "
+                 "Section 2.\n";
+    return 0;
+}

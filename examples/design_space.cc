@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Architectural design-space exploration with the public API: sweep
+ * SNC capacity and associativity against crypto latency for one
+ * memory-bound workload, print the resulting slowdown matrix plus
+ * the CactiLite area cost of each SNC — the study an architect
+ * would run before committing silicon.
+ *
+ *   $ ./design_space [benchmark] [instructions]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "area/cacti_lite.hh"
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+uint64_t
+run(const std::string &bench, const sim::SystemConfig &config,
+    uint64_t instructions)
+{
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(instructions / 4);
+    system.beginMeasurement();
+    system.run(instructions);
+    return system.stats().cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "mcf";
+    const uint64_t instructions =
+        argc > 2 ? std::stoull(argv[2]) : 1'500'000;
+
+    std::cout << "=== secproc design-space exploration ('" << bench
+              << "', " << instructions << " instructions) ===\n\n";
+
+    const uint64_t base = run(
+        bench, sim::paperConfig(secure::SecurityModel::Baseline),
+        instructions);
+
+    const std::vector<uint64_t> capacities = {
+        16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024};
+    const std::vector<uint32_t> crypto_latencies = {25, 50, 102};
+
+    util::Table table({"SNC size", "area (rel)", "crypto 25c",
+                       "crypto 50c", "crypto 102c"});
+    for (const uint64_t capacity : capacities) {
+        std::vector<std::string> row = {
+            util::formatBytes(capacity),
+            util::formatDouble(area::sncArea(capacity, 32) / 1e6, 2)};
+        for (const uint32_t latency : crypto_latencies) {
+            auto config =
+                sim::paperConfig(secure::SecurityModel::OtpSnc);
+            config.protection.snc.capacity_bytes = capacity;
+            config.protection.snc.assoc = 32;
+            config.protection.crypto.latency = latency;
+            const uint64_t cycles = run(bench, config, instructions);
+            const double slowdown =
+                (static_cast<double>(cycles) /
+                     static_cast<double>(base) -
+                 1.0) *
+                100.0;
+            row.push_back(util::formatDouble(slowdown, 2) + "%");
+        }
+        table.addRow(row);
+    }
+    std::cout << "OTP + 32-way SNC slowdown vs insecure baseline:\n";
+    table.print(std::cout);
+
+    // XOM reference points at the same crypto latencies.
+    std::cout << "\nXOM reference (no SNC, crypto on the critical "
+                 "path):\n";
+    util::Table xom_table({"config", "crypto 25c", "crypto 50c",
+                           "crypto 102c"});
+    std::vector<std::string> xom_row = {"XOM"};
+    for (const uint32_t latency : crypto_latencies) {
+        auto config = sim::paperConfig(secure::SecurityModel::Xom);
+        config.protection.crypto.latency = latency;
+        const uint64_t cycles = run(bench, config, instructions);
+        xom_row.push_back(util::formatDouble(
+                              (static_cast<double>(cycles) /
+                                   static_cast<double>(base) -
+                               1.0) *
+                                  100.0,
+                              2) +
+                          "%");
+    }
+    xom_table.addRow(xom_row);
+    xom_table.print(std::cout);
+
+    std::cout << "\nReading: the OTP scheme is flat across crypto "
+                 "latency (the pad is\nprecomputed during the memory "
+                 "access) while XOM scales with it; SNC\ncapacity "
+                 "buys coverage of the working set's sequence "
+                 "numbers.\n";
+    return 0;
+}

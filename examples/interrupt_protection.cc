@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Register-file protection against a malicious operating system.
+ *
+ * The paper's threat model lets the OS itself be hostile: on every
+ * interrupt it receives control with the user program's registers
+ * architecturally visible. A secure processor therefore encrypts
+ * the register file into the save area before the handler runs
+ * (paper Section 1), with a per-event mutating seed (Section 3.4).
+ * This example plays the adversary: peek at the saved image, tamper
+ * with a saved register, and replay yesterday's save — then shows
+ * what each attempt gets, and what the one-time-pad trick does to
+ * the interrupt path's latency.
+ *
+ *   $ ./interrupt_protection
+ */
+
+#include <iostream>
+
+#include "crypto/aes128.hh"
+#include "secure/interrupt_guard.hh"
+#include "util/strutil.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+std::vector<uint64_t>
+programRegisters()
+{
+    // A few "secrets" in flight: loop counters, a pointer, a key.
+    return {0x0000'0000'0000'002A, 0x00007FFF'5A5A'0000,
+            0xFEED'FACE'CAFE'BEEF, 0x0123'4567'89AB'CDEF,
+            0x1111'1111'1111'1111, 0x2222'2222'2222'2222,
+            0x3333'3333'3333'3333, 0x4444'4444'4444'4444};
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto key = util::fromHex("000102030405060708090a0b0c0d0e0f");
+    crypto::Aes128 cipher(key.data());
+
+    secure::InterruptGuardConfig config;
+    config.mode = secure::RegisterSaveMode::OtpPremade;
+    config.num_registers = 8;
+    secure::InterruptGuard guard(config, cipher);
+
+    const auto regs = programRegisters();
+    std::cout << "User program registers before the interrupt:\n  ";
+    for (const uint64_t r : regs)
+        std::cout << util::formatHex(r, 16) << " ";
+    std::cout << "\n\n-- interrupt! the OS gets control --\n\n";
+
+    secure::RegisterSave saved = guard.save(regs);
+    std::cout << "1. What the OS sees in the save area (event "
+              << saved.event_id << "):\n  "
+              << util::toHex(saved.image.data(), 32) << "...\n"
+              << "   (ciphertext; the 0x2A loop counter and the key "
+                 "are not findable)\n\n";
+
+    std::cout << "2. The OS edits a saved register and resumes:\n";
+    secure::RegisterSave tampered = saved;
+    tampered.image[8] ^= 0x01;
+    const auto tampered_result = guard.restore(tampered);
+    std::cout << "   restore -> "
+              << (tampered_result.has_value() ? "ACCEPTED (bug!)"
+                                              : "REJECTED: tampering "
+                                                "detected, program "
+                                                "halted")
+              << "\n\n";
+
+    std::cout << "3. The OS replays an old (authentic) save:\n";
+    const secure::RegisterSave old_save = saved;
+    secure::RegisterSave current = guard.save(regs); // new event
+    const auto replay_result = guard.restore(old_save);
+    std::cout << "   restore(old) -> "
+              << (replay_result.has_value() ? "ACCEPTED (bug!)"
+                                            : "REJECTED: replay "
+                                              "detected")
+              << "\n";
+    const auto honest = guard.restore(current);
+    std::cout << "   restore(current) -> "
+              << (honest.has_value() && *honest == regs
+                      ? "registers restored exactly"
+                      : "FAILED (bug!)")
+              << "\n\n";
+
+    std::cout << "4. Same register values, two saves -> two "
+                 "ciphertexts (mutating seed):\n   first  "
+              << util::toHex(old_save.image.data(), 16) << "...\n   "
+              << "second " << util::toHex(current.image.data(), 16)
+              << "...\n\n";
+
+    std::cout << "5. Interrupt-path latency (save + restore, 50-cycle "
+                 "crypto engine):\n";
+    for (const auto mode : {secure::RegisterSaveMode::Direct,
+                            secure::RegisterSaveMode::OtpPremade}) {
+        secure::InterruptGuardConfig timing_config;
+        timing_config.mode = mode;
+        secure::InterruptGuard timing_guard(timing_config, cipher);
+        const uint64_t os_start = timing_guard.scheduleSave(1000);
+        const uint64_t resumed =
+            timing_guard.scheduleRestore(os_start + 500);
+        std::cout << "   "
+                  << (mode == secure::RegisterSaveMode::Direct
+                          ? "direct (XOM-style): "
+                          : "premade pads:       ")
+                  << (os_start - 1000) << " cycles to enter the OS, "
+                  << (resumed - os_start - 500)
+                  << " cycles to resume the program\n";
+    }
+    std::cout << "\nDetections counted by hardware: "
+              << guard.detections() << "\n";
+    return 0;
+}

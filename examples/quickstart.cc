@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: build the paper's machine in a few lines, run one
+ * benchmark under all three protection models and print the
+ * slowdown — the 60-second tour of the secproc API.
+ *
+ *   $ ./quickstart [benchmark] [instructions]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "util/strutil.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+uint64_t
+simulate(const std::string &bench, secure::SecurityModel model,
+         uint64_t instructions)
+{
+    // 1. A machine: the paper's 4-issue core, 32KB L1s, 256KB L2,
+    //    100-cycle memory, 50-cycle crypto, 64KB LRU SNC.
+    const sim::SystemConfig config = sim::paperConfig(model);
+
+    // 2. A workload: one of the 11 SPEC2000-like profiles.
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+
+    // 3. Wire and run.
+    sim::System system(config, workload);
+    system.run(instructions / 4); // warm-up
+    system.beginMeasurement();
+    system.run(instructions);
+    return system.stats().cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "mcf";
+    const uint64_t instructions =
+        argc > 2 ? std::stoull(argv[2]) : 2'000'000;
+
+    std::cout << "secproc quickstart: benchmark '" << bench << "', "
+              << instructions << " instructions\n\n";
+
+    const uint64_t base =
+        simulate(bench, secure::SecurityModel::Baseline, instructions);
+    const uint64_t xom =
+        simulate(bench, secure::SecurityModel::Xom, instructions);
+    const uint64_t otp =
+        simulate(bench, secure::SecurityModel::OtpSnc, instructions);
+
+    auto report = [base](const char *name, uint64_t cycles) {
+        const double slowdown =
+            (static_cast<double>(cycles) / static_cast<double>(base) -
+             1.0) *
+            100.0;
+        std::cout << "  " << name << cycles << " cycles  ("
+                  << util::formatDouble(slowdown, 2)
+                  << "% over baseline)\n";
+    };
+
+    std::cout << "  baseline (insecure):   " << base << " cycles\n";
+    report("XOM (direct crypto):   ", xom);
+    report("OTP + SNC (this paper):", otp);
+
+    std::cout << "\nThe one-time-pad scheme overlaps pad generation "
+                 "with the memory fetch,\nso the crypto unit leaves "
+                 "the critical path: max(memory, crypto) + 1 XOR\n"
+                 "cycle instead of memory + crypto.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CactiLite: a small analytical cache-area model.
+ *
+ * The paper uses CACTI 3.2 to argue that a 4-way 256KB L2 plus a
+ * 32-way 64KB SNC "occupies chip area between that of a 5-way 320KB
+ * and a 6-way 384KB L2 cache" (Section 5.4), and then compares
+ * against XOM with a 6-way 384KB L2 at equal area (Figure 8).
+ *
+ * CactiLite reproduces that *ordering*: area grows with the number
+ * of stored bits (data + tag + status) and with associativity
+ * (comparators, output muxing, extra sense amps), with constants
+ * calibrated against the paper's quoted equivalence. It is not a
+ * layout-accurate model; see DESIGN.md section 7.
+ */
+
+#ifndef SECPROC_AREA_CACTI_LITE_HH
+#define SECPROC_AREA_CACTI_LITE_HH
+
+#include <cstdint>
+
+namespace secproc::area
+{
+
+/** Geometry of a cache-like SRAM structure. */
+struct SramGeometry
+{
+    uint64_t capacity_bytes = 0; ///< data array capacity
+    uint32_t assoc = 1;          ///< 0 = fully associative
+    uint32_t line_bytes = 128;   ///< bytes per entry ("line")
+    uint32_t tag_bits = 0;       ///< 0 = derive from a 48-bit VA
+    uint32_t status_bits = 2;    ///< valid + dirty
+};
+
+/** Relative area units (calibrated, not mm^2). */
+double sramArea(const SramGeometry &geometry);
+
+/** Convenience: a data cache with 48-bit VA tags. */
+double cacheArea(uint64_t capacity_bytes, uint32_t assoc,
+                 uint32_t line_bytes);
+
+/**
+ * The SNC of the paper: @p capacity_bytes of 2-byte sequence
+ * numbers, tagged by L2-line virtual address.
+ */
+double sncArea(uint64_t capacity_bytes, uint32_t assoc,
+               uint32_t entry_bytes = 2, uint32_t line_bytes = 128);
+
+/**
+ * Verify the paper's Section 5.4 area ordering:
+ * area(256KB 4-way L2) + area(64KB 32-way SNC) lies between
+ * area(320KB 5-way) and area(384KB 6-way).
+ */
+bool paperAreaOrderingHolds();
+
+} // namespace secproc::area
+
+#endif // SECPROC_AREA_CACTI_LITE_HH

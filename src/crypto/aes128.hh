@@ -1,0 +1,48 @@
+/**
+ * @file
+ * AES-128 (FIPS-197) implemented from scratch.
+ *
+ * The paper names AES as the stronger alternative cipher whose longer
+ * hardware latency (about 102 cycles in their Sandia reference)
+ * drives the Figure 10 sensitivity experiment. This is the functional
+ * implementation used when a 16-byte-block pad generator or direct
+ * line cipher is wanted.
+ */
+
+#ifndef SECPROC_CRYPTO_AES128_HH
+#define SECPROC_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/block_cipher.hh"
+
+namespace secproc::crypto
+{
+
+/** AES with a 128-bit key and 128-bit block (10 rounds). */
+class Aes128 : public BlockCipher
+{
+  public:
+    Aes128() = default;
+
+    /** Construct with a 16-byte key. */
+    explicit Aes128(const uint8_t *key16) { setKey(key16, 16); }
+
+    size_t blockSize() const override { return 16; }
+    size_t keySize() const override { return 16; }
+    std::string name() const override { return "AES-128"; }
+
+    void setKey(const uint8_t *key, size_t len) override;
+    void encryptBlock(const uint8_t *in, uint8_t *out) const override;
+    void decryptBlock(const uint8_t *in, uint8_t *out) const override;
+
+  private:
+    /** Expanded round keys: 11 round keys of 16 bytes. */
+    std::array<uint8_t, 176> round_keys_{};
+    bool key_set_ = false;
+};
+
+} // namespace secproc::crypto
+
+#endif // SECPROC_CRYPTO_AES128_HH

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * BigInt implementation. Schoolbook multiplication and binary long
+ * division: simple, allocation-conscious, and fast enough for the
+ * 384..1024-bit RSA moduli used in the simulation.
+ */
+
+#include "crypto/bigint.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secproc::crypto
+{
+
+namespace
+{
+
+using Limbs = std::vector<uint64_t>;
+
+/** Compare limb vectors as integers. */
+int
+compareLimbs(const Limbs &a, const Limbs &b)
+{
+    if (a.size() != b.size())
+        return a.size() < b.size() ? -1 : 1;
+    for (size_t i = a.size(); i-- > 0;) {
+        if (a[i] != b[i])
+            return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+/** In place: a -= b. Requires a >= b. */
+void
+subInPlace(Limbs &a, const Limbs &b)
+{
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const uint64_t bi = i < b.size() ? b[i] : 0;
+        const uint64_t before = a[i];
+        const uint64_t mid = before - bi;
+        const uint64_t after = mid - borrow;
+        borrow = (before < bi) || (mid < borrow) ? 1 : 0;
+        a[i] = after;
+    }
+    panic_if(borrow != 0, "BigInt subtraction underflow");
+    while (!a.empty() && a.back() == 0)
+        a.pop_back();
+}
+
+/** In place: a = (a << 1) | carry_in_bit. */
+void
+shl1InPlace(Limbs &a, bool carry_in)
+{
+    uint64_t carry = carry_in ? 1 : 0;
+    for (auto &limb : a) {
+        const uint64_t next_carry = limb >> 63;
+        limb = (limb << 1) | carry;
+        carry = next_carry;
+    }
+    if (carry)
+        a.push_back(1);
+}
+
+} // namespace
+
+BigInt::BigInt(uint64_t v)
+{
+    if (v != 0)
+        limbs_.push_back(v);
+}
+
+void
+BigInt::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+BigInt
+BigInt::fromHex(const std::string &hex)
+{
+    BigInt out;
+    for (char c : hex) {
+        uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<uint64_t>(c - 'A' + 10);
+        else
+            fatal("invalid hex digit '", c, "' in BigInt literal");
+        out = (out << 4) + BigInt(digit);
+    }
+    return out;
+}
+
+BigInt
+BigInt::fromBytes(const uint8_t *data, size_t len)
+{
+    BigInt out;
+    for (size_t i = 0; i < len; ++i)
+        out = (out << 8) + BigInt(data[i]);
+    return out;
+}
+
+BigInt
+BigInt::randomBits(unsigned bits, util::Rng &rng)
+{
+    fatal_if(bits == 0, "randomBits needs at least one bit");
+    BigInt out;
+    out.limbs_.resize((bits + 63) / 64);
+    for (auto &limb : out.limbs_)
+        limb = rng.next64();
+    const unsigned top_bits = ((bits - 1) % 64) + 1;
+    uint64_t &top = out.limbs_.back();
+    if (top_bits < 64)
+        top &= (uint64_t{1} << top_bits) - 1;
+    top |= uint64_t{1} << (top_bits - 1); // force exact bit length
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::randomBelow(const BigInt &bound, util::Rng &rng)
+{
+    panic_if(bound.isZero(), "randomBelow(0) is empty");
+    const unsigned bits = bound.bitLength();
+    // Rejection sampling; expected < 2 iterations.
+    while (true) {
+        BigInt candidate;
+        candidate.limbs_.resize((bits + 63) / 64);
+        for (auto &limb : candidate.limbs_)
+            limb = rng.next64();
+        const unsigned top_bits = ((bits - 1) % 64) + 1;
+        if (top_bits < 64)
+            candidate.limbs_.back() &= (uint64_t{1} << top_bits) - 1;
+        candidate.trim();
+        if (candidate < bound)
+            return candidate;
+    }
+}
+
+unsigned
+BigInt::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    unsigned high_bits = 64;
+    uint64_t top = limbs_.back();
+    while ((top & (uint64_t{1} << 63)) == 0) {
+        top <<= 1;
+        --high_bits;
+    }
+    return static_cast<unsigned>(64 * (limbs_.size() - 1)) + high_bits;
+}
+
+bool
+BigInt::bit(unsigned i) const
+{
+    const size_t limb = i / 64;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+std::vector<uint8_t>
+BigInt::toBytes(size_t min_len) const
+{
+    std::vector<uint8_t> out;
+    const unsigned bytes = (bitLength() + 7) / 8;
+    out.resize(std::max<size_t>(bytes, min_len), 0);
+    for (unsigned i = 0; i < bytes; ++i) {
+        const uint64_t limb = limbs_[i / 8];
+        out[out.size() - 1 - i] =
+            static_cast<uint8_t>(limb >> (8 * (i % 8)));
+    }
+    return out;
+}
+
+std::string
+BigInt::toHex() const
+{
+    if (isZero())
+        return "0";
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    bool leading = true;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            const auto nibble =
+                static_cast<unsigned>((limbs_[i] >> shift) & 0xF);
+            if (leading && nibble == 0)
+                continue;
+            leading = false;
+            out.push_back(digits[nibble]);
+        }
+    }
+    return out;
+}
+
+uint64_t
+BigInt::toUint64() const
+{
+    panic_if(limbs_.size() > 1, "BigInt does not fit in uint64_t");
+    return limbs_.empty() ? 0 : limbs_[0];
+}
+
+int
+BigInt::compare(const BigInt &other) const
+{
+    return compareLimbs(limbs_, other.limbs_);
+}
+
+BigInt
+BigInt::operator+(const BigInt &o) const
+{
+    BigInt out;
+    const size_t n = std::max(limbs_.size(), o.limbs_.size());
+    out.limbs_.resize(n, 0);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+        const uint64_t b = i < o.limbs_.size() ? o.limbs_[i] : 0;
+        const uint64_t sum = a + b;
+        const uint64_t total = sum + carry;
+        carry = (sum < a) || (total < sum) ? 1 : 0;
+        out.limbs_[i] = total;
+    }
+    if (carry)
+        out.limbs_.push_back(1);
+    return out;
+}
+
+BigInt
+BigInt::operator-(const BigInt &o) const
+{
+    panic_if(*this < o, "BigInt subtraction underflow");
+    BigInt out = *this;
+    subInPlace(out.limbs_, o.limbs_);
+    return out;
+}
+
+BigInt
+BigInt::operator*(const BigInt &o) const
+{
+    if (isZero() || o.isZero())
+        return BigInt();
+    BigInt out;
+    out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        uint64_t carry = 0;
+        for (size_t j = 0; j < o.limbs_.size(); ++j) {
+            const __uint128_t prod =
+                static_cast<__uint128_t>(limbs_[i]) * o.limbs_[j] +
+                out.limbs_[i + j] + carry;
+            out.limbs_[i + j] = static_cast<uint64_t>(prod);
+            carry = static_cast<uint64_t>(prod >> 64);
+        }
+        out.limbs_[i + o.limbs_.size()] += carry;
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::operator<<(unsigned bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    const size_t limb_shift = bits / 64;
+    const unsigned bit_shift = bits % 64;
+    BigInt out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+        if (bit_shift != 0) {
+            out.limbs_[i + limb_shift + 1] |=
+                limbs_[i] >> (64 - bit_shift);
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::operator>>(unsigned bits) const
+{
+    const size_t limb_shift = bits / 64;
+    const unsigned bit_shift = bits % 64;
+    if (limb_shift >= limbs_.size())
+        return BigInt();
+    BigInt out;
+    out.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (size_t i = 0; i < out.limbs_.size(); ++i) {
+        out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+            out.limbs_[i] |=
+                limbs_[i + limb_shift + 1] << (64 - bit_shift);
+        }
+    }
+    out.trim();
+    return out;
+}
+
+std::pair<BigInt, BigInt>
+BigInt::divmod(const BigInt &div) const
+{
+    panic_if(div.isZero(), "BigInt division by zero");
+    std::pair<BigInt, BigInt> result;
+    if (*this < div) {
+        result.second = *this;
+        return result;
+    }
+
+    const unsigned total_bits = bitLength();
+    Limbs rem;
+    Limbs quot((total_bits + 63) / 64, 0);
+    for (unsigned i = total_bits; i-- > 0;) {
+        shl1InPlace(rem, bit(i));
+        if (compareLimbs(rem, div.limbs_) >= 0) {
+            subInPlace(rem, div.limbs_);
+            quot[i / 64] |= uint64_t{1} << (i % 64);
+        }
+    }
+    result.first.limbs_ = std::move(quot);
+    result.first.trim();
+    result.second.limbs_ = std::move(rem);
+    result.second.trim();
+    return result;
+}
+
+BigInt
+BigInt::modExp(const BigInt &exp, const BigInt &m) const
+{
+    panic_if(m.isZero(), "modExp modulus must be non-zero");
+    BigInt base = *this % m;
+    BigInt result(1);
+    result = result % m; // handles m == 1
+    const unsigned bits = exp.bitLength();
+    for (unsigned i = bits; i-- > 0;) {
+        result = (result * result) % m;
+        if (exp.bit(i))
+            result = (result * base) % m;
+    }
+    return result;
+}
+
+BigInt
+BigInt::modInverse(const BigInt &m) const
+{
+    // Extended Euclid over non-negative values, tracking signs
+    // explicitly: old_s may go "negative", represented as (mag, neg).
+    panic_if(m.isZero(), "modInverse modulus must be non-zero");
+    BigInt r0 = m;
+    BigInt r1 = *this % m;
+    BigInt s0(0), s1(1);
+    bool s0_neg = false, s1_neg = false;
+
+    while (!r1.isZero()) {
+        const auto [q, r2] = r0.divmod(r1);
+        // s2 = s0 - q * s1 with explicit sign arithmetic.
+        const BigInt qs1 = q * s1;
+        BigInt s2;
+        bool s2_neg;
+        if (s0_neg == s1_neg) {
+            // Same sign: result sign depends on magnitudes.
+            if (s0 >= qs1) {
+                s2 = s0 - qs1;
+                s2_neg = s0_neg;
+            } else {
+                s2 = qs1 - s0;
+                s2_neg = !s0_neg;
+            }
+        } else {
+            s2 = s0 + qs1;
+            s2_neg = s0_neg;
+        }
+        r0 = r1;
+        r1 = r2;
+        s0 = s1;
+        s0_neg = s1_neg;
+        s1 = s2;
+        s1_neg = s2_neg;
+    }
+    panic_if(r0 != BigInt(1), "modInverse: arguments not coprime");
+    if (s0_neg)
+        return m - (s0 % m);
+    return s0 % m;
+}
+
+BigInt
+BigInt::gcd(BigInt a, BigInt b)
+{
+    while (!b.isZero()) {
+        BigInt r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+bool
+BigInt::isProbablePrime(util::Rng &rng, int rounds) const
+{
+    static const uint64_t small_primes[] = {
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+        59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+    };
+    if (limbs_.size() == 1) {
+        for (uint64_t p : small_primes)
+            if (limbs_[0] == p)
+                return true;
+    }
+    // 0 and 1 are not prime (and 1 would make n-1 = 0 loop forever
+    // in the d-extraction below); even numbers are composite.
+    if (*this <= BigInt(1) || !isOdd())
+        return false;
+    for (uint64_t p : small_primes) {
+        if ((*this % BigInt(p)).isZero())
+            return false;
+    }
+
+    // Write n-1 = d * 2^r.
+    const BigInt n_minus_1 = *this - BigInt(1);
+    BigInt d = n_minus_1;
+    unsigned r = 0;
+    while (!d.isOdd()) {
+        d = d >> 1;
+        ++r;
+    }
+
+    const BigInt n_minus_3 = *this - BigInt(3);
+    for (int round = 0; round < rounds; ++round) {
+        const BigInt a = BigInt(2) + randomBelow(n_minus_3, rng);
+        BigInt x = a.modExp(d, *this);
+        if (x == BigInt(1) || x == n_minus_1)
+            continue;
+        bool witness = true;
+        for (unsigned i = 1; i < r; ++i) {
+            x = (x * x) % *this;
+            if (x == n_minus_1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+BigInt
+BigInt::randomPrime(unsigned bits, util::Rng &rng)
+{
+    fatal_if(bits < 8, "randomPrime needs >= 8 bits");
+    while (true) {
+        BigInt candidate = randomBits(bits, rng);
+        if (!candidate.isOdd())
+            candidate = candidate + BigInt(1);
+        if (candidate.isProbablePrime(rng))
+            return candidate;
+    }
+}
+
+} // namespace secproc::crypto

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers sized for RSA key exchange.
+ *
+ * Implements exactly the operation set RSA needs: add/sub/mul,
+ * divmod, modular exponentiation, modular inverse, gcd and
+ * Miller-Rabin primality. Little-endian 64-bit limbs.
+ */
+
+#ifndef SECPROC_CRYPTO_BIGINT_HH
+#define SECPROC_CRYPTO_BIGINT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace secproc::crypto
+{
+
+/** Unsigned big integer. All operations are value-semantic. */
+class BigInt
+{
+  public:
+    /** Zero. */
+    BigInt() = default;
+
+    /** From a machine word. */
+    BigInt(uint64_t v); // NOLINT: implicit by design for literals
+
+    /** From a hex string without 0x prefix (most significant first). */
+    static BigInt fromHex(const std::string &hex);
+
+    /** From big-endian bytes. */
+    static BigInt fromBytes(const uint8_t *data, size_t len);
+
+    /** Uniform random value with exactly @p bits bits (MSB set). */
+    static BigInt randomBits(unsigned bits, util::Rng &rng);
+
+    /** Uniform random value in [0, bound). bound must be > 0. */
+    static BigInt randomBelow(const BigInt &bound, util::Rng &rng);
+
+    bool isZero() const { return limbs_.empty(); }
+    bool isOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+    /** Number of significant bits (0 for zero). */
+    unsigned bitLength() const;
+
+    /** Value of bit @p i (0 = LSB). */
+    bool bit(unsigned i) const;
+
+    /** Big-endian byte serialization, optionally left-padded. */
+    std::vector<uint8_t> toBytes(size_t min_len = 0) const;
+
+    /** Lower-case hex string, "0" for zero. */
+    std::string toHex() const;
+
+    /** Convert to uint64_t; panics if the value does not fit. */
+    uint64_t toUint64() const;
+
+    // Comparisons.
+    int compare(const BigInt &other) const;
+    bool operator==(const BigInt &o) const { return compare(o) == 0; }
+    bool operator!=(const BigInt &o) const { return compare(o) != 0; }
+    bool operator<(const BigInt &o) const { return compare(o) < 0; }
+    bool operator<=(const BigInt &o) const { return compare(o) <= 0; }
+    bool operator>(const BigInt &o) const { return compare(o) > 0; }
+    bool operator>=(const BigInt &o) const { return compare(o) >= 0; }
+
+    // Arithmetic.
+    BigInt operator+(const BigInt &o) const;
+    BigInt operator-(const BigInt &o) const; ///< panics on underflow
+    BigInt operator*(const BigInt &o) const;
+    BigInt operator<<(unsigned bits) const;
+    BigInt operator>>(unsigned bits) const;
+
+    /**
+     * Quotient and remainder in one pass; @p div must be non-zero.
+     * @return {quotient, remainder}.
+     */
+    std::pair<BigInt, BigInt> divmod(const BigInt &div) const;
+
+    BigInt operator/(const BigInt &o) const { return divmod(o).first; }
+    BigInt operator%(const BigInt &o) const { return divmod(o).second; }
+
+    /** (this ^ exp) mod m; m must be non-zero. */
+    BigInt modExp(const BigInt &exp, const BigInt &m) const;
+
+    /** Modular inverse; panics unless gcd(this, m) == 1. */
+    BigInt modInverse(const BigInt &m) const;
+
+    /** Greatest common divisor. */
+    static BigInt gcd(BigInt a, BigInt b);
+
+    /** Miller-Rabin probabilistic primality test. */
+    bool isProbablePrime(util::Rng &rng, int rounds = 24) const;
+
+    /** Random prime with exactly @p bits bits. */
+    static BigInt randomPrime(unsigned bits, util::Rng &rng);
+
+  private:
+    /** Little-endian limbs; normalized (no trailing zero limbs). */
+    std::vector<uint64_t> limbs_;
+
+    void trim();
+    static BigInt shiftLeftLimbs(const BigInt &v, size_t limbs);
+};
+
+} // namespace secproc::crypto
+
+#endif // SECPROC_CRYPTO_BIGINT_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * DES implementation. Permutation tables follow FIPS 46-3 numbering:
+ * entries are 1-based bit positions counted from the most significant
+ * bit of the input.
+ */
+
+#include "crypto/des.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace secproc::crypto
+{
+
+namespace
+{
+
+/** Initial permutation. */
+constexpr uint8_t kIp[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17,  9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+};
+
+/** Final permutation (inverse of kIp). */
+constexpr uint8_t kFp[64] = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41,  9, 49, 17, 57, 25,
+};
+
+/** Expansion of the 32-bit half block to 48 bits. */
+constexpr uint8_t kE[48] = {
+    32,  1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,
+     8,  9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32,  1,
+};
+
+/** Permutation applied to the S-box output. */
+constexpr uint8_t kP[32] = {
+    16,  7, 20, 21, 29, 12, 28, 17,  1, 15, 23, 26,  5, 18, 31, 10,
+     2,  8, 24, 14, 32, 27,  3,  9, 19, 13, 30,  6, 22, 11,  4, 25,
+};
+
+/** The eight S-boxes; [box][row*16+col]. */
+constexpr uint8_t kSbox[8][64] = {
+    {14,  4, 13,  1,  2, 15, 11,  8,  3, 10,  6, 12,  5,  9,  0,  7,
+      0, 15,  7,  4, 14,  2, 13,  1, 10,  6, 12, 11,  9,  5,  3,  8,
+      4,  1, 14,  8, 13,  6,  2, 11, 15, 12,  9,  7,  3, 10,  5,  0,
+     15, 12,  8,  2,  4,  9,  1,  7,  5, 11,  3, 14, 10,  0,  6, 13},
+    {15,  1,  8, 14,  6, 11,  3,  4,  9,  7,  2, 13, 12,  0,  5, 10,
+      3, 13,  4,  7, 15,  2,  8, 14, 12,  0,  1, 10,  6,  9, 11,  5,
+      0, 14,  7, 11, 10,  4, 13,  1,  5,  8, 12,  6,  9,  3,  2, 15,
+     13,  8, 10,  1,  3, 15,  4,  2, 11,  6,  7, 12,  0,  5, 14,  9},
+    {10,  0,  9, 14,  6,  3, 15,  5,  1, 13, 12,  7, 11,  4,  2,  8,
+     13,  7,  0,  9,  3,  4,  6, 10,  2,  8,  5, 14, 12, 11, 15,  1,
+     13,  6,  4,  9,  8, 15,  3,  0, 11,  1,  2, 12,  5, 10, 14,  7,
+      1, 10, 13,  0,  6,  9,  8,  7,  4, 15, 14,  3, 11,  5,  2, 12},
+    { 7, 13, 14,  3,  0,  6,  9, 10,  1,  2,  8,  5, 11, 12,  4, 15,
+     13,  8, 11,  5,  6, 15,  0,  3,  4,  7,  2, 12,  1, 10, 14,  9,
+     10,  6,  9,  0, 12, 11,  7, 13, 15,  1,  3, 14,  5,  2,  8,  4,
+      3, 15,  0,  6, 10,  1, 13,  8,  9,  4,  5, 11, 12,  7,  2, 14},
+    { 2, 12,  4,  1,  7, 10, 11,  6,  8,  5,  3, 15, 13,  0, 14,  9,
+     14, 11,  2, 12,  4,  7, 13,  1,  5,  0, 15, 10,  3,  9,  8,  6,
+      4,  2,  1, 11, 10, 13,  7,  8, 15,  9, 12,  5,  6,  3,  0, 14,
+     11,  8, 12,  7,  1, 14,  2, 13,  6, 15,  0,  9, 10,  4,  5,  3},
+    {12,  1, 10, 15,  9,  2,  6,  8,  0, 13,  3,  4, 14,  7,  5, 11,
+     10, 15,  4,  2,  7, 12,  9,  5,  6,  1, 13, 14,  0, 11,  3,  8,
+      9, 14, 15,  5,  2,  8, 12,  3,  7,  0,  4, 10,  1, 13, 11,  6,
+      4,  3,  2, 12,  9,  5, 15, 10, 11, 14,  1,  7,  6,  0,  8, 13},
+    { 4, 11,  2, 14, 15,  0,  8, 13,  3, 12,  9,  7,  5, 10,  6,  1,
+     13,  0, 11,  7,  4,  9,  1, 10, 14,  3,  5, 12,  2, 15,  8,  6,
+      1,  4, 11, 13, 12,  3,  7, 14, 10, 15,  6,  8,  0,  5,  9,  2,
+      6, 11, 13,  8,  1,  4, 10,  7,  9,  5,  0, 15, 14,  2,  3, 12},
+    {13,  2,  8,  4,  6, 15, 11,  1, 10,  9,  3, 14,  5,  0, 12,  7,
+      1, 15, 13,  8, 10,  3,  7,  4, 12,  5,  6, 11,  0, 14,  9,  2,
+      7, 11,  4,  1,  9, 12, 14,  2,  0,  6, 10, 13, 15,  3,  5,  8,
+      2,  1, 14,  7,  4, 10,  8, 13, 15, 12,  9,  0,  3,  5,  6, 11},
+};
+
+/** Permuted choice 1: 64-bit key to 56 bits (drops parity). */
+constexpr uint8_t kPc1[56] = {
+    57, 49, 41, 33, 25, 17,  9,  1, 58, 50, 42, 34, 26, 18,
+    10,  2, 59, 51, 43, 35, 27, 19, 11,  3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,  7, 62, 54, 46, 38, 30, 22,
+    14,  6, 61, 53, 45, 37, 29, 21, 13,  5, 28, 20, 12,  4,
+};
+
+/** Permuted choice 2: 56-bit CD to a 48-bit round key. */
+constexpr uint8_t kPc2[48] = {
+    14, 17, 11, 24,  1,  5,  3, 28, 15,  6, 21, 10,
+    23, 19, 12,  4, 26,  8, 16,  7, 27, 20, 13,  2,
+    41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+};
+
+/** Per-round left-rotation amounts for the key schedule. */
+constexpr uint8_t kShifts[16] = {
+    1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1,
+};
+
+/**
+ * Apply a FIPS-style permutation: table entries select bits of the
+ * @p in_width-bit input (1 = MSB); output bit 0 of the result is the
+ * last table entry (i.e. the output is built MSB-first).
+ */
+uint64_t
+permute(uint64_t value, const uint8_t *table, unsigned out_width,
+        unsigned in_width)
+{
+    uint64_t out = 0;
+    for (unsigned i = 0; i < out_width; ++i) {
+        out <<= 1;
+        out |= (value >> (in_width - table[i])) & 1;
+    }
+    return out;
+}
+
+/** The DES round function f(R, K). */
+uint32_t
+feistel(uint32_t right, uint64_t round_key)
+{
+    const uint64_t expanded = permute(right, kE, 48, 32) ^ round_key;
+    uint32_t sbox_out = 0;
+    for (int box = 0; box < 8; ++box) {
+        const auto six =
+            static_cast<uint32_t>((expanded >> (42 - 6 * box)) & 0x3F);
+        const uint32_t row = ((six & 0x20) >> 4) | (six & 1);
+        const uint32_t col = (six >> 1) & 0xF;
+        sbox_out = (sbox_out << 4) | kSbox[box][row * 16 + col];
+    }
+    return static_cast<uint32_t>(permute(sbox_out, kP, 32, 32));
+}
+
+} // namespace
+
+Des::Des(uint64_t key)
+{
+    uint8_t key_bytes[8];
+    util::storeBe64(key_bytes, key);
+    setKey(key_bytes, 8);
+}
+
+void
+Des::setKey(const uint8_t *key, size_t len)
+{
+    fatal_if(len != 8, "DES key must be 8 bytes, got ", len);
+    const uint64_t key64 = util::loadBe64(key);
+    const uint64_t cd = permute(key64, kPc1, 56, 64);
+    uint32_t c = static_cast<uint32_t>((cd >> 28) & 0x0FFFFFFF);
+    uint32_t d = static_cast<uint32_t>(cd & 0x0FFFFFFF);
+    for (int round = 0; round < 16; ++round) {
+        c = util::rotl28(c, kShifts[round]);
+        d = util::rotl28(d, kShifts[round]);
+        const uint64_t merged = (uint64_t{c} << 28) | d;
+        round_keys_[round] = permute(merged, kPc2, 48, 56);
+    }
+    key_set_ = true;
+}
+
+uint64_t
+Des::processBlock(uint64_t block, bool decrypt) const
+{
+    panic_if(!key_set_, "DES used before setKey");
+    const uint64_t permuted = permute(block, kIp, 64, 64);
+    uint32_t left = static_cast<uint32_t>(permuted >> 32);
+    uint32_t right = static_cast<uint32_t>(permuted);
+    for (int round = 0; round < 16; ++round) {
+        const uint64_t rk =
+            decrypt ? round_keys_[15 - round] : round_keys_[round];
+        const uint32_t next_right = left ^ feistel(right, rk);
+        left = right;
+        right = next_right;
+    }
+    // Note the halves are swapped (R16 L16) before the final permutation.
+    const uint64_t preoutput = (uint64_t{right} << 32) | left;
+    return permute(preoutput, kFp, 64, 64);
+}
+
+void
+Des::encryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    util::storeBe64(out, processBlock(util::loadBe64(in), false));
+}
+
+void
+Des::decryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    util::storeBe64(out, processBlock(util::loadBe64(in), true));
+}
+
+uint64_t
+Des::encrypt64(uint64_t block) const
+{
+    return processBlock(block, false);
+}
+
+uint64_t
+Des::decrypt64(uint64_t block) const
+{
+    return processBlock(block, true);
+}
+
+} // namespace secproc::crypto

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DES (FIPS 46-3) implemented from scratch.
+ *
+ * The paper's vendor flow encrypts software with DES (Section 3.4.1,
+ * 64-bit blocks) and assumes a 50-cycle fully pipelined hardware
+ * engine; this is the functional counterpart used by tests, the
+ * software-protection toolchain and the attack analysis.
+ *
+ * DES is cryptographically broken in 2026 and is implemented here
+ * strictly as a simulation artifact of the 2003 paper.
+ */
+
+#ifndef SECPROC_CRYPTO_DES_HH
+#define SECPROC_CRYPTO_DES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/block_cipher.hh"
+
+namespace secproc::crypto
+{
+
+/** Single-DES block cipher: 64-bit block, 56(+8 parity)-bit key. */
+class Des : public BlockCipher
+{
+  public:
+    Des() = default;
+
+    /** Construct with an 8-byte key. */
+    explicit Des(const uint8_t *key8) { setKey(key8, 8); }
+
+    /** Construct from a 64-bit key value (big-endian byte order). */
+    explicit Des(uint64_t key);
+
+    size_t blockSize() const override { return 8; }
+    size_t keySize() const override { return 8; }
+    std::string name() const override { return "DES"; }
+
+    void setKey(const uint8_t *key, size_t len) override;
+    void encryptBlock(const uint8_t *in, uint8_t *out) const override;
+    void decryptBlock(const uint8_t *in, uint8_t *out) const override;
+
+    /** Encrypt a 64-bit block value directly (big-endian semantics). */
+    uint64_t encrypt64(uint64_t block) const;
+
+    /** Decrypt a 64-bit block value directly (big-endian semantics). */
+    uint64_t decrypt64(uint64_t block) const;
+
+  private:
+    /** 16 round keys of 48 bits each, stored right-aligned. */
+    std::array<uint64_t, 16> round_keys_{};
+    bool key_set_ = false;
+
+    uint64_t processBlock(uint64_t block, bool decrypt) const;
+};
+
+} // namespace secproc::crypto
+
+#endif // SECPROC_CRYPTO_DES_HH

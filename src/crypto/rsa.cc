@@ -1,0 +1,113 @@
+/**
+ * @file
+ * RSA implementation over BigInt.
+ */
+
+#include "crypto/rsa.hh"
+
+#include "util/logging.hh"
+
+namespace secproc::crypto
+{
+
+size_t
+RsaPublicKey::maxPayload() const
+{
+    const size_t modulus_bytes = (n.bitLength() + 7) / 8;
+    // 0x00 0x02 + >= 8 pad bytes + 0x00 separator.
+    if (modulus_bytes < 11)
+        return 0;
+    return modulus_bytes - 11;
+}
+
+RsaKeyPair
+rsaGenerate(unsigned modulus_bits, util::Rng &rng)
+{
+    fatal_if(modulus_bits < 128, "RSA modulus must be >= 128 bits");
+    const unsigned prime_bits = modulus_bits / 2;
+    const BigInt e(65537);
+
+    while (true) {
+        const BigInt p = BigInt::randomPrime(prime_bits, rng);
+        BigInt q = BigInt::randomPrime(modulus_bits - prime_bits, rng);
+        if (p == q)
+            continue;
+        const BigInt n = p * q;
+        if (n.bitLength() != modulus_bits)
+            continue;
+        const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+        if (BigInt::gcd(e, phi) != BigInt(1))
+            continue;
+        const BigInt d = e.modInverse(phi);
+
+        RsaKeyPair pair;
+        pair.pub = RsaPublicKey{n, e};
+        pair.priv = RsaPrivateKey{n, d};
+        return pair;
+    }
+}
+
+BigInt
+rsaEncryptRaw(const RsaPublicKey &pub, const BigInt &m)
+{
+    panic_if(m >= pub.n, "RSA message must be < modulus");
+    return m.modExp(pub.e, pub.n);
+}
+
+BigInt
+rsaDecryptRaw(const RsaPrivateKey &priv, const BigInt &c)
+{
+    return c.modExp(priv.d, priv.n);
+}
+
+std::vector<uint8_t>
+rsaWrap(const RsaPublicKey &pub, const std::vector<uint8_t> &payload,
+        util::Rng &rng)
+{
+    const size_t modulus_bytes = (pub.n.bitLength() + 7) / 8;
+    fatal_if(payload.size() > pub.maxPayload(),
+             "payload of ", payload.size(),
+             " bytes exceeds capsule capacity ", pub.maxPayload());
+
+    std::vector<uint8_t> block(modulus_bytes);
+    block[0] = 0x00;
+    block[1] = 0x02;
+    const size_t pad_len = modulus_bytes - 3 - payload.size();
+    for (size_t i = 0; i < pad_len; ++i) {
+        uint8_t b = 0;
+        while (b == 0)
+            b = static_cast<uint8_t>(rng.next64());
+        block[2 + i] = b;
+    }
+    block[2 + pad_len] = 0x00;
+    std::copy(payload.begin(), payload.end(),
+              block.begin() + static_cast<long>(2 + pad_len + 1));
+
+    const BigInt m = BigInt::fromBytes(block.data(), block.size());
+    return rsaEncryptRaw(pub, m).toBytes(modulus_bytes);
+}
+
+std::optional<std::vector<uint8_t>>
+rsaUnwrap(const RsaPrivateKey &priv, const std::vector<uint8_t> &capsule)
+{
+    const size_t modulus_bytes = (priv.n.bitLength() + 7) / 8;
+    if (capsule.size() != modulus_bytes)
+        return std::nullopt;
+    const BigInt c = BigInt::fromBytes(capsule.data(), capsule.size());
+    if (c >= priv.n)
+        return std::nullopt;
+    const std::vector<uint8_t> block =
+        rsaDecryptRaw(priv, c).toBytes(modulus_bytes);
+
+    if (block.size() < 11 || block[0] != 0x00 || block[1] != 0x02)
+        return std::nullopt;
+    size_t sep = 2;
+    while (sep < block.size() && block[sep] != 0x00)
+        ++sep;
+    if (sep == block.size() || sep < 10) // require >= 8 pad bytes
+        return std::nullopt;
+    return std::vector<uint8_t>(block.begin() + static_cast<long>(sep + 1),
+                                block.end());
+}
+
+} // namespace secproc::crypto

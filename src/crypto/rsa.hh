@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RSA key generation and key-capsule wrap/unwrap.
+ *
+ * Models the XOM key-distribution flow (paper Section 2.1): each
+ * secure processor owns an asymmetric key pair; the software vendor
+ * encrypts the program's symmetric key with the processor's public
+ * key so the program runs only on that processor. Key sizes are
+ * deliberately small (default 512 bits) to keep simulation and test
+ * turnaround fast — this is a 2003-era model, not a deployable
+ * cryptosystem.
+ */
+
+#ifndef SECPROC_CRYPTO_RSA_HH
+#define SECPROC_CRYPTO_RSA_HH
+
+#include <optional>
+#include <vector>
+
+#include "crypto/bigint.hh"
+#include "util/random.hh"
+
+namespace secproc::crypto
+{
+
+/** RSA public key (n, e). */
+struct RsaPublicKey
+{
+    BigInt n;
+    BigInt e;
+
+    /** Maximum payload bytes a capsule can carry. */
+    size_t maxPayload() const;
+};
+
+/** RSA private key (n, d); kept inside the processor in the model. */
+struct RsaPrivateKey
+{
+    BigInt n;
+    BigInt d;
+};
+
+/** A generated key pair. */
+struct RsaKeyPair
+{
+    RsaPublicKey pub;
+    RsaPrivateKey priv;
+};
+
+/**
+ * Generate an RSA key pair.
+ *
+ * @param modulus_bits Size of n in bits (e.g. 512, 768, 1024).
+ * @param rng Deterministic entropy source.
+ */
+RsaKeyPair rsaGenerate(unsigned modulus_bits, util::Rng &rng);
+
+/** Raw RSA: m^e mod n. @p m must be < n. */
+BigInt rsaEncryptRaw(const RsaPublicKey &pub, const BigInt &m);
+
+/** Raw RSA: c^d mod n. */
+BigInt rsaDecryptRaw(const RsaPrivateKey &priv, const BigInt &c);
+
+/**
+ * Wrap a short payload (e.g. a DES/AES key) in a PKCS#1-v1.5-style
+ * capsule: 0x00 0x02 <random non-zero pad> 0x00 <payload>, then raw
+ * RSA. Fatal if the payload does not fit the modulus.
+ */
+std::vector<uint8_t> rsaWrap(const RsaPublicKey &pub,
+                             const std::vector<uint8_t> &payload,
+                             util::Rng &rng);
+
+/**
+ * Unwrap a capsule produced by rsaWrap.
+ * @return the payload, or std::nullopt if the padding is malformed
+ *         (wrong processor key or tampered capsule).
+ */
+std::optional<std::vector<uint8_t>>
+rsaUnwrap(const RsaPrivateKey &priv, const std::vector<uint8_t> &capsule);
+
+} // namespace secproc::crypto
+
+#endif // SECPROC_CRYPTO_RSA_HH

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * SHA-1 / SHA-256 / HMAC implementations.
+ */
+
+#include "crypto/sha.hh"
+
+#include <cstring>
+
+#include "util/bitops.hh"
+
+namespace secproc::crypto
+{
+
+// --------------------------------------------------------------------
+// SHA-1
+// --------------------------------------------------------------------
+
+Sha1::Sha1()
+{
+    reset();
+}
+
+void
+Sha1::reset()
+{
+    h_[0] = 0x67452301u;
+    h_[1] = 0xEFCDAB89u;
+    h_[2] = 0x98BADCFEu;
+    h_[3] = 0x10325476u;
+    h_[4] = 0xC3D2E1F0u;
+    total_bits_ = 0;
+    buffered_ = 0;
+}
+
+void
+Sha1::processBlock(const uint8_t block[64])
+{
+    uint32_t w[80];
+    for (int t = 0; t < 16; ++t)
+        w[t] = util::loadBe32(block + 4 * t);
+    for (int t = 16; t < 80; ++t)
+        w[t] = util::rotl32(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16], 1);
+
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+    for (int t = 0; t < 80; ++t) {
+        uint32_t f, k;
+        if (t < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5A827999u;
+        } else if (t < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1u;
+        } else if (t < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDCu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6u;
+        }
+        const uint32_t temp = util::rotl32(a, 5) + f + e + k + w[t];
+        e = d;
+        d = c;
+        c = util::rotl32(b, 30);
+        b = a;
+        a = temp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+}
+
+void
+Sha1::update(const uint8_t *data, size_t len)
+{
+    total_bits_ += static_cast<uint64_t>(len) * 8;
+    while (len > 0) {
+        const size_t take = std::min(len, sizeof(buffer_) - buffered_);
+        std::memcpy(buffer_ + buffered_, data, take);
+        buffered_ += take;
+        data += take;
+        len -= take;
+        if (buffered_ == sizeof(buffer_)) {
+            processBlock(buffer_);
+            buffered_ = 0;
+        }
+    }
+}
+
+void
+Sha1::final(uint8_t digest[kDigestSize])
+{
+    const uint64_t bits = total_bits_;
+    const uint8_t pad = 0x80;
+    update(&pad, 1);
+    const uint8_t zero = 0x00;
+    while (buffered_ != 56)
+        update(&zero, 1);
+    uint8_t len_be[8];
+    util::storeBe64(len_be, bits);
+    update(len_be, 8);
+    for (int i = 0; i < 5; ++i)
+        util::storeBe32(digest + 4 * i, h_[i]);
+    reset();
+}
+
+std::array<uint8_t, Sha1::kDigestSize>
+Sha1::digest(const uint8_t *data, size_t len)
+{
+    Sha1 hasher;
+    hasher.update(data, len);
+    std::array<uint8_t, kDigestSize> out;
+    hasher.final(out.data());
+    return out;
+}
+
+// --------------------------------------------------------------------
+// SHA-256
+// --------------------------------------------------------------------
+
+namespace
+{
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+    0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+    0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+} // namespace
+
+Sha256::Sha256()
+{
+    reset();
+}
+
+void
+Sha256::reset()
+{
+    h_[0] = 0x6a09e667u;
+    h_[1] = 0xbb67ae85u;
+    h_[2] = 0x3c6ef372u;
+    h_[3] = 0xa54ff53au;
+    h_[4] = 0x510e527fu;
+    h_[5] = 0x9b05688cu;
+    h_[6] = 0x1f83d9abu;
+    h_[7] = 0x5be0cd19u;
+    total_bits_ = 0;
+    buffered_ = 0;
+}
+
+void
+Sha256::processBlock(const uint8_t block[64])
+{
+    uint32_t w[64];
+    for (int t = 0; t < 16; ++t)
+        w[t] = util::loadBe32(block + 4 * t);
+    for (int t = 16; t < 64; ++t) {
+        const uint32_t s0 = util::rotr32(w[t-15], 7) ^
+                            util::rotr32(w[t-15], 18) ^ (w[t-15] >> 3);
+        const uint32_t s1 = util::rotr32(w[t-2], 17) ^
+                            util::rotr32(w[t-2], 19) ^ (w[t-2] >> 10);
+        w[t] = w[t-16] + s0 + w[t-7] + s1;
+    }
+
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+    uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+    for (int t = 0; t < 64; ++t) {
+        const uint32_t s1 = util::rotr32(e, 6) ^ util::rotr32(e, 11) ^
+                            util::rotr32(e, 25);
+        const uint32_t ch = (e & f) ^ (~e & g);
+        const uint32_t temp1 = h + s1 + ch + kSha256K[t] + w[t];
+        const uint32_t s0 = util::rotr32(a, 2) ^ util::rotr32(a, 13) ^
+                            util::rotr32(a, 22);
+        const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        const uint32_t temp2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+    h_[5] += f;
+    h_[6] += g;
+    h_[7] += h;
+}
+
+void
+Sha256::update(const uint8_t *data, size_t len)
+{
+    total_bits_ += static_cast<uint64_t>(len) * 8;
+    while (len > 0) {
+        const size_t take = std::min(len, sizeof(buffer_) - buffered_);
+        std::memcpy(buffer_ + buffered_, data, take);
+        buffered_ += take;
+        data += take;
+        len -= take;
+        if (buffered_ == sizeof(buffer_)) {
+            processBlock(buffer_);
+            buffered_ = 0;
+        }
+    }
+}
+
+void
+Sha256::final(uint8_t digest[kDigestSize])
+{
+    const uint64_t bits = total_bits_;
+    const uint8_t pad = 0x80;
+    update(&pad, 1);
+    const uint8_t zero = 0x00;
+    while (buffered_ != 56)
+        update(&zero, 1);
+    uint8_t len_be[8];
+    util::storeBe64(len_be, bits);
+    update(len_be, 8);
+    for (int i = 0; i < 8; ++i)
+        util::storeBe32(digest + 4 * i, h_[i]);
+    reset();
+}
+
+std::array<uint8_t, Sha256::kDigestSize>
+Sha256::digest(const uint8_t *data, size_t len)
+{
+    Sha256 hasher;
+    hasher.update(data, len);
+    std::array<uint8_t, kDigestSize> out;
+    hasher.final(out.data());
+    return out;
+}
+
+// --------------------------------------------------------------------
+// HMAC-SHA256
+// --------------------------------------------------------------------
+
+std::array<uint8_t, Sha256::kDigestSize>
+hmacSha256(const uint8_t *key, size_t key_len, const uint8_t *data,
+           size_t data_len)
+{
+    uint8_t key_block[64] = {};
+    if (key_len > 64) {
+        const auto hashed = Sha256::digest(key, key_len);
+        std::memcpy(key_block, hashed.data(), hashed.size());
+    } else {
+        std::memcpy(key_block, key, key_len);
+    }
+
+    uint8_t ipad[64], opad[64];
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = static_cast<uint8_t>(key_block[i] ^ 0x36);
+        opad[i] = static_cast<uint8_t>(key_block[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad, 64);
+    inner.update(data, data_len);
+    std::array<uint8_t, Sha256::kDigestSize> inner_digest;
+    inner.final(inner_digest.data());
+
+    Sha256 outer;
+    outer.update(opad, 64);
+    outer.update(inner_digest.data(), inner_digest.size());
+    std::array<uint8_t, Sha256::kDigestSize> out;
+    outer.final(out.data());
+    return out;
+}
+
+} // namespace secproc::crypto

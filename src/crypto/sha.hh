@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SHA-1 and SHA-256 (FIPS 180-4) from scratch.
+ *
+ * The paper delegates memory integrity verification to hash/MAC
+ * machinery (Gassend et al., HPCA 2003); secproc implements that
+ * substrate so the IntegrityEngine extension and the attack detectors
+ * are functional end to end.
+ */
+
+#ifndef SECPROC_CRYPTO_SHA_HH
+#define SECPROC_CRYPTO_SHA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secproc::crypto
+{
+
+/** Incremental SHA-1; 20-byte digest. */
+class Sha1
+{
+  public:
+    static constexpr size_t kDigestSize = 20;
+
+    Sha1();
+
+    /** Absorb @p len bytes. */
+    void update(const uint8_t *data, size_t len);
+
+    /** Finalize and write the digest; the object is then reusable. */
+    void final(uint8_t digest[kDigestSize]);
+
+    /** One-shot convenience. */
+    static std::array<uint8_t, kDigestSize> digest(const uint8_t *data,
+                                                   size_t len);
+
+  private:
+    uint32_t h_[5];
+    uint64_t total_bits_;
+    uint8_t buffer_[64];
+    size_t buffered_;
+
+    void reset();
+    void processBlock(const uint8_t block[64]);
+};
+
+/** Incremental SHA-256; 32-byte digest. */
+class Sha256
+{
+  public:
+    static constexpr size_t kDigestSize = 32;
+
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const uint8_t *data, size_t len);
+
+    /** Finalize and write the digest; the object is then reusable. */
+    void final(uint8_t digest[kDigestSize]);
+
+    /** One-shot convenience. */
+    static std::array<uint8_t, kDigestSize> digest(const uint8_t *data,
+                                                   size_t len);
+
+  private:
+    uint32_t h_[8];
+    uint64_t total_bits_;
+    uint8_t buffer_[64];
+    size_t buffered_;
+
+    void reset();
+    void processBlock(const uint8_t block[64]);
+};
+
+/**
+ * HMAC-SHA256 (RFC 2104).
+ *
+ * @param key Key bytes (any length; hashed down if > 64).
+ * @param key_len Key length.
+ * @param data Message bytes.
+ * @param data_len Message length.
+ * @return 32-byte MAC.
+ */
+std::array<uint8_t, Sha256::kDigestSize>
+hmacSha256(const uint8_t *key, size_t key_len, const uint8_t *data,
+           size_t data_len);
+
+} // namespace secproc::crypto
+
+#endif // SECPROC_CRYPTO_SHA_HH

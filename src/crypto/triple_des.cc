@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Triple-DES implementation.
+ */
+
+#include "crypto/triple_des.hh"
+
+#include "util/logging.hh"
+
+namespace secproc::crypto
+{
+
+void
+TripleDes::setKey(const uint8_t *key, size_t len)
+{
+    fatal_if(len != 24, "3DES key must be 24 bytes, got ", len);
+    k1_.setKey(key, 8);
+    k2_.setKey(key + 8, 8);
+    k3_.setKey(key + 16, 8);
+}
+
+void
+TripleDes::encryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    uint8_t tmp[8];
+    k1_.encryptBlock(in, tmp);
+    k2_.decryptBlock(tmp, tmp);
+    k3_.encryptBlock(tmp, out);
+}
+
+void
+TripleDes::decryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    uint8_t tmp[8];
+    k3_.decryptBlock(in, tmp);
+    k2_.encryptBlock(tmp, tmp);
+    k1_.decryptBlock(tmp, out);
+}
+
+} // namespace secproc::crypto

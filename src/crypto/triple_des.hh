@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Triple-DES (EDE, three-key) built on the Des primitive.
+ *
+ * The paper cites 3DES alongside AES as the "stronger ciphers" whose
+ * longer latency motivates the 102-cycle sensitivity study (Fig. 10).
+ */
+
+#ifndef SECPROC_CRYPTO_TRIPLE_DES_HH
+#define SECPROC_CRYPTO_TRIPLE_DES_HH
+
+#include "crypto/des.hh"
+
+namespace secproc::crypto
+{
+
+/** 3DES-EDE: C = E_k3(D_k2(E_k1(P))); 24-byte key (k1|k2|k3). */
+class TripleDes : public BlockCipher
+{
+  public:
+    TripleDes() = default;
+
+    /** Construct with a 24-byte key. */
+    explicit TripleDes(const uint8_t *key24) { setKey(key24, 24); }
+
+    size_t blockSize() const override { return 8; }
+    size_t keySize() const override { return 24; }
+    std::string name() const override { return "3DES-EDE"; }
+
+    void setKey(const uint8_t *key, size_t len) override;
+    void encryptBlock(const uint8_t *in, uint8_t *out) const override;
+    void decryptBlock(const uint8_t *in, uint8_t *out) const override;
+
+  private:
+    Des k1_, k2_, k3_;
+};
+
+} // namespace secproc::crypto
+
+#endif // SECPROC_CRYPTO_TRIPLE_DES_HH

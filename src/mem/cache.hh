@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Generic set-associative cache model.
+ *
+ * One implementation serves every cache-shaped structure in secproc:
+ * L1I, L1D, the unified L2 and the Sequence Number Cache (SNC). It
+ * tracks tags, dirtiness, a per-line 64-bit metadata word (the L2
+ * uses it to remember each line's virtual address as the paper's
+ * Section 4 requires; the SNC stores the sequence number itself) and
+ * supports LRU, FIFO, Random and no-replacement policies.
+ *
+ * The cache stores no data bytes: functional contents live in the
+ * OnChipStore / MainMemory pair so the timing model stays compact.
+ */
+
+#ifndef SECPROC_MEM_CACHE_HH
+#define SECPROC_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace secproc::mem
+{
+
+/** Victim selection policy. */
+enum class ReplacementPolicy
+{
+    Lru,
+    Fifo,
+    Random,
+    /**
+     * Never evict: fills fail once the set is full. This is the
+     * paper's "no replacement" SNC operating policy (Section 4.1).
+     */
+    NoReplacement,
+};
+
+/** Static geometry and policy of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t size_bytes = 32 * 1024;
+    /** Associativity; 0 means fully associative. */
+    uint32_t assoc = 4;
+    uint32_t line_size = 64;
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+
+    /** Number of lines implied by the geometry. */
+    uint64_t numLines() const { return size_bytes / line_size; }
+};
+
+/** Description of a line displaced by a fill. */
+struct Victim
+{
+    bool valid = false;   ///< a valid line was displaced
+    bool dirty = false;   ///< it held modified data
+    uint64_t line_addr = 0; ///< its line address (byte addr of line start)
+    uint64_t meta = 0;    ///< its metadata word
+};
+
+/**
+ * Set-associative cache directory.
+ *
+ * All public methods take byte addresses; alignment to lines happens
+ * internally. Addresses sharing a line map to the same entry.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** @return true and refresh recency if the line is present. */
+    bool access(uint64_t addr, bool write);
+
+    /** Presence test with no recency or statistics side effects. */
+    bool probe(uint64_t addr) const;
+
+    /**
+     * Insert the line for @p addr.
+     *
+     * @param addr Byte address anywhere in the line.
+     * @param dirty Install in modified state.
+     * @param meta Metadata word stored with the line.
+     * @return The displaced victim, or std::nullopt if the policy is
+     *         NoReplacement and the set was full (fill rejected).
+     */
+    std::optional<Victim> fill(uint64_t addr, bool dirty, uint64_t meta);
+
+    /** Remove a line if present. @return its victim record. */
+    Victim invalidate(uint64_t addr);
+
+    /** Drop every line; @return all valid victims (for flushes). */
+    std::vector<Victim> invalidateAll();
+
+    /** Read the metadata word of a resident line. */
+    std::optional<uint64_t> meta(uint64_t addr) const;
+
+    /** Update the metadata word of a resident line. */
+    bool setMeta(uint64_t addr, uint64_t value);
+
+    /** Mark a resident line dirty (store to an already-present line). */
+    bool setDirty(uint64_t addr);
+
+    /** Number of currently valid lines. */
+    uint64_t occupancy() const { return occupancy_; }
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Byte address of the first byte of @p addr's line. */
+    uint64_t lineAlign(uint64_t addr) const;
+
+    /** Statistics. @{ */
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    uint64_t evictions() const { return evictions_.value(); }
+    uint64_t dirtyEvictions() const { return dirty_evictions_.value(); }
+    uint64_t rejectedFills() const { return rejected_fills_.value(); }
+    double missRate() const;
+    void resetStats();
+    /** @} */
+
+    /** Register this cache's statistics with @p group. */
+    void regStats(util::StatGroup &group) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t meta = 0;
+    };
+
+    static constexpr uint32_t kNil = ~uint32_t{0};
+
+    CacheConfig config_;
+    unsigned line_shift_;
+    uint64_t num_sets_;
+    uint32_t ways_;
+    std::vector<Line> lines_; ///< [set * ways_ + way]
+    uint64_t occupancy_ = 0;
+    util::Rng victim_rng_;
+
+    /** line number -> index into lines_ (O(1) tag lookup). */
+    std::unordered_map<uint64_t, uint32_t> map_;
+    /** Per-set intrusive recency lists (head = MRU, tail = LRU). */
+    std::vector<uint32_t> next_;
+    std::vector<uint32_t> prev_;
+    std::vector<uint32_t> head_;
+    std::vector<uint32_t> tail_;
+
+    util::Counter hits_;
+    util::Counter misses_;
+    util::Counter evictions_;
+    util::Counter dirty_evictions_;
+    util::Counter rejected_fills_;
+
+    uint64_t setIndex(uint64_t line_number) const;
+    void unlink(uint64_t set, uint32_t idx);
+    void pushFront(uint64_t set, uint32_t idx);
+    void pushBack(uint64_t set, uint32_t idx);
+};
+
+} // namespace secproc::mem
+
+#endif // SECPROC_MEM_CACHE_HH

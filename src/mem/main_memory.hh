@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Functional backing store: the untrusted DRAM outside the security
+ * boundary.
+ *
+ * Holds the actual byte image of memory — which, under XOM or OTP
+ * protection, is ciphertext. Attack simulations read and corrupt this
+ * image directly, exactly as the paper's adversary taps the memory
+ * bus. Sparse page-granular allocation so multi-gigabyte address
+ * spaces cost only what is touched.
+ */
+
+#ifndef SECPROC_MEM_MAIN_MEMORY_HH
+#define SECPROC_MEM_MAIN_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace secproc::mem
+{
+
+/** Sparse functional memory, byte addressable. */
+class MainMemory
+{
+  public:
+    static constexpr uint64_t kPageSize = 4096;
+
+    MainMemory() = default;
+
+    /** Read @p len bytes at @p addr; untouched pages read as zero. */
+    void read(uint64_t addr, uint8_t *out, size_t len) const;
+
+    /** Write @p len bytes at @p addr, allocating pages as needed. */
+    void write(uint64_t addr, const uint8_t *data, size_t len);
+
+    /** Convenience line-sized helpers. @{ */
+    std::vector<uint8_t> readLine(uint64_t addr, size_t line_size) const;
+    void writeLine(uint64_t addr, const std::vector<uint8_t> &line);
+    /** @} */
+
+    /** XOR one byte (attack primitive: targeted bit flips). */
+    void corruptByte(uint64_t addr, uint8_t xor_mask);
+
+    /** Number of resident (touched) pages. */
+    size_t residentPages() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+
+    const std::vector<uint8_t> *findPage(uint64_t page_number) const;
+    std::vector<uint8_t> &touchPage(uint64_t page_number);
+};
+
+} // namespace secproc::mem
+
+#endif // SECPROC_MEM_MAIN_MEMORY_HH

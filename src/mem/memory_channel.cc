@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Memory channel timing implementation.
+ */
+
+#include "mem/memory_channel.hh"
+
+#include "util/logging.hh"
+
+namespace secproc::mem
+{
+
+MemoryChannel::MemoryChannel(ChannelConfig config)
+    : config_(config)
+{
+    fatal_if(config_.write_buffer_entries == 0,
+             "write buffer needs at least one entry");
+    if (config_.use_dram)
+        dram_ = std::make_unique<DramModel>(config_.dram);
+}
+
+uint32_t
+MemoryChannel::transferCycles(bool small) const
+{
+    return small ? config_.small_transfer_cycles
+                 : config_.transfer_cycles;
+}
+
+void
+MemoryChannel::account(Traffic category, bool small)
+{
+    const auto idx = static_cast<size_t>(category);
+    bytes_[idx] += small ? config_.small_bytes : config_.line_bytes;
+    ++transactions_[idx];
+}
+
+void
+MemoryChannel::drainWrites(uint64_t now, bool force_all)
+{
+    // Opportunistic: fill the idle gap [busy_until_, now) with ready
+    // writes. Forced: additionally drain (ahead of the waiting read)
+    // until the buffer is back under capacity.
+    while (!write_queue_.empty()) {
+        const PendingWrite &front = write_queue_.front();
+        const uint32_t cycles = transferCycles(front.small);
+        const uint64_t start =
+            std::max(busy_until_, front.ready_cycle);
+        const bool fits_in_gap = start + cycles <= now;
+        const bool must_force =
+            force_all ||
+            write_queue_.size() > config_.write_buffer_entries;
+        if (!fits_in_gap && !must_force)
+            break;
+        busy_until_ = start + cycles;
+        busy_cycles_ += cycles;
+        if (dram_)
+            dram_->access(start, front.addr); // disturbs row buffers
+        write_queue_.pop_front();
+    }
+}
+
+uint64_t
+MemoryChannel::scheduleRead(uint64_t request_cycle, Traffic category,
+                            bool small, uint64_t addr)
+{
+    drainWrites(request_cycle, /*force_all=*/false);
+    // If the buffer is saturated the read waits for forced drains;
+    // this is the only way writes touch the critical path.
+    if (write_queue_.size() >= config_.write_buffer_entries) {
+        while (write_queue_.size() >= config_.write_buffer_entries) {
+            const PendingWrite &front = write_queue_.front();
+            const uint64_t start =
+                std::max(busy_until_, front.ready_cycle);
+            busy_until_ = start + transferCycles(front.small);
+            busy_cycles_ += transferCycles(front.small);
+            if (dram_)
+                dram_->access(start, front.addr);
+            write_queue_.pop_front();
+        }
+    }
+
+    const uint64_t start = std::max(request_cycle, busy_until_);
+    const uint32_t cycles = transferCycles(small);
+    busy_until_ = start + cycles;
+    busy_cycles_ += cycles;
+    account(category, small);
+    if (dram_)
+        return dram_->access(start, addr);
+    return start + config_.access_latency;
+}
+
+void
+MemoryChannel::enqueueWrite(uint64_t ready_cycle, Traffic category,
+                            bool small, uint64_t addr)
+{
+    account(category, small);
+    write_queue_.push_back(PendingWrite{ready_cycle, small, addr});
+    // Keep the queue bounded even if no read ever arrives again.
+    if (write_queue_.size() > 4 * config_.write_buffer_entries)
+        drainWrites(ready_cycle, /*force_all=*/true);
+}
+
+uint64_t
+MemoryChannel::bytes(Traffic category) const
+{
+    return bytes_[static_cast<size_t>(category)];
+}
+
+uint64_t
+MemoryChannel::transactions(Traffic category) const
+{
+    return transactions_[static_cast<size_t>(category)];
+}
+
+uint64_t
+MemoryChannel::dataBytes() const
+{
+    return bytes(Traffic::DataFill) + bytes(Traffic::DataWriteback);
+}
+
+uint64_t
+MemoryChannel::seqnumBytes() const
+{
+    return bytes(Traffic::SeqnumFetch) + bytes(Traffic::SeqnumWriteback);
+}
+
+void
+MemoryChannel::reset()
+{
+    busy_until_ = 0;
+    busy_cycles_ = 0;
+    write_queue_.clear();
+    bytes_.fill(0);
+    transactions_.fill(0);
+    if (dram_)
+        dram_->reset();
+}
+
+std::string
+trafficName(Traffic category)
+{
+    switch (category) {
+      case Traffic::DataFill: return "data_fill";
+      case Traffic::DataWriteback: return "data_writeback";
+      case Traffic::SeqnumFetch: return "seqnum_fetch";
+      case Traffic::SeqnumWriteback: return "seqnum_writeback";
+      case Traffic::MacFetch: return "mac_fetch";
+      case Traffic::MacWriteback: return "mac_writeback";
+      case Traffic::NumCategories: break;
+    }
+    return "unknown";
+}
+
+} // namespace secproc::mem

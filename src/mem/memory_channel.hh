@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Timing model of the processor-memory channel plus write buffer.
+ *
+ * One shared channel carries demand line fills, dirty write-backs and
+ * the protection engines' metadata traffic (sequence-number fetches
+ * and spills, MAC fetches). Reads are latency-critical and modelled
+ * precisely; writes sit in a write buffer (paper Figure 2/4) and
+ * drain into idle bus gaps, only impeding reads when the buffer is
+ * saturated.
+ *
+ * Traffic is accounted per category so Figure 9 (SNC-induced traffic
+ * as a percentage of L2 traffic) can be reproduced exactly.
+ */
+
+#ifndef SECPROC_MEM_MEMORY_CHANNEL_HH
+#define SECPROC_MEM_MEMORY_CHANNEL_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "mem/dram.hh"
+#include "util/stats.hh"
+
+namespace secproc::mem
+{
+
+/** What a channel transaction carries (for traffic attribution). */
+enum class Traffic
+{
+    DataFill,        ///< demand line read
+    DataWriteback,   ///< dirty line write
+    SeqnumFetch,     ///< SNC spill-table read (LRU query/update miss)
+    SeqnumWriteback, ///< SNC victim spill write
+    MacFetch,        ///< integrity metadata read (extension)
+    MacWriteback,    ///< integrity metadata write (extension)
+    NumCategories,
+};
+
+/** Static timing parameters of the channel. */
+struct ChannelConfig
+{
+    /** Cycles from read issue to full line arrival (paper: 100). */
+    uint32_t access_latency = 100;
+
+    /** Bus occupancy per line-sized transfer. */
+    uint32_t transfer_cycles = 16;
+
+    /** Bus occupancy per metadata-sized (seqnum/MAC) transfer. */
+    uint32_t small_transfer_cycles = 2;
+
+    /** Write buffer capacity in entries. */
+    uint32_t write_buffer_entries = 16;
+
+    /** Bytes accounted per line transaction. */
+    uint32_t line_bytes = 128;
+
+    /** Bytes accounted per metadata transaction. */
+    uint32_t small_bytes = 8;
+
+    /**
+     * Model the device as banked DRAM instead of a flat
+     * access_latency (DRAM-sensitivity ablation). When set, the
+     * address passed to scheduleRead()/enqueueWrite() selects the
+     * bank and row.
+     */
+    bool use_dram = false;
+
+    /** DRAM geometry/timing when use_dram is set. */
+    DramConfig dram;
+};
+
+/**
+ * Shared memory channel with opportunistic write draining.
+ *
+ * The model keeps a scalar `busy_until` horizon for the bus. Reads
+ * schedule immediately after the horizon; queued writes drain into
+ * gaps between the horizon and the next read, and are force-drained
+ * ahead of a read when the write buffer is full — the only case in
+ * which writes delay the critical path, matching the paper's
+ * assumption that "write operation is not on the critical path".
+ */
+class MemoryChannel
+{
+  public:
+    explicit MemoryChannel(ChannelConfig config = {});
+
+    /**
+     * Schedule a latency-critical read.
+     *
+     * @param request_cycle Cycle the request leaves the chip.
+     * @param category Traffic attribution.
+     * @param small True for metadata-sized transfers.
+     * @param addr Target address; only consulted in DRAM mode
+     *        (bank/row selection), ignored by the flat model.
+     * @return Cycle the data is available on chip.
+     */
+    uint64_t scheduleRead(uint64_t request_cycle, Traffic category,
+                          bool small = false, uint64_t addr = 0);
+
+    /**
+     * Queue a write that becomes ready at @p ready_cycle (e.g. after
+     * encryption completes in the write buffer).
+     */
+    void enqueueWrite(uint64_t ready_cycle, Traffic category,
+                      bool small = false, uint64_t addr = 0);
+
+    /** Bytes moved in @p category so far. */
+    uint64_t bytes(Traffic category) const;
+
+    /** Transactions in @p category so far. */
+    uint64_t transactions(Traffic category) const;
+
+    /** Total bytes across the data categories (fill + writeback). */
+    uint64_t dataBytes() const;
+
+    /** Total bytes across the seqnum categories. */
+    uint64_t seqnumBytes() const;
+
+    /** Cycles the bus has been occupied (utilization numerator). */
+    uint64_t busyCycles() const { return busy_cycles_; }
+
+    /** Reset all counters and occupancy (new run). */
+    void reset();
+
+    const ChannelConfig &config() const { return config_; }
+
+    /** DRAM backend, or nullptr in flat-latency mode. */
+    const DramModel *dram() const { return dram_.get(); }
+
+  private:
+    struct PendingWrite
+    {
+        uint64_t ready_cycle;
+        bool small;
+        uint64_t addr;
+    };
+
+    ChannelConfig config_;
+    std::unique_ptr<DramModel> dram_;
+    uint64_t busy_until_ = 0;
+    uint64_t busy_cycles_ = 0;
+    std::deque<PendingWrite> write_queue_;
+
+    static constexpr size_t kNumCategories =
+        static_cast<size_t>(Traffic::NumCategories);
+    std::array<uint64_t, kNumCategories> bytes_{};
+    std::array<uint64_t, kNumCategories> transactions_{};
+
+    void account(Traffic category, bool small);
+    uint32_t transferCycles(bool small) const;
+    void drainWrites(uint64_t now, bool force_all);
+};
+
+/** Human-readable category name. */
+std::string trafficName(Traffic category);
+
+} // namespace secproc::mem
+
+#endif // SECPROC_MEM_MEMORY_CHANNEL_HH

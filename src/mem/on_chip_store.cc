@@ -1,0 +1,46 @@
+/**
+ * @file
+ * On-chip plaintext line store implementation.
+ */
+
+#include "mem/on_chip_store.hh"
+
+#include "util/logging.hh"
+
+namespace secproc::mem
+{
+
+void
+OnChipStore::install(uint64_t line_addr, std::vector<uint8_t> bytes)
+{
+    panic_if(bytes.size() != line_size_,
+             "line size mismatch: ", bytes.size(), " vs ", line_size_);
+    lines_[line_addr] = std::move(bytes);
+}
+
+std::optional<std::vector<uint8_t>>
+OnChipStore::remove(uint64_t line_addr)
+{
+    auto it = lines_.find(line_addr);
+    if (it == lines_.end())
+        return std::nullopt;
+    std::vector<uint8_t> out = std::move(it->second);
+    lines_.erase(it);
+    return out;
+}
+
+const std::vector<uint8_t> *
+OnChipStore::peek(uint64_t line_addr) const
+{
+    const auto it = lines_.find(line_addr);
+    return it == lines_.end() ? nullptr : &it->second;
+}
+
+std::vector<uint8_t> *
+OnChipStore::peekMutable(uint64_t line_addr)
+{
+    auto it = lines_.find(line_addr);
+    return it == lines_.end() ? nullptr : &it->second;
+}
+
+} // namespace secproc::mem

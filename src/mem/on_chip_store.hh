@@ -1,0 +1,54 @@
+/**
+ * @file
+ * On-chip plaintext line store.
+ *
+ * Inside the security boundary caches hold plaintext (paper Section
+ * 2.2: "all the on-chip caches are secure and store data and
+ * instructions in plaintext"). The timing caches in secproc track
+ * only tags; this companion structure holds the actual plaintext
+ * bytes of every line currently resident on chip, so functional runs
+ * can verify end-to-end that encrypt(evict) / decrypt(fill) round
+ * trips the program's data through untrusted ciphertext memory.
+ */
+
+#ifndef SECPROC_MEM_ON_CHIP_STORE_HH
+#define SECPROC_MEM_ON_CHIP_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace secproc::mem
+{
+
+/** Map of resident line address to plaintext bytes. */
+class OnChipStore
+{
+  public:
+    explicit OnChipStore(uint32_t line_size) : line_size_(line_size) {}
+
+    /** Install plaintext for a line (fill path). */
+    void install(uint64_t line_addr, std::vector<uint8_t> bytes);
+
+    /** Remove and return a line's plaintext (evict path). */
+    std::optional<std::vector<uint8_t>> remove(uint64_t line_addr);
+
+    /** Peek at resident plaintext (loads). */
+    const std::vector<uint8_t> *peek(uint64_t line_addr) const;
+
+    /** Mutate resident plaintext (stores). */
+    std::vector<uint8_t> *peekMutable(uint64_t line_addr);
+
+    size_t residentLines() const { return lines_.size(); }
+    uint32_t lineSize() const { return line_size_; }
+    void clear() { lines_.clear(); }
+
+  private:
+    uint32_t line_size_;
+    std::unordered_map<uint64_t, std::vector<uint8_t>> lines_;
+};
+
+} // namespace secproc::mem
+
+#endif // SECPROC_MEM_ON_CHIP_STORE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Virtual memory implementation.
+ */
+
+#include "mem/virtual_memory.hh"
+
+#include "util/logging.hh"
+
+namespace secproc::mem
+{
+
+uint64_t
+VirtualMemory::translate(Asid asid, uint64_t vaddr)
+{
+    const PageKey key{asid, vaddr / kPageSize};
+    auto [it, inserted] = page_table_.try_emplace(key, 0);
+    if (inserted)
+        it->second = allocateFrame();
+    return it->second * kPageSize + vaddr % kPageSize;
+}
+
+std::optional<uint64_t>
+VirtualMemory::probeTranslate(Asid asid, uint64_t vaddr) const
+{
+    const PageKey key{asid, vaddr / kPageSize};
+    const auto it = page_table_.find(key);
+    if (it == page_table_.end())
+        return std::nullopt;
+    return it->second * kPageSize + vaddr % kPageSize;
+}
+
+void
+VirtualMemory::addRegion(Asid asid, const Region &region)
+{
+    fatal_if(region.end <= region.start,
+             "region '", region.name, "' is empty or inverted");
+    auto &list = regions_[asid];
+    for (const Region &existing : list) {
+        const bool overlaps = region.start < existing.end &&
+                              existing.start < region.end;
+        fatal_if(overlaps, "region '", region.name, "' overlaps '",
+                 existing.name, "'");
+    }
+    list.push_back(region);
+}
+
+void
+VirtualMemory::share(Asid asid_a, uint64_t vaddr_a, Asid asid_b,
+                     uint64_t vaddr_b, uint64_t length)
+{
+    fatal_if(vaddr_a % kPageSize != 0 || vaddr_b % kPageSize != 0,
+             "shared segments must be page aligned");
+    const uint64_t pages = (length + kPageSize - 1) / kPageSize;
+    for (uint64_t i = 0; i < pages; ++i) {
+        const uint64_t frame =
+            translate(asid_a, vaddr_a + i * kPageSize) / kPageSize;
+        page_table_[PageKey{asid_b, vaddr_b / kPageSize + i}] = frame;
+    }
+    addRegion(asid_a, Region{"shared", vaddr_a, vaddr_a + length,
+                             RegionKind::Shared});
+    addRegion(asid_b, Region{"shared", vaddr_b, vaddr_b + length,
+                             RegionKind::Shared});
+}
+
+RegionKind
+VirtualMemory::regionKind(Asid asid, uint64_t vaddr) const
+{
+    const auto it = regions_.find(asid);
+    if (it == regions_.end())
+        return RegionKind::Protected;
+    for (const Region &region : it->second) {
+        if (vaddr >= region.start && vaddr < region.end)
+            return region.kind;
+    }
+    return RegionKind::Protected;
+}
+
+void
+VirtualMemory::rebase(Asid asid)
+{
+    for (auto &[key, frame] : page_table_) {
+        if (key.asid == asid)
+            frame = allocateFrame();
+    }
+}
+
+} // namespace secproc::mem

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Virtual memory: per-ASID page tables, shared segments (synonyms)
+ * and region attributes.
+ *
+ * The paper's SNC is indexed by *virtual* line address because
+ * physical placement can change across context switches (Section 4).
+ * It also excludes two classes of memory from one-time-pad
+ * protection: segments aliased by multiple virtual addresses
+ * (synonyms, where two VAs would disagree on the seed) and plaintext
+ * segments (shared libraries, program inputs; Section 4.3). This
+ * module provides exactly those facts to the protection engines.
+ */
+
+#ifndef SECPROC_MEM_VIRTUAL_MEMORY_HH
+#define SECPROC_MEM_VIRTUAL_MEMORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace secproc::mem
+{
+
+/** Address space identifier (one per compartment/task). */
+using Asid = uint16_t;
+
+/** Security-relevant attributes of a mapped region. */
+enum class RegionKind
+{
+    Protected, ///< encrypted with the compartment key
+    Plaintext, ///< shared library code or program input: no crypto
+    Shared,    ///< aliased by several VAs: no OTP (paper Section 4)
+};
+
+/** A named virtual address range with one attribute. */
+struct Region
+{
+    std::string name;
+    uint64_t start = 0; ///< inclusive
+    uint64_t end = 0;   ///< exclusive
+    RegionKind kind = RegionKind::Protected;
+};
+
+/**
+ * Per-ASID page tables with allocate-on-touch physical placement.
+ */
+class VirtualMemory
+{
+  public:
+    static constexpr uint64_t kPageSize = 4096;
+
+    VirtualMemory() = default;
+
+    /**
+     * Translate, allocating a fresh frame on first touch.
+     * @return physical address.
+     */
+    uint64_t translate(Asid asid, uint64_t vaddr);
+
+    /** Translate without allocating. */
+    std::optional<uint64_t> probeTranslate(Asid asid,
+                                           uint64_t vaddr) const;
+
+    /**
+     * Map @p region of @p asid; attributes become queryable via
+     * regionKind(). Overlapping regions are a caller error (fatal).
+     */
+    void addRegion(Asid asid, const Region &region);
+
+    /**
+     * Alias @p vaddr_b in @p asid_b to the same frames as
+     * @p vaddr_a in @p asid_a for @p length bytes (synonym /
+     * shared segment). Both ranges become RegionKind::Shared.
+     */
+    void share(Asid asid_a, uint64_t vaddr_a, Asid asid_b,
+               uint64_t vaddr_b, uint64_t length);
+
+    /** Attribute at @p vaddr; Protected when unmapped by regions. */
+    RegionKind regionKind(Asid asid, uint64_t vaddr) const;
+
+    /**
+     * Re-randomize the physical placement of @p asid (models
+     * swapping / reload at a different physical location across
+     * context switches; virtual addresses are unchanged, which is
+     * why seeds must be virtual).
+     */
+    void rebase(Asid asid);
+
+    /** Frames allocated so far. */
+    uint64_t allocatedFrames() const { return next_frame_; }
+
+  private:
+    /** Key: (asid, virtual page number). */
+    struct PageKey
+    {
+        Asid asid;
+        uint64_t vpn;
+        bool operator==(const PageKey &o) const
+        {
+            return asid == o.asid && vpn == o.vpn;
+        }
+    };
+    struct PageKeyHash
+    {
+        size_t operator()(const PageKey &k) const
+        {
+            return std::hash<uint64_t>{}(
+                (static_cast<uint64_t>(k.asid) << 48) ^ k.vpn);
+        }
+    };
+
+    std::unordered_map<PageKey, uint64_t, PageKeyHash> page_table_;
+    std::unordered_map<Asid, std::vector<Region>> regions_;
+    uint64_t next_frame_ = 1; // frame 0 reserved
+
+    uint64_t allocateFrame() { return next_frame_++; }
+};
+
+} // namespace secproc::mem
+
+#endif // SECPROC_MEM_VIRTUAL_MEMORY_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Insecure baseline engine: the reference machine all slowdown
+ * percentages are measured against.
+ */
+
+#include "secure/engines.hh"
+
+namespace secproc::secure
+{
+
+FillPlan
+BaselineEngine::planFill(uint64_t line_va, bool ifetch,
+                         mem::RegionKind kind)
+{
+    (void)kind;
+    FillPlan plan;
+    plan.line_va = line_va;
+    plan.ifetch = ifetch;
+    plan.state = ifetch ? LineCipherState::Plain : lineState(line_va);
+    return plan;
+}
+
+EvictPlan
+BaselineEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
+{
+    (void)kind;
+    EvictPlan plan;
+    plan.line_va = line_va;
+    plan.state = LineCipherState::Plain;
+    line_states_[line_va] = LineCipherState::Plain;
+    return plan;
+}
+
+FillResult
+BaselineEngine::scheduleFill(const FillPlan &plan, uint64_t cycle)
+{
+    ++plain_fills_;
+    FillResult result;
+    result.ready_cycle = channel_.scheduleRead(
+        cycle, mem::Traffic::DataFill, /*small=*/false, plan.line_va);
+    return result;
+}
+
+void
+BaselineEngine::scheduleEvict(const EvictPlan &plan, uint64_t cycle)
+{
+    channel_.enqueueWrite(cycle, mem::Traffic::DataWriteback,
+                          /*small=*/false, plan.line_va);
+}
+
+void
+BaselineEngine::applyFill(const FillPlan &plan,
+                          std::vector<uint8_t> &bytes) const
+{
+    (void)plan;
+    (void)bytes; // memory is plaintext on the baseline machine
+}
+
+void
+BaselineEngine::applyEvict(const EvictPlan &plan,
+                           std::vector<uint8_t> &bytes) const
+{
+    (void)plan;
+    (void)bytes;
+}
+
+} // namespace secproc::secure

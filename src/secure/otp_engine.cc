@@ -1,0 +1,466 @@
+/**
+ * @file
+ * One-time-pad engine with Sequence Number Cache — the paper's
+ * contribution (Sections 3 and 4).
+ *
+ * Fast path (SNC query hit, and all instruction fetches): the pad
+ * E_K(seed) is computed while the memory access is in flight, so the
+ * fill completes at max(memory, crypto) + 1 instead of
+ * memory + crypto.
+ *
+ * Slow paths follow the paper's Algorithm 1: an SNC query miss under
+ * LRU fetches and decrypts the line's sequence number from the
+ * encrypted in-memory table before pad generation can start; under
+ * the no-replacement policy, lines without SNC entries are
+ * direct-encrypted and take the XOM path.
+ */
+
+#include "secure/engines.hh"
+
+#include "crypto/block_cipher.hh"
+#include "util/logging.hh"
+
+namespace secproc::secure
+{
+
+OtpEngine::OtpEngine(const ProtectionConfig &config,
+                     mem::MemoryChannel &channel, const KeyTable &keys)
+    : ProtectionEngine(config, channel, keys), snc_(config.snc)
+{
+    fatal_if(config.snc.l2_line_size != config.line_size,
+             "SNC line size (", config.snc.l2_line_size,
+             ") must match the engine line size (", config.line_size,
+             ")");
+}
+
+uint32_t
+OtpEngine::wrapIncrement(uint32_t seqnum)
+{
+    // Wrapping would reuse a pad; hardware would trigger a
+    // re-encryption epoch (DESIGN.md section 7). We model the wrap
+    // and the SNC counts overflows for inspection.
+    return seqnum >= snc_.config().maxSeqnum() ? 1 : seqnum + 1;
+}
+
+void
+OtpEngine::absorbInstall(const SncInstall &install, uint64_t line_va,
+                         bool *victim_spilled)
+{
+    memory_table_.erase(line_va); // authoritative copy is on chip now
+    for (const SncEntry &victim : install.victims)
+        memory_table_[victim.line_va] = victim.seqnum;
+    if (install.victim_valid && victim_spilled != nullptr)
+        *victim_spilled = true;
+
+    // Sectored SNC: the sector fetch brought the neighbours'
+    // sequence numbers from memory together; populate their slots.
+    for (const uint64_t other : install.cofetched) {
+        if (lineState(other) != LineCipherState::Otp)
+            continue;
+        uint32_t seqnum;
+        if (const auto it = memory_table_.find(other);
+            it != memory_table_.end()) {
+            seqnum = it->second;
+            memory_table_.erase(it);
+        } else if (const auto preset = preset_seqnums_.find(other);
+                   preset != preset_seqnums_.end()) {
+            seqnum = preset->second;
+        } else {
+            continue; // never written back: no sequence number yet
+        }
+        snc_.setEntry(other, seqnum);
+    }
+}
+
+void
+OtpEngine::installWithSpill(uint64_t line_va, uint32_t seqnum,
+                            EvictPlan *plan)
+{
+    const SncInstall install = snc_.install(line_va, seqnum);
+    if (!install.installed)
+        return; // no-replacement refusal handled by caller
+    absorbInstall(install, line_va,
+                  plan != nullptr ? &plan->victim_spilled : nullptr);
+}
+
+FillPlan
+OtpEngine::planFill(uint64_t line_va, bool ifetch, mem::RegionKind kind)
+{
+    FillPlan plan;
+    plan.line_va = line_va;
+    plan.ifetch = ifetch;
+
+    if (kind == mem::RegionKind::Plaintext) {
+        plan.state = LineCipherState::Plain;
+        return plan;
+    }
+    if (ifetch) {
+        // Instructions are read-only: constant virtual-address seed
+        // (sequence number 0), never involving the SNC (Section
+        // 3.4.1).
+        plan.state = LineCipherState::Otp;
+        plan.seqnum = 0;
+        return plan;
+    }
+    if (kind == mem::RegionKind::Shared) {
+        // Synonym-aliased data is excluded from OTP (Section 4);
+        // it is direct-encrypted as in XOM.
+        plan.state = LineCipherState::Direct;
+        return plan;
+    }
+
+    plan.state = lineState(line_va);
+    if (plan.state != LineCipherState::Otp)
+        return plan; // Unwritten / Direct / Plain need no seqnum
+
+    if (const auto seqnum = snc_.query(line_va)) {
+        plan.seqnum = *seqnum;
+        return plan;
+    }
+
+    // Query miss. Under LRU the sequence number lives in the
+    // encrypted in-memory table; fetch it and install it, possibly
+    // spilling a victim (Algorithm 1 lines 1-12).
+    plan.snc_query_miss = true;
+    const auto it = memory_table_.find(line_va);
+    if (it != memory_table_.end()) {
+        plan.seqnum = it->second;
+    } else if (const auto preset = preset_seqnums_.find(line_va);
+               preset != preset_seqnums_.end()) {
+        plan.seqnum = preset->second; // loader-initialized image
+    } else {
+        panic("OTP line ", line_va,
+              " has no sequence number anywhere; state tracking bug");
+    }
+
+    if (snc_.config().allow_replacement) {
+        const SncInstall install = snc_.install(line_va, plan.seqnum);
+        if (install.installed)
+            absorbInstall(install, line_va, &plan.victim_spilled);
+    }
+    return plan;
+}
+
+EvictPlan
+OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
+{
+    EvictPlan plan;
+    plan.line_va = line_va;
+
+    if (kind == mem::RegionKind::Plaintext) {
+        plan.state = LineCipherState::Plain;
+        line_states_[line_va] = plan.state;
+        return plan;
+    }
+    if (kind == mem::RegionKind::Shared) {
+        plan.state = LineCipherState::Direct;
+        line_states_[line_va] = plan.state;
+        return plan;
+    }
+
+    // Update: increment the line's sequence number (Equation 4).
+    if (const auto seqnum = snc_.increment(line_va)) {
+        plan.state = LineCipherState::Otp;
+        plan.seqnum = *seqnum;
+        line_states_[line_va] = plan.state;
+        return plan;
+    }
+
+    plan.snc_update_miss = true;
+    if (snc_.config().allow_replacement) {
+        // Algorithm 1 lines 13-25: fetch the old sequence number (if
+        // the line ever had one), increment, install, spill victim.
+        uint32_t old_seqnum = 0;
+        if (lineState(line_va) == LineCipherState::Otp) {
+            const auto it = memory_table_.find(line_va);
+            if (it != memory_table_.end()) {
+                old_seqnum = it->second;
+                plan.seqnum_fetched = true;
+            } else if (const auto preset = preset_seqnums_.find(line_va);
+                       preset != preset_seqnums_.end()) {
+                old_seqnum = preset->second;
+                plan.seqnum_fetched = true;
+            }
+        }
+        plan.state = LineCipherState::Otp;
+        plan.seqnum = wrapIncrement(old_seqnum);
+        installWithSpill(line_va, plan.seqnum, &plan);
+    } else {
+        // No-replacement policy: take a free slot if one exists,
+        // otherwise encrypt directly like XOM (Section 4.1). A slot
+        // can be free *after* a context-switch flush spilled the old
+        // entry to memory — restarting at 1 would reuse pads, so the
+        // spilled value is recovered and incremented.
+        uint32_t old_seqnum = 0;
+        if (lineState(line_va) == LineCipherState::Otp) {
+            if (const auto it = memory_table_.find(line_va);
+                it != memory_table_.end()) {
+                old_seqnum = it->second;
+                plan.seqnum_fetched = true;
+            } else if (const auto preset = preset_seqnums_.find(line_va);
+                       preset != preset_seqnums_.end()) {
+                old_seqnum = preset->second;
+                plan.seqnum_fetched = true;
+            }
+        }
+        const uint32_t fresh = wrapIncrement(old_seqnum);
+        const SncInstall install = snc_.install(line_va, fresh);
+        if (install.installed) {
+            memory_table_.erase(line_va);
+            plan.state = LineCipherState::Otp;
+            plan.seqnum = fresh;
+        } else {
+            plan.state = LineCipherState::Direct;
+        }
+    }
+    line_states_[line_va] = plan.state;
+    return plan;
+}
+
+FillResult
+OtpEngine::scheduleFill(const FillPlan &plan, uint64_t cycle)
+{
+    FillResult result;
+    result.snc_query_miss = plan.snc_query_miss;
+
+    switch (plan.state) {
+      case LineCipherState::Plain:
+      case LineCipherState::Unwritten: {
+        result.ready_cycle = channel_.scheduleRead(
+            cycle, mem::Traffic::DataFill, /*small=*/false,
+            plan.line_va);
+        ++plain_fills_;
+        return result;
+      }
+      case LineCipherState::Direct: {
+        // XOM fallback (shared data; no-replacement overflow lines).
+        const uint64_t arrival = channel_.scheduleRead(
+            cycle, mem::Traffic::DataFill, /*small=*/false,
+            plan.line_va);
+        result.ready_cycle = crypto_engine_.schedule(arrival);
+        ++slow_fills_;
+        ++direct_fallback_fills_;
+        return result;
+      }
+      case LineCipherState::Otp:
+        break;
+    }
+
+    if (!plan.snc_query_miss) {
+        // Fast path: pad generation overlaps the memory fetch;
+        // one XOR cycle after both complete (Section 3.2). With the
+        // prediction unit (A11) the pad may already be sitting in
+        // the pad buffer from a previous sequential fill.
+        uint64_t pad_ready;
+        const auto predicted =
+            takePredictedPad(makeSeed(plan.line_va, plan.seqnum));
+        if (predicted.has_value()) {
+            pad_ready = std::max(*predicted, cycle);
+            ++pad_prediction_hits_;
+        } else {
+            pad_ready = crypto_engine_.schedule(cycle);
+        }
+        const uint64_t arrival = channel_.scheduleRead(
+            cycle, mem::Traffic::DataFill, /*small=*/false,
+            plan.line_va);
+        result.ready_cycle = std::max(arrival, pad_ready) + 1;
+        result.fast_path = true;
+        ++fast_fills_;
+        if (config_.pad_prediction)
+            predictNextPad(plan.line_va, plan.ifetch, cycle);
+        return result;
+    }
+
+    // LRU query miss (Algorithm 1 lines 1-12): fetch + decrypt the
+    // sequence number, then generate pads; the line fetch overlaps
+    // pad generation (serial policy) or both fetches are issued
+    // together (parallel policy, ablation A1).
+    ++query_miss_fills_;
+    const uint64_t sn_arrival = channel_.scheduleRead(
+        cycle, mem::Traffic::SeqnumFetch, /*small=*/true,
+        seqnumTableAddr(plan.line_va));
+    const uint64_t sn_ready = crypto_engine_.schedule(sn_arrival);
+    const uint64_t pad_ready = crypto_engine_.schedule(sn_ready);
+    const uint64_t line_request =
+        config_.parallel_seqnum_fetch ? cycle : sn_ready;
+    const uint64_t arrival = channel_.scheduleRead(
+        line_request, mem::Traffic::DataFill, /*small=*/false,
+        plan.line_va);
+    result.ready_cycle = std::max(arrival, pad_ready) + 1;
+    ++slow_fills_;
+
+    if (plan.victim_spilled) {
+        // Spilled victim is encrypted directly (never OTP — it would
+        // itself need a sequence number; Section 4.1) and leaves via
+        // the write buffer.
+        const uint64_t encrypted = crypto_engine_.schedule(cycle);
+        channel_.enqueueWrite(encrypted, mem::Traffic::SeqnumWriteback,
+                              /*small=*/true,
+                              seqnumTableAddr(plan.line_va));
+    }
+    return result;
+}
+
+void
+OtpEngine::scheduleEvict(const EvictPlan &plan, uint64_t cycle)
+{
+    switch (plan.state) {
+      case LineCipherState::Plain:
+      case LineCipherState::Unwritten:
+        channel_.enqueueWrite(cycle, mem::Traffic::DataWriteback,
+                              /*small=*/false, plan.line_va);
+        return;
+      case LineCipherState::Direct: {
+        const uint64_t encrypted = crypto_engine_.schedule(cycle);
+        channel_.enqueueWrite(encrypted, mem::Traffic::DataWriteback,
+                              /*small=*/false, plan.line_va);
+        return;
+      }
+      case LineCipherState::Otp:
+        break;
+    }
+
+    uint64_t pad_start = cycle;
+    if (plan.snc_update_miss && plan.seqnum_fetched) {
+        // Off the critical path (the line waits in the write
+        // buffer), but the fetch still occupies the bus and the
+        // decryption still occupies the crypto engine.
+        const uint64_t sn_arrival = channel_.scheduleRead(
+            cycle, mem::Traffic::SeqnumFetch, /*small=*/true,
+            seqnumTableAddr(plan.line_va));
+        pad_start = crypto_engine_.schedule(sn_arrival);
+    }
+    const uint64_t pad_ready = crypto_engine_.schedule(pad_start);
+    channel_.enqueueWrite(pad_ready + 1, mem::Traffic::DataWriteback,
+                          /*small=*/false, plan.line_va);
+
+    if (plan.victim_spilled) {
+        const uint64_t encrypted = crypto_engine_.schedule(cycle);
+        channel_.enqueueWrite(encrypted, mem::Traffic::SeqnumWriteback,
+                              /*small=*/true,
+                              seqnumTableAddr(plan.line_va));
+    }
+}
+
+void
+OtpEngine::applyFill(const FillPlan &plan,
+                     std::vector<uint8_t> &bytes) const
+{
+    switch (plan.state) {
+      case LineCipherState::Plain:
+      case LineCipherState::Unwritten:
+        return;
+      case LineCipherState::Direct:
+        crypto::ecbDecrypt(activeCipher(), bytes.data(), bytes.size());
+        return;
+      case LineCipherState::Otp:
+        crypto::otpTransform(activeCipher(),
+                             makeSeed(plan.line_va, plan.seqnum),
+                             bytes.data(), bytes.size());
+        return;
+    }
+}
+
+void
+OtpEngine::applyEvict(const EvictPlan &plan,
+                      std::vector<uint8_t> &bytes) const
+{
+    switch (plan.state) {
+      case LineCipherState::Plain:
+      case LineCipherState::Unwritten:
+        return;
+      case LineCipherState::Direct:
+        crypto::ecbEncrypt(activeCipher(), bytes.data(), bytes.size());
+        return;
+      case LineCipherState::Otp:
+        crypto::otpTransform(activeCipher(),
+                             makeSeed(plan.line_va, plan.seqnum),
+                             bytes.data(), bytes.size());
+        return;
+    }
+}
+
+std::optional<uint64_t>
+OtpEngine::takePredictedPad(uint64_t seed)
+{
+    const auto it = pad_buffer_.find(seed);
+    if (it == pad_buffer_.end())
+        return std::nullopt;
+    const uint64_t ready = it->second;
+    pad_buffer_.erase(it);
+    return ready;
+}
+
+void
+OtpEngine::predictNextPad(uint64_t line_va, bool ifetch, uint64_t cycle)
+{
+    const uint64_t next_va = line_va + config_.line_size;
+    uint32_t seqnum = 0;
+    if (!ifetch) {
+        // Only predict when the neighbour's sequence number is on
+        // chip and the line is OTP-encrypted; a wrong guess would
+        // waste an engine slot, a metadata fetch would defeat the
+        // point.
+        if (lineState(next_va) != LineCipherState::Otp)
+            return;
+        const auto peeked = snc_.peek(next_va);
+        if (!peeked.has_value())
+            return;
+        seqnum = *peeked;
+    }
+    const uint64_t seed = makeSeed(next_va, seqnum);
+    if (pad_buffer_.count(seed) != 0)
+        return;
+    // FIFO bound: forget the oldest predictions (timing state only).
+    // Consumed entries may linger in the queue; skip them.
+    while (pad_buffer_.size() >= config_.pad_buffer_entries &&
+           !pad_buffer_fifo_.empty()) {
+        pad_buffer_.erase(pad_buffer_fifo_.front());
+        pad_buffer_fifo_.pop_front();
+    }
+    pad_buffer_[seed] = crypto_engine_.schedule(cycle);
+    pad_buffer_fifo_.push_back(seed);
+    ++pad_predictions_;
+}
+
+size_t
+OtpEngine::flushSnc(uint64_t cycle)
+{
+    const std::vector<SncEntry> entries = snc_.flush();
+    for (const SncEntry &entry : entries) {
+        memory_table_[entry.line_va] = entry.seqnum;
+        const uint64_t encrypted = crypto_engine_.schedule(cycle);
+        channel_.enqueueWrite(encrypted, mem::Traffic::SeqnumWriteback,
+                              /*small=*/true,
+                              seqnumTableAddr(entry.line_va));
+    }
+    return entries.size();
+}
+
+void
+OtpEngine::reset()
+{
+    ProtectionEngine::reset();
+    snc_.flush();
+    snc_.resetStats();
+    memory_table_.clear();
+    pad_buffer_.clear();
+    pad_buffer_fifo_.clear();
+    query_miss_fills_.reset();
+    direct_fallback_fills_.reset();
+    pad_predictions_.reset();
+    pad_prediction_hits_.reset();
+}
+
+void
+OtpEngine::regStats(util::StatGroup &group) const
+{
+    ProtectionEngine::regStats(group);
+    group.regCounter("query_miss_fills", &query_miss_fills_);
+    group.regCounter("direct_fallback_fills", &direct_fallback_fills_);
+    group.regCounter("pad_predictions", &pad_predictions_);
+    group.regCounter("pad_prediction_hits", &pad_prediction_hits_);
+    snc_.regStats(group);
+}
+
+} // namespace secproc::secure

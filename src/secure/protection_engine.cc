@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Protection engine shared machinery and factory.
+ */
+
+#include "secure/protection_engine.hh"
+
+#include "secure/engines.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace secproc::secure
+{
+
+ProtectionEngine::ProtectionEngine(const ProtectionConfig &config,
+                                   mem::MemoryChannel &channel,
+                                   const KeyTable &keys)
+    : config_(config), channel_(channel), keys_(keys),
+      crypto_engine_(config.crypto)
+{
+    fatal_if(!util::isPowerOfTwo(config_.line_size),
+             "line size must be a power of two");
+}
+
+LineCipherState
+ProtectionEngine::lineState(uint64_t line_va) const
+{
+    const auto it = line_states_.find(line_va);
+    return it == line_states_.end() ? LineCipherState::Unwritten
+                                    : it->second;
+}
+
+void
+ProtectionEngine::setLineState(uint64_t line_va, LineCipherState state,
+                               uint32_t seqnum)
+{
+    line_states_[line_va] = state;
+    if (state == LineCipherState::Otp)
+        preset_seqnums_[line_va] = seqnum;
+}
+
+void
+ProtectionEngine::reset()
+{
+    crypto_engine_.reset();
+    line_states_.clear();
+    preset_seqnums_.clear();
+    fast_fills_.reset();
+    slow_fills_.reset();
+    plain_fills_.reset();
+}
+
+void
+ProtectionEngine::regStats(util::StatGroup &group) const
+{
+    group.regCounter("fast_fills", &fast_fills_);
+    group.regCounter("slow_fills", &slow_fills_);
+    group.regCounter("plain_fills", &plain_fills_);
+}
+
+const crypto::BlockCipher &
+ProtectionEngine::activeCipher() const
+{
+    const crypto::BlockCipher *cipher = keys_.cipher(compartment_);
+    panic_if(cipher == nullptr,
+             "no key installed for compartment ", compartment_);
+    return *cipher;
+}
+
+uint64_t
+ProtectionEngine::makeSeed(uint64_t line_va, uint32_t seqnum) const
+{
+    const uint64_t line_number = line_va / config_.line_size;
+    // Layout (bits): [63:24] line number, [23:8] seqnum, [7:0] zero.
+    // Unlike the paper's literal "seed = VA + seqnum" this is
+    // collision-free across fields (see DESIGN.md section 7), and
+    // generatePad()'s multiplicative per-block tweak keeps intra-line
+    // pad blocks distinct without consuming seed bits. Compartment
+    // separation comes from per-compartment keys, exactly as in the
+    // paper; the vendor can therefore pre-compute instruction seeds
+    // without knowing the compartment ID assigned at load time.
+    return ((line_number & util::mask(40)) << 24) |
+           ((static_cast<uint64_t>(seqnum) & util::mask(16)) << 8);
+}
+
+uint64_t
+ProtectionEngine::seqnumTableAddr(uint64_t line_va) const
+{
+    // The OS reserves a region for the spill table; entries are
+    // packed at the SNC's per-entry width. Only the DRAM bank/row
+    // mapping consumes this address.
+    constexpr uint64_t kTableBase = 0x7000'0000'0000ull;
+    const uint64_t index = line_va / config_.line_size;
+    return kTableBase + index * config_.snc.bytes_per_entry;
+}
+
+FillResult
+ProtectionEngine::lineFill(uint64_t line_va, uint64_t cycle, bool ifetch,
+                           mem::RegionKind kind)
+{
+    return scheduleFill(planFill(line_va, ifetch, kind), cycle);
+}
+
+void
+ProtectionEngine::lineEvict(uint64_t line_va, uint64_t cycle,
+                            mem::RegionKind kind)
+{
+    scheduleEvict(planEvict(line_va, kind), cycle);
+}
+
+void
+ProtectionEngine::decryptLine(uint64_t line_va, bool ifetch,
+                              mem::RegionKind kind,
+                              std::vector<uint8_t> &bytes)
+{
+    applyFill(planFill(line_va, ifetch, kind), bytes);
+}
+
+void
+ProtectionEngine::encryptLine(uint64_t line_va, mem::RegionKind kind,
+                              std::vector<uint8_t> &bytes)
+{
+    applyEvict(planEvict(line_va, kind), bytes);
+}
+
+std::unique_ptr<ProtectionEngine>
+makeProtectionEngine(const ProtectionConfig &config,
+                     mem::MemoryChannel &channel, const KeyTable &keys)
+{
+    switch (config.model) {
+      case SecurityModel::Baseline:
+        return std::make_unique<BaselineEngine>(config, channel, keys);
+      case SecurityModel::Xom:
+        return std::make_unique<XomEngine>(config, channel, keys);
+      case SecurityModel::OtpSnc:
+        return std::make_unique<OtpEngine>(config, channel, keys);
+    }
+    panic("unknown security model");
+}
+
+std::string
+securityModelName(SecurityModel model)
+{
+    switch (model) {
+      case SecurityModel::Baseline: return "baseline";
+      case SecurityModel::Xom: return "xom";
+      case SecurityModel::OtpSnc: return "otp-snc";
+    }
+    return "unknown";
+}
+
+} // namespace secproc::secure

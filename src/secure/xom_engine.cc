@@ -1,0 +1,91 @@
+/**
+ * @file
+ * XOM-style engine: direct line encryption with the crypto unit on
+ * the memory access critical path (paper Section 2, Figure 2).
+ */
+
+#include "secure/engines.hh"
+
+#include "crypto/block_cipher.hh"
+
+namespace secproc::secure
+{
+
+FillPlan
+XomEngine::planFill(uint64_t line_va, bool ifetch, mem::RegionKind kind)
+{
+    FillPlan plan;
+    plan.line_va = line_va;
+    plan.ifetch = ifetch;
+    if (kind == mem::RegionKind::Plaintext) {
+        plan.state = LineCipherState::Plain;
+    } else if (ifetch) {
+        // Vendor-encrypted text: always ciphertext in memory.
+        plan.state = LineCipherState::Direct;
+    } else {
+        plan.state = lineState(line_va);
+    }
+    return plan;
+}
+
+EvictPlan
+XomEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
+{
+    EvictPlan plan;
+    plan.line_va = line_va;
+    plan.state = kind == mem::RegionKind::Plaintext
+                     ? LineCipherState::Plain
+                     : LineCipherState::Direct;
+    line_states_[line_va] = plan.state;
+    return plan;
+}
+
+FillResult
+XomEngine::scheduleFill(const FillPlan &plan, uint64_t cycle)
+{
+    FillResult result;
+    const uint64_t arrival = channel_.scheduleRead(
+        cycle, mem::Traffic::DataFill, /*small=*/false, plan.line_va);
+    if (plan.state == LineCipherState::Direct) {
+        // The defining XOM cost: decryption serializes after the
+        // fetch, so the fill takes memory + crypto cycles.
+        result.ready_cycle = crypto_engine_.schedule(arrival);
+        ++slow_fills_;
+    } else {
+        result.ready_cycle = arrival;
+        ++plain_fills_;
+    }
+    return result;
+}
+
+void
+XomEngine::scheduleEvict(const EvictPlan &plan, uint64_t cycle)
+{
+    if (plan.state == LineCipherState::Direct) {
+        // Encrypted in the write buffer, off the critical path.
+        const uint64_t encrypted = crypto_engine_.schedule(cycle);
+        channel_.enqueueWrite(encrypted, mem::Traffic::DataWriteback,
+                              /*small=*/false, plan.line_va);
+    } else {
+        channel_.enqueueWrite(cycle, mem::Traffic::DataWriteback,
+                              /*small=*/false, plan.line_va);
+    }
+}
+
+void
+XomEngine::applyFill(const FillPlan &plan,
+                     std::vector<uint8_t> &bytes) const
+{
+    if (plan.state == LineCipherState::Direct)
+        crypto::ecbDecrypt(activeCipher(), bytes.data(), bytes.size());
+}
+
+void
+XomEngine::applyEvict(const EvictPlan &plan,
+                      std::vector<uint8_t> &bytes) const
+{
+    if (plan.state == LineCipherState::Direct)
+        crypto::ecbEncrypt(activeCipher(), bytes.data(), bytes.size());
+}
+
+} // namespace secproc::secure

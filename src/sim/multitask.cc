@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Round-robin multi-programming implementation.
+ */
+
+#include "sim/multitask.hh"
+
+#include "util/logging.hh"
+
+namespace secproc::sim
+{
+
+MultiTaskSystem::MultiTaskSystem(const SystemConfig &system_config,
+                                 std::vector<TaskSpec> tasks,
+                                 const MultiTaskConfig &config)
+    : config_(config), system_(system_config, std::move(tasks)),
+      stats_(system_.taskCount())
+{
+    fatal_if(config_.quantum == 0, "quantum must be non-zero");
+}
+
+void
+MultiTaskSystem::run(uint64_t total_instructions)
+{
+    uint64_t remaining = total_instructions;
+    size_t task = system_.activeTask();
+    while (remaining > 0) {
+        const uint64_t slice = std::min(remaining, config_.quantum);
+        const uint64_t before = system_.core().cycles();
+        system_.run(slice);
+        stats_[task].instructions += slice;
+        stats_[task].active_cycles +=
+            system_.core().cycles() - before;
+        remaining -= slice;
+        total_instructions_ += slice;
+        if (remaining > 0) {
+            task = (task + 1) % system_.taskCount();
+            system_.switchToTask(task, config_.policy);
+        }
+    }
+}
+
+} // namespace secproc::sim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The 11 SPEC CPU2000-like workload profiles evaluated in the paper
+ * (ammp, art, bzip2, equake, gcc, gzip, mcf, mesa, parser, vortex,
+ * vpr), each calibrated to reproduce that benchmark's role in the
+ * paper's figures. See DESIGN.md section 6 for the calibration
+ * targets and EXPERIMENTS.md for measured-vs-paper results.
+ */
+
+#ifndef SECPROC_SIM_PROFILES_HH
+#define SECPROC_SIM_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/workload.hh"
+
+namespace secproc::sim
+{
+
+/** Names of the paper's benchmarks, in figure order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Profile for one named benchmark; fatal on unknown names. */
+WorkloadProfile benchmarkProfile(const std::string &name);
+
+/** Paper-reported numbers for comparison tables (percent). */
+struct PaperNumbers
+{
+    double xom_slowdown;       ///< Fig. 3 (50-cycle crypto)
+    double snc_norepl;         ///< Fig. 5
+    double snc_lru;            ///< Fig. 5 (64KB)
+    double snc_lru_32k;        ///< Fig. 6
+    double snc_lru_128k;       ///< Fig. 6
+    double snc_32way;          ///< Fig. 7
+    double traffic_pct;        ///< Fig. 9
+    double xom_102;            ///< Fig. 10
+    double norepl_102;         ///< Fig. 10
+    double lru_102;            ///< Fig. 10
+    double xom_384k_norm;      ///< Fig. 8 (normalized time)
+};
+
+/** Paper numbers for @p name; fatal on unknown names. */
+PaperNumbers paperNumbers(const std::string &name);
+
+} // namespace secproc::sim
+
+#endif // SECPROC_SIM_PROFILES_HH

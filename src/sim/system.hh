@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Full-system wiring: core + L1I/L1D + unified L2 + memory channel +
+ * protection engine + (optionally) functional byte movement.
+ *
+ * Reproduces the paper's simulated machine (Section 5): 4-issue
+ * out-of-order core, 32KB split 4-way L1s, 256KB 4-way unified L2
+ * with 128B lines, 100-cycle memory, 50-cycle crypto engine, with
+ * the protection engine selecting baseline / XOM / OTP+SNC.
+ */
+
+#ifndef SECPROC_SIM_SYSTEM_HH
+#define SECPROC_SIM_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/memory_channel.hh"
+#include "mem/on_chip_store.hh"
+#include "mem/virtual_memory.hh"
+#include "secure/engines.hh"
+#include "secure/protection_engine.hh"
+#include "sim/core.hh"
+#include "sim/workload.hh"
+
+namespace secproc::sim
+{
+
+/** One task of a multi-programmed run. */
+struct TaskSpec
+{
+    /** Instruction stream (not owned; must outlive the System). */
+    Workload *workload = nullptr;
+
+    /** XOM compartment the task's software was encrypted for. */
+    secure::CompartmentId compartment = 1;
+};
+
+/**
+ * How the SNC is protected across context switches (paper Section
+ * 4.3 poses the question and leaves it open; the multitask bench
+ * answers it).
+ */
+enum class SncSwitchPolicy
+{
+    /** Entries are compartment-tagged and survive switches. */
+    Tag,
+    /** The SNC is flushed (encrypted spill) on every switch. */
+    Flush,
+};
+
+/** Complete machine description. */
+struct SystemConfig
+{
+    CoreConfig core;
+    mem::CacheConfig l1i;
+    mem::CacheConfig l1d;
+    mem::CacheConfig l2;
+    mem::ChannelConfig channel;
+    secure::ProtectionConfig protection;
+    secure::CipherKind cipher = secure::CipherKind::Des;
+
+    /** Outstanding L2 misses allowed (miss-level parallelism). */
+    uint32_t mshrs = 8;
+
+    /** Move and verify real bytes through real crypto. */
+    bool functional = false;
+
+    SystemConfig();
+};
+
+/** End-of-run summary. */
+struct RunStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t l2_misses = 0;
+    uint64_t l2_accesses = 0;
+    double ipc = 0.0;
+    uint64_t data_bytes = 0;    ///< line traffic on the bus
+    uint64_t seqnum_bytes = 0;  ///< SNC-induced traffic
+    uint64_t fast_fills = 0;
+    uint64_t slow_fills = 0;
+    uint64_t snc_query_misses = 0;
+};
+
+/**
+ * One simulated machine instance running one workload.
+ */
+class System : public MemorySystem
+{
+  public:
+    /**
+     * @param config Machine description.
+     * @param workload Instruction stream source (not owned).
+     */
+    System(const SystemConfig &config, Workload &workload);
+
+    /**
+     * Multi-programmed machine: every task's image is loaded (and
+     * its regions pre-initialized) up front; task 0 starts active.
+     * Tasks must use disjoint va_offset ranges.
+     */
+    System(const SystemConfig &config, std::vector<TaskSpec> tasks);
+
+    /** Run @p instructions more instructions of the active task. */
+    void run(uint64_t instructions);
+
+    /**
+     * Context-switch to task @p idx (paper Section 4.3): selects its
+     * compartment and applies the SNC protection policy. Counts a
+     * switch even when idx is the active task.
+     */
+    void switchToTask(size_t idx, SncSwitchPolicy policy);
+
+    /** Tasks on this machine. */
+    size_t taskCount() const { return tasks_.size(); }
+
+    /** Index of the task currently executing. */
+    size_t activeTask() const { return active_task_; }
+
+    /** Context switches performed so far. */
+    uint64_t contextSwitches() const { return context_switches_; }
+
+    /** SNC entries spilled by Flush-policy switches so far. */
+    uint64_t switchFlushSpills() const { return switch_spills_; }
+
+    /**
+     * Mark stats measured from this point (call after warm-up).
+     * Cycle and instruction counts in stats() become deltas.
+     */
+    void beginMeasurement();
+
+    /** Summary over the measurement window. */
+    RunStats stats() const;
+
+    // MemorySystem interface (called by the core).
+    uint64_t dataAccess(uint64_t vaddr, uint64_t cycle,
+                        bool store) override;
+    uint64_t ifetch(uint64_t line_va, uint64_t cycle) override;
+
+    /** Component access for tests and reports. @{ */
+    const mem::Cache &l2() const { return l2_; }
+    const mem::MemoryChannel &channel() const { return channel_; }
+    secure::ProtectionEngine &engine() { return *engine_; }
+    const secure::ProtectionEngine &engine() const { return *engine_; }
+    OooCore &core() { return core_; }
+    mem::MainMemory &mainMemory() { return memory_; }
+    mem::VirtualMemory &virtualMemory() { return vm_; }
+    /** @} */
+
+    /** Dump all component statistics. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig config_;
+    std::vector<TaskSpec> tasks_;
+    size_t active_task_ = 0;
+    uint64_t context_switches_ = 0;
+    uint64_t switch_spills_ = 0;
+
+    mem::VirtualMemory vm_;
+    secure::KeyTable keys_;
+    mem::MemoryChannel channel_;
+    std::unique_ptr<secure::ProtectionEngine> engine_;
+    mem::Cache l1i_;
+    mem::Cache l1d_;
+    mem::Cache l2_;
+    mem::MainMemory memory_;
+    mem::OnChipStore onchip_;
+    OooCore core_;
+
+    mem::Asid asid_ = 1;
+
+    /** Outstanding L2 misses: line -> completion cycle. */
+    std::map<uint64_t, uint64_t> outstanding_;
+
+    // Measurement baselines (beginMeasurement snapshots).
+    uint64_t base_cycles_ = 0;
+    uint64_t base_instructions_ = 0;
+    uint64_t base_l2_misses_ = 0;
+    uint64_t base_l2_accesses_ = 0;
+    uint64_t base_data_bytes_ = 0;
+    uint64_t base_seqnum_bytes_ = 0;
+
+    /** The active task's workload. */
+    Workload &workload() const;
+
+    uint64_t lineAlign(uint64_t addr) const;
+    uint64_t accessL2(uint64_t vaddr, uint64_t cycle, bool ifetch,
+                      bool store);
+    uint64_t handleL2Miss(uint64_t line_va, uint64_t cycle, bool ifetch,
+                          bool store);
+    void handleL2Victim(const mem::Victim &victim, uint64_t cycle);
+    void installKeys();
+    void registerPlaintextRegions();
+    void preinitializeRegions();
+
+    // Functional plane helpers.
+    void functionalFill(const secure::FillPlan &plan);
+    void functionalEvict(uint64_t line_va, mem::RegionKind kind);
+    void functionalStore(uint64_t vaddr);
+};
+
+/** The paper's Section 5 baseline machine for a given model. */
+SystemConfig paperConfig(secure::SecurityModel model);
+
+} // namespace secproc::sim
+
+#endif // SECPROC_SIM_SYSTEM_HH

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Synthetic workload generator implementation.
+ */
+
+#include "sim/workload.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace secproc::sim
+{
+
+namespace
+{
+
+/** Data regions are laid out from here with generous gaps. */
+constexpr uint64_t kDataBase = 0x1000'0000;
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile,
+                                     uint32_t line_size)
+    : profile_(std::move(profile)), line_size_(line_size),
+      rng_(profile_.rng_seed)
+{
+    fatal_if(profile_.regions.empty(),
+             "workload '", profile_.name, "' needs at least one region");
+    layoutRegions();
+    buildDepTable();
+    pc_ = textBase();
+
+    states_.resize(profile_.regions.size());
+    for (size_t i = 0; i < profile_.regions.size(); ++i) {
+        const DataRegion &region = profile_.regions[i];
+        if (region.behavior == RegionBehavior::Zipf ||
+            region.behavior == RegionBehavior::Chase) {
+            // Scatter popularity ranks over the region's lines so
+            // popular lines are not address-clustered (matches real
+            // heap layouts; crucial for the no-replacement SNC
+            // behaviour, which keeps the first-written lines).
+            const uint64_t lines =
+                std::max<uint64_t>(1, region.footprint / line_size_);
+            auto &perm = states_[i].perm;
+            perm.resize(lines);
+            for (uint64_t j = 0; j < lines; ++j)
+                perm[j] = static_cast<uint32_t>(j);
+            util::Rng perm_rng(profile_.rng_seed ^ (0x9E37 + i));
+            for (uint64_t j = lines; j > 1; --j)
+                std::swap(perm[j - 1], perm[perm_rng.nextRange(j)]);
+        }
+    }
+
+    double total = 0.0;
+    for (const DataRegion &region : profile_.regions)
+        total += region.weight;
+    fatal_if(total <= 0.0, "region weights must sum to > 0");
+    double cumulative = 0.0;
+    for (const DataRegion &region : profile_.regions) {
+        cumulative += region.weight / total;
+        weight_cdf_.push_back(cumulative);
+    }
+}
+
+void
+SyntheticWorkload::layoutRegions()
+{
+    uint64_t base = kDataBase + profile_.va_offset;
+    for (DataRegion &region : profile_.regions) {
+        region.base = base;
+        uint64_t extent = region.footprint;
+        if (region.behavior == RegionBehavior::ConflictStream) {
+            extent = std::max(
+                extent, region.conflict_lines * region.conflict_stride);
+        }
+        base += util::alignUp(extent, 1 << 20) + (16ull << 20);
+    }
+}
+
+void
+SyntheticWorkload::buildDepTable()
+{
+    // Pre-sample the geometric distance distribution once; the hot
+    // path then draws from the table with one rng byte.
+    dep_table_.resize(256);
+    util::Rng dep_rng(profile_.rng_seed ^ 0xDE9);
+    for (auto &entry : dep_table_) {
+        const uint64_t distance =
+            1 + dep_rng.nextGeometric(profile_.dep_p);
+        entry = static_cast<uint8_t>(std::min<uint64_t>(distance, 200));
+    }
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_ = util::Rng(profile_.rng_seed);
+    generated_ = 0;
+    pc_ = textBase();
+    last_fetch_line_ = 0;
+    for (RegionState &state : states_) {
+        state.cursor = 0;
+        state.window_base = 0;
+        state.accesses = 0;
+        state.last_chase_op = 0;
+    }
+    burst_region_ = 0;
+    burst_remaining_ = 0;
+}
+
+size_t
+SyntheticWorkload::pickRegion()
+{
+    const double u = rng_.nextDouble();
+    for (size_t i = 0; i < weight_cdf_.size(); ++i) {
+        if (u < weight_cdf_[i])
+            return i;
+    }
+    return weight_cdf_.size() - 1;
+}
+
+uint8_t
+SyntheticWorkload::fastDep()
+{
+    return dep_table_[rng_.next64() & 0xFF];
+}
+
+uint64_t
+SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
+                                 bool *is_store)
+{
+    DataRegion &region = profile_.regions[region_idx];
+    RegionState &state = states_[region_idx];
+    const uint64_t lines =
+        std::max<uint64_t>(1, region.footprint / line_size_);
+    *serialize_dep = false;
+    *is_store = rng_.chance(region.store_frac);
+    ++state.accesses;
+
+    uint64_t offset = 0;
+    switch (region.behavior) {
+      case RegionBehavior::Hot:
+        offset = rng_.nextRange(region.footprint) & ~7ull;
+        break;
+      case RegionBehavior::Stream:
+        offset = state.cursor % region.footprint;
+        state.cursor += region.stride;
+        break;
+      case RegionBehavior::Zipf:
+      case RegionBehavior::Chase: {
+        // Drift the reuse window through the footprint.
+        if (region.drift_interval != 0 &&
+            state.accesses % region.drift_interval == 0) {
+            state.window_base =
+                (state.window_base + region.drift_step_lines) % lines;
+        }
+        const uint64_t universe =
+            region.window_lines == 0
+                ? lines
+                : std::min<uint64_t>(region.window_lines, lines);
+        const uint64_t rank = rng_.nextZipf(universe, region.zipf_s);
+        const uint64_t windowed =
+            (state.window_base + rank) % lines;
+        const uint64_t line = state.perm[windowed];
+        offset = static_cast<uint64_t>(line) * line_size_ +
+                 rng_.nextRange(16) * 8;
+        *serialize_dep = region.behavior == RegionBehavior::Chase;
+        break;
+      }
+      case RegionBehavior::ConflictStream: {
+        const uint64_t idx = state.cursor % region.conflict_lines;
+        ++state.cursor;
+        return region.base + idx * region.conflict_stride;
+      }
+      case RegionBehavior::WriteOnce: {
+        if (*is_store) {
+            // Advance to a fresh line every writes_per_line stores.
+            const uint64_t line_index =
+                state.cursor / std::max<uint32_t>(1,
+                                                  region.writes_per_line);
+            ++state.cursor;
+            offset = (line_index % lines) * line_size_ +
+                     rng_.nextRange(16) * 8;
+        } else {
+            // Loads touch recently produced lines (cache resident).
+            const uint64_t produced =
+                state.cursor /
+                std::max<uint32_t>(1, region.writes_per_line);
+            const uint64_t back = rng_.nextRange(8);
+            const uint64_t line_index =
+                produced > back ? produced - back : 0;
+            offset = (line_index % lines) * line_size_ +
+                     rng_.nextRange(16) * 8;
+        }
+        break;
+      }
+    }
+    return region.base + (offset % region.footprint);
+}
+
+std::vector<uint64_t>
+SyntheticWorkload::liveLines(size_t region_idx) const
+{
+    const DataRegion &region = profile_.regions[region_idx];
+    const RegionState &state = states_[region_idx];
+    const uint64_t lines =
+        std::max<uint64_t>(1, region.footprint / line_size_);
+    std::vector<uint64_t> live;
+
+    switch (region.behavior) {
+      case RegionBehavior::WriteOnce:
+        break; // fresh lines only; nothing is live
+      case RegionBehavior::Hot:
+      case RegionBehavior::Stream:
+        // Cyclic / uniform: everything is live; for streams the
+        // highest addresses were touched most recently (the cursor
+        // starts at 0, wrapping from the end).
+        live.reserve(lines);
+        for (uint64_t i = 0; i < lines; ++i)
+            live.push_back(region.base + i * line_size_);
+        break;
+      case RegionBehavior::ConflictStream:
+        live.reserve(region.conflict_lines);
+        for (uint64_t i = 0; i < region.conflict_lines; ++i)
+            live.push_back(region.base + i * region.conflict_stride);
+        break;
+      case RegionBehavior::Zipf:
+      case RegionBehavior::Chase: {
+        const uint64_t universe =
+            region.window_lines == 0
+                ? lines
+                : std::min<uint64_t>(region.window_lines, lines);
+        live.reserve(universe);
+        // Least popular rank first so the most popular lines end up
+        // most recently used.
+        for (uint64_t rank = universe; rank-- > 0;) {
+            const uint64_t windowed =
+                (state.window_base + rank) % lines;
+            live.push_back(region.base +
+                           static_cast<uint64_t>(state.perm[windowed]) *
+                               line_size_);
+        }
+        break;
+      }
+    }
+    return live;
+}
+
+const TraceOp &
+SyntheticWorkload::next()
+{
+    op_ = TraceOp{};
+
+    // Fetch: 4-byte ops; emit fetch_line on line crossing.
+    pc_ += 4;
+    const uint64_t fetch_line = util::alignDown(pc_, line_size_);
+    if (fetch_line != last_fetch_line_) {
+        op_.fetch_line = fetch_line;
+        last_fetch_line_ = fetch_line;
+    }
+
+    const double u = rng_.nextDouble();
+    if (u < profile_.mem_frac) {
+        size_t region_idx;
+        if (burst_remaining_ > 0) {
+            region_idx = burst_region_;
+            --burst_remaining_;
+        } else {
+            region_idx = pickRegion();
+            const uint32_t burst =
+                profile_.regions[region_idx].burst_length;
+            if (burst > 1) {
+                burst_region_ = region_idx;
+                burst_remaining_ = burst - 1;
+            }
+        }
+        bool serialize = false;
+        bool is_store = false;
+        op_.addr = regionAddress(region_idx, &serialize, &is_store);
+        op_.cls = is_store ? OpClass::Store : OpClass::Load;
+        if (serialize && !is_store) {
+            // Pointer chase: depend on the previous chase load of
+            // this region so misses cannot overlap.
+            RegionState &state = states_[region_idx];
+            const uint64_t since = generated_ - state.last_chase_op;
+            if (state.last_chase_op != 0 && since < 200)
+                op_.dep1 = static_cast<uint8_t>(since);
+            state.last_chase_op = generated_;
+        } else {
+            op_.dep1 = fastDep();
+        }
+    } else if (u < profile_.mem_frac + profile_.branch_frac) {
+        op_.cls = OpClass::Branch;
+        op_.dep1 = fastDep();
+        op_.mispredict = rng_.chance(profile_.mispredict_rate);
+        if (rng_.chance(profile_.jump_frac)) {
+            pc_ = textBase() +
+                  (rng_.nextRange(std::max<uint64_t>(
+                       1, profile_.code_footprint / 4)) *
+                   4);
+        }
+    } else if (u < profile_.mem_frac + profile_.branch_frac +
+                       profile_.mul_frac) {
+        op_.cls = OpClass::IntMul;
+        op_.dep1 = fastDep();
+        op_.dep2 = fastDep();
+    } else if (u < profile_.mem_frac + profile_.branch_frac +
+                       profile_.mul_frac + profile_.fp_frac) {
+        op_.cls = OpClass::FpAlu;
+        op_.dep1 = fastDep();
+        op_.dep2 = fastDep();
+    } else {
+        op_.cls = OpClass::IntAlu;
+        op_.dep1 = fastDep();
+    }
+
+    ++generated_;
+    return op_;
+}
+
+} // namespace secproc::sim

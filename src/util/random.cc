@@ -1,0 +1,143 @@
+/**
+ * @file
+ * xoshiro256** implementation and derived distributions.
+ */
+
+#include "util/random.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace secproc::util
+{
+
+namespace
+{
+
+/** splitmix64, used only to expand the user seed into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+    // All-zero state would be absorbing; splitmix64 cannot produce it
+    // from any seed, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextRange(uint64_t bound)
+{
+    panic_if(bound == 0, "nextRange bound must be non-zero");
+    // Multiply-shift rejection-free mapping (Lemire); bias is below
+    // 2^-64 * bound which is negligible for simulation purposes.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next64()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+void
+Rng::rebuildZipf(uint64_t n, double s)
+{
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        zipf_cdf_[i] = sum;
+    }
+    for (auto &v : zipf_cdf_)
+        v /= sum;
+}
+
+uint64_t
+Rng::nextZipf(uint64_t n, double s)
+{
+    panic_if(n == 0, "nextZipf needs a non-empty universe");
+    if (n != zipf_n_ || s != zipf_s_)
+        rebuildZipf(n, s);
+    const double u = nextDouble();
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    if (it == zipf_cdf_.end())
+        return n - 1;
+    return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return 0;
+    const double u = nextDouble();
+    return static_cast<uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+void
+Rng::fillBytes(uint8_t *out, size_t len)
+{
+    size_t i = 0;
+    while (i + 8 <= len) {
+        const uint64_t v = next64();
+        for (int b = 0; b < 8; ++b)
+            out[i++] = static_cast<uint8_t>(v >> (8 * b));
+    }
+    if (i < len) {
+        uint64_t v = next64();
+        while (i < len) {
+            out[i++] = static_cast<uint8_t>(v);
+            v >>= 8;
+        }
+    }
+}
+
+} // namespace secproc::util

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All simulator randomness flows through Rng so that every experiment
+ * is exactly reproducible from its seed. The generator is
+ * xoshiro256** (Blackman & Vigna), which is fast and passes BigCrush;
+ * it is NOT cryptographic and is never used for key material — key
+ * material in examples comes from Rng only because the threat model
+ * there is simulated.
+ */
+
+#ifndef SECPROC_UTIL_RANDOM_HH
+#define SECPROC_UTIL_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace secproc::util
+{
+
+/**
+ * Deterministic xoshiro256** generator with convenience distributions.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; identical seeds give identical streams. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** @return next raw 64-bit value. */
+    uint64_t next64();
+
+    /** @return uniform value in [0, bound); bound must be non-zero. */
+    uint64_t nextRange(uint64_t bound);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s.
+     * Rank 0 is the most popular. Uses an inverted-CDF table that is
+     * rebuilt only when (n, s) changes.
+     */
+    uint64_t nextZipf(uint64_t n, double s);
+
+    /** Geometric: number of failures before first success, prob p. */
+    uint64_t nextGeometric(double p);
+
+    /** Fill @p out with @p len pseudo-random bytes. */
+    void fillBytes(uint8_t *out, size_t len);
+
+  private:
+    uint64_t s_[4];
+
+    // Cached Zipf CDF for the most recent (n, s) pair.
+    uint64_t zipf_n_ = 0;
+    double zipf_s_ = 0.0;
+    std::vector<double> zipf_cdf_;
+
+    void rebuildZipf(uint64_t n, double s);
+};
+
+} // namespace secproc::util
+
+#endif // SECPROC_UTIL_RANDOM_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Statistics primitive implementations.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace secproc::util
+{
+
+void
+Accumulator::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(double bucket_width, size_t bucket_count)
+    : bucket_width_(bucket_width), buckets_(bucket_count, 0)
+{
+    fatal_if(bucket_width <= 0.0, "histogram bucket width must be > 0");
+    fatal_if(bucket_count == 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    sum_ += v;
+    if (v < 0) {
+        ++overflow_;
+        return;
+    }
+    const auto idx = static_cast<size_t>(v / bucket_width_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+void
+StatGroup::regCounter(const std::string &stat_name, const Counter *c)
+{
+    panic_if(!c, "null counter registered as ", stat_name);
+    counters_[stat_name] = c;
+}
+
+void
+StatGroup::regAccumulator(const std::string &stat_name,
+                          const Accumulator *a)
+{
+    panic_if(!a, "null accumulator registered as ", stat_name);
+    accumulators_[stat_name] = a;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, c] : counters_)
+        os << name_ << '.' << stat_name << ' ' << c->value() << '\n';
+    for (const auto &[stat_name, a] : accumulators_) {
+        os << name_ << '.' << stat_name << ".count " << a->count()
+           << '\n';
+        os << name_ << '.' << stat_name << ".mean " << std::setprecision(6)
+           << a->mean() << '\n';
+    }
+}
+
+} // namespace secproc::util

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * String helper implementations.
+ */
+
+#include "util/strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace secproc::util
+{
+
+std::string
+formatDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int digits)
+{
+    return formatDouble(fraction * 100.0, digits) + "%";
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int unit = 0;
+    uint64_t v = bytes;
+    while (v >= 1024 && v % 1024 == 0 && unit < 4) {
+        v /= 1024;
+        ++unit;
+    }
+    return std::to_string(v) + units[unit];
+}
+
+std::string
+formatHex(uint64_t v, int width)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%0*llx", width,
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+toHex(const uint8_t *data, size_t len)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (size_t i = 0; i < len; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xF]);
+    }
+    return out;
+}
+
+namespace
+{
+
+uint8_t
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return static_cast<uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f')
+        return static_cast<uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F')
+        return static_cast<uint8_t>(c - 'A' + 10);
+    fatal("invalid hex character '", c, "'");
+}
+
+} // namespace
+
+std::vector<uint8_t>
+fromHex(const std::string &hex)
+{
+    fatal_if(hex.size() % 2 != 0, "hex string has odd length: ", hex);
+    std::vector<uint8_t> out(hex.size() / 2);
+    for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<uint8_t>(
+            (hexNibble(hex[2 * i]) << 4) | hexNibble(hex[2 * i + 1]));
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+} // namespace secproc::util

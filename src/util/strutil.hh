@@ -1,0 +1,39 @@
+/**
+ * @file
+ * String formatting helpers for reports and tables.
+ */
+
+#ifndef SECPROC_UTIL_STRUTIL_HH
+#define SECPROC_UTIL_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secproc::util
+{
+
+/** Format @p v with @p digits digits after the decimal point. */
+std::string formatDouble(double v, int digits);
+
+/** Format a percentage, e.g. formatPercent(0.1676, 2) == "16.76%". */
+std::string formatPercent(double fraction, int digits);
+
+/** Human-readable byte size, e.g. "64KB", "4MB", "193B". */
+std::string formatBytes(uint64_t bytes);
+
+/** Format @p v as hexadecimal with "0x" prefix, zero padded. */
+std::string formatHex(uint64_t v, int width = 0);
+
+/** Hex dump of a byte buffer (no offsets), e.g. "8ca64de9c1b123a7". */
+std::string toHex(const uint8_t *data, size_t len);
+
+/** Parse a hex string (no prefix) into bytes; fatal on odd length. */
+std::vector<uint8_t> fromHex(const std::string &hex);
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+} // namespace secproc::util
+
+#endif // SECPROC_UTIL_STRUTIL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ASCII table formatter implementation.
+ */
+
+#include "util/table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secproc::util
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatal_if(headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatal_if(cells.size() != headers_.size(),
+             "row arity ", cells.size(), " != header arity ",
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os.width(static_cast<std::streamsize>(widths[c]));
+            // Left-align the first (label) column, right-align data.
+            if (c == 0) {
+                std::string padded = row[c];
+                padded.resize(widths[c], ' ');
+                os << padded;
+            } else {
+                os << row[c];
+            }
+        }
+        os << " |\n";
+    };
+
+    print_row(headers_);
+    os << '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-');
+        os << '|';
+    }
+    os << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace secproc::util

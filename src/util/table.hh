@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harnesses to print the
+ * paper's figures as paper-vs-measured tables.
+ */
+
+#ifndef SECPROC_UTIL_TABLE_HH
+#define SECPROC_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace secproc::util
+{
+
+/**
+ * Simple right-aligned column table with a header row.
+ *
+ * Usage:
+ * @code
+ *   Table t({"bench", "paper", "measured"});
+ *   t.addRow({"ammp", "23.02", "21.8"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column separators and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace secproc::util
+
+#endif // SECPROC_UTIL_TABLE_HH

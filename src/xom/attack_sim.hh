@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Adversary toolkit: the attacks the XOM threat model defends
+ * against (paper Sections 1-2), executed against the functional
+ * memory image.
+ *
+ * The adversary owns everything outside the CPU: it can read and
+ * rewrite DRAM, splice ciphertext between addresses, replay stale
+ * ciphertext, and analyze ciphertext for patterns. These simulations
+ * demonstrate (a) what the OTP scheme prevents by construction
+ * (pattern analysis, splicing across addresses, cross-processor
+ * execution) and (b) what requires the integrity extension to
+ * *detect* (spoofing/replay, cf. Gassend et al., paper Section 6).
+ */
+
+#ifndef SECPROC_XOM_ATTACK_SIM_HH
+#define SECPROC_XOM_ATTACK_SIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/main_memory.hh"
+#include "mem/virtual_memory.hh"
+#include "secure/protection_engine.hh"
+
+namespace secproc::xom
+{
+
+/** Outcome of one attack trial. */
+struct AttackOutcome
+{
+    std::string attack;
+    /** The adversary obtained plaintext or ran tampered code. */
+    bool succeeded = false;
+    /** Human-readable explanation for reports. */
+    std::string detail;
+};
+
+/**
+ * Ciphertext pattern analysis: count repeated cipher blocks across
+ * a memory range. Under XOM's direct (ECB) encryption, repeated
+ * plaintext (zero lines, common constants) yields repeated
+ * ciphertext; under OTP every block is unique. The return value is
+ * the repeat count an adversary would observe.
+ */
+uint64_t patternLeak(const mem::MainMemory &memory, uint64_t pa_start,
+                     uint64_t bytes, uint32_t block_size);
+
+/**
+ * Splicing: move the ciphertext of line A over line B and check
+ * whether the processor decodes A's plaintext at B. Defeated by
+ * address-bound seeds (OTP) — the pad at B differs — while under
+ * direct encryption the spliced line decrypts to valid plaintext.
+ *
+ * @return outcome; succeeded == the spliced data decoded cleanly.
+ */
+AttackOutcome splicingAttack(secure::ProtectionEngine &engine,
+                             mem::MainMemory &memory,
+                             mem::VirtualMemory &vm, mem::Asid asid,
+                             uint64_t line_a, uint64_t line_b);
+
+/**
+ * Replay: snapshot a line's ciphertext, let the program overwrite
+ * it, restore the stale snapshot. Under OTP with incremented
+ * sequence numbers the stale ciphertext decodes to garbage under
+ * the *new* pad (so the value is corrupted, not restored —
+ * detection additionally needs integrity checking).
+ *
+ * @return outcome; succeeded == the stale plaintext was restored
+ *         intact.
+ */
+AttackOutcome replayAttack(secure::ProtectionEngine &engine,
+                           mem::MainMemory &memory,
+                           mem::VirtualMemory &vm, mem::Asid asid,
+                           uint64_t line_va);
+
+/**
+ * Spoofing: flip bits in a line's ciphertext and check whether the
+ * decoded plaintext changes (it must — but without integrity
+ * verification the corruption is silent).
+ */
+AttackOutcome spoofingAttack(secure::ProtectionEngine &engine,
+                             mem::MainMemory &memory,
+                             mem::VirtualMemory &vm, mem::Asid asid,
+                             uint64_t line_va);
+
+} // namespace secproc::xom
+
+#endif // SECPROC_XOM_ATTACK_SIM_HH

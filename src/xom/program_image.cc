@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Program image serialization.
+ *
+ * Simple length-prefixed binary format:
+ *   magic "SPIM" | u32 version | cipher | u64 entry | u32 line |
+ *   title | capsule | u32 nsections | sections...
+ * Each string/blob is u32 length + bytes.
+ */
+
+#include "xom/program_image.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace secproc::xom
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x5350494D; // "SPIM"
+constexpr uint32_t kVersion = 1;
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putBlob(std::vector<uint8_t> &out, const std::vector<uint8_t> &blob)
+{
+    putU32(out, static_cast<uint32_t>(blob.size()));
+    out.insert(out.end(), blob.begin(), blob.end());
+}
+
+void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/** Bounds-checked reader. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &data) : data_(data) {}
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::vector<uint8_t>
+    blob()
+    {
+        const uint32_t len = u32();
+        need(len);
+        std::vector<uint8_t> out(data_.begin() + pos_,
+                                 data_.begin() + pos_ + len);
+        pos_ += len;
+        return out;
+    }
+
+    std::string
+    str()
+    {
+        const auto bytes = blob();
+        return std::string(bytes.begin(), bytes.end());
+    }
+
+  private:
+    const std::vector<uint8_t> &data_;
+    size_t pos_ = 0;
+
+    void
+    need(size_t n)
+    {
+        fatal_if(pos_ + n > data_.size(),
+                 "truncated program image (need ", n, " at ", pos_,
+                 " of ", data_.size(), ")");
+    }
+};
+
+} // namespace
+
+uint64_t
+ProgramImage::totalBytes() const
+{
+    uint64_t total = 0;
+    for (const Section &section : sections)
+        total += section.bytes.size();
+    return total;
+}
+
+std::vector<uint8_t>
+ProgramImage::serialize() const
+{
+    std::vector<uint8_t> out;
+    putU32(out, kMagic);
+    putU32(out, kVersion);
+    putU32(out, static_cast<uint32_t>(cipher));
+    putU64(out, entry_point);
+    putU32(out, line_size);
+    putString(out, title);
+    putBlob(out, key_capsule);
+    putU32(out, static_cast<uint32_t>(sections.size()));
+    for (const Section &section : sections) {
+        putString(out, section.name);
+        putU64(out, section.vaddr);
+        putU32(out, static_cast<uint32_t>(section.encryption));
+        putBlob(out, section.bytes);
+    }
+    return out;
+}
+
+ProgramImage
+ProgramImage::deserialize(const std::vector<uint8_t> &data)
+{
+    Reader reader(data);
+    fatal_if(reader.u32() != kMagic, "bad program image magic");
+    fatal_if(reader.u32() != kVersion, "unsupported image version");
+    ProgramImage image;
+    image.cipher = static_cast<secure::CipherKind>(reader.u32());
+    image.entry_point = reader.u64();
+    image.line_size = reader.u32();
+    image.title = reader.str();
+    image.key_capsule = reader.blob();
+    const uint32_t nsections = reader.u32();
+    fatal_if(nsections > 1024, "implausible section count");
+    for (uint32_t i = 0; i < nsections; ++i) {
+        Section section;
+        section.name = reader.str();
+        section.vaddr = reader.u64();
+        section.encryption =
+            static_cast<SectionEncryption>(reader.u32());
+        section.bytes = reader.blob();
+        image.sections.push_back(std::move(section));
+    }
+    return image;
+}
+
+} // namespace secproc::xom

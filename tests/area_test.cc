@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the CactiLite area model, including the paper's Section
+ * 5.4 equal-area claim that justifies Figure 8's configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/cacti_lite.hh"
+
+namespace
+{
+
+using namespace secproc::area;
+
+TEST(CactiLite, AreaGrowsWithCapacity)
+{
+    EXPECT_LT(cacheArea(128 * 1024, 4, 128),
+              cacheArea(256 * 1024, 4, 128));
+    EXPECT_LT(cacheArea(256 * 1024, 4, 128),
+              cacheArea(512 * 1024, 4, 128));
+}
+
+TEST(CactiLite, AreaGrowsWithAssociativity)
+{
+    EXPECT_LT(cacheArea(256 * 1024, 2, 128),
+              cacheArea(256 * 1024, 8, 128));
+}
+
+TEST(CactiLite, SmallerLinesCostMoreTags)
+{
+    // Same capacity, finer lines -> more tag entries -> more area.
+    EXPECT_LT(cacheArea(256 * 1024, 4, 128),
+              cacheArea(256 * 1024, 4, 32));
+}
+
+TEST(CactiLite, PaperOrderingHolds)
+{
+    // Section 5.4: 256KB-4w L2 + 64KB-32w SNC sits between a
+    // 320KB-5w and a 384KB-6w L2.
+    const double combined = cacheArea(256 * 1024, 4, 128) +
+                            sncArea(64 * 1024, 32);
+    EXPECT_GT(combined, cacheArea(320 * 1024, 5, 128));
+    EXPECT_LT(combined, cacheArea(384 * 1024, 6, 128));
+    EXPECT_TRUE(paperAreaOrderingHolds());
+}
+
+TEST(CactiLite, SncAreaScalesWithCapacity)
+{
+    EXPECT_LT(sncArea(32 * 1024, 32), sncArea(64 * 1024, 32));
+    EXPECT_LT(sncArea(64 * 1024, 32), sncArea(128 * 1024, 32));
+}
+
+TEST(CactiLite, FullyAssociativeSncCostsMoreThanSetAssociative)
+{
+    // CAM match lines make full associativity the expensive option —
+    // the motivation for Figure 7's 32-way experiment.
+    EXPECT_GT(sncArea(64 * 1024, 0), sncArea(64 * 1024, 32));
+}
+
+TEST(CactiLite, SncIsCheaperThanEquivalentL2Capacity)
+{
+    // The 64KB SNC must cost much less than 128KB of extra L2, or
+    // the paper's area argument would collapse.
+    const double snc = sncArea(64 * 1024, 32);
+    const double extra_l2 = cacheArea(384 * 1024, 6, 128) -
+                            cacheArea(256 * 1024, 4, 128);
+    EXPECT_LT(snc, extra_l2);
+}
+
+TEST(CactiLite, RejectsDegenerateGeometry)
+{
+    SramGeometry geometry;
+    geometry.capacity_bytes = 0;
+    EXPECT_DEATH_IF_SUPPORTED({ sramArea(geometry); }, "empty SRAM");
+}
+
+} // namespace

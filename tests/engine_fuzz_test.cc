@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Randomized state-machine tests for the OTP engine: thousands of
+ * random interleavings of write-backs, fills, SNC flushes and
+ * context operations, across SNC geometries and policies, checking
+ * the two invariants everything else rests on:
+ *
+ *  1. metadata recoverability — a line's sequence number can always
+ *     be produced at fill time (SNC, spill table or preset), and it
+ *     is exactly the one its last write-back used;
+ *  2. functional round trip — applyEvict followed by applyFill with
+ *     the corresponding plans restores the original bytes, whatever
+ *     the interleaving did to the SNC in between.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "mem/memory_channel.hh"
+#include "secure/engines.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace secproc;
+using namespace secproc::secure;
+using secproc::util::Rng;
+
+struct FuzzConfig
+{
+    uint32_t sector_lines;
+    bool allow_replacement;
+    uint32_t assoc;
+    bool pad_prediction;
+};
+
+class EngineFuzz : public ::testing::TestWithParam<FuzzConfig>
+{
+  protected:
+    EngineFuzz()
+    {
+        std::vector<uint8_t> key(8, 0x5C);
+        keys_.install(1, CipherKind::Des, key);
+    }
+
+    ProtectionConfig
+    makeConfig() const
+    {
+        const FuzzConfig &fuzz = GetParam();
+        ProtectionConfig config;
+        config.model = SecurityModel::OtpSnc;
+        config.snc.capacity_bytes = 256; // tiny: 128 entries, thrashes
+        config.snc.bytes_per_entry = 2;
+        config.snc.assoc = fuzz.assoc;
+        config.snc.sector_lines = fuzz.sector_lines;
+        config.snc.allow_replacement = fuzz.allow_replacement;
+        config.snc.l2_line_size = 128;
+        config.line_size = 128;
+        config.pad_prediction = fuzz.pad_prediction;
+        return config;
+    }
+
+    KeyTable keys_;
+};
+
+TEST_P(EngineFuzz, SeqnumsAlwaysRecoverableAndExact)
+{
+    mem::MemoryChannel channel;
+    OtpEngine engine(makeConfig(), channel, keys_);
+    Rng rng(0xF022 + GetParam().sector_lines);
+
+    // Reference model: the seqnum of each line's last write-back.
+    std::unordered_map<uint64_t, uint32_t> reference;
+
+    const uint64_t lines = 512; // 4x the SNC's entry count
+    for (int op = 0; op < 30'000; ++op) {
+        const uint64_t line_va =
+            0x100000 + rng.nextRange(lines) * 128;
+        const double dice = rng.nextDouble();
+        if (dice < 0.45) {
+            const EvictPlan plan =
+                engine.planEvict(line_va, mem::RegionKind::Protected);
+            if (plan.state == LineCipherState::Otp)
+                reference[line_va] = plan.seqnum;
+            else
+                reference.erase(line_va);
+        } else if (dice < 0.9) {
+            const FillPlan plan =
+                engine.planFill(line_va, false,
+                                mem::RegionKind::Protected);
+            const auto it = reference.find(line_va);
+            if (it != reference.end()) {
+                ASSERT_EQ(plan.state, LineCipherState::Otp)
+                    << "op " << op;
+                ASSERT_EQ(plan.seqnum, it->second)
+                    << "op " << op << " line " << line_va;
+            }
+        } else if (dice < 0.95) {
+            engine.flushSnc(static_cast<uint64_t>(op));
+        } else {
+            // Timing traffic interleaved, must not disturb state.
+            engine.lineFill(line_va, static_cast<uint64_t>(op), false,
+                            mem::RegionKind::Protected);
+            const auto it = reference.find(line_va);
+            if (it != reference.end())
+                reference[line_va] = it->second;
+        }
+    }
+}
+
+TEST_P(EngineFuzz, FunctionalRoundTripUnderThrash)
+{
+    mem::MemoryChannel channel;
+    OtpEngine engine(makeConfig(), channel, keys_);
+    Rng rng(0xF0FF + GetParam().assoc);
+
+    // "DRAM": ciphertext images produced by applyEvict, plus the
+    // plaintext we expect back.
+    std::unordered_map<uint64_t, std::vector<uint8_t>> dram;
+    std::unordered_map<uint64_t, std::vector<uint8_t>> expected;
+
+    const uint64_t lines = 256;
+    for (int op = 0; op < 8'000; ++op) {
+        const uint64_t line_va =
+            0x200000 + rng.nextRange(lines) * 128;
+        if (rng.chance(0.5)) {
+            std::vector<uint8_t> bytes(128);
+            rng.fillBytes(bytes.data(), bytes.size());
+            expected[line_va] = bytes;
+            const EvictPlan plan =
+                engine.planEvict(line_va, mem::RegionKind::Protected);
+            engine.applyEvict(plan, bytes);
+            dram[line_va] = std::move(bytes);
+        } else {
+            const auto it = dram.find(line_va);
+            if (it == dram.end())
+                continue;
+            const FillPlan plan =
+                engine.planFill(line_va, false,
+                                mem::RegionKind::Protected);
+            std::vector<uint8_t> bytes = it->second;
+            engine.applyFill(plan, bytes);
+            ASSERT_EQ(bytes, expected[line_va])
+                << "op " << op << " line " << line_va;
+        }
+        if (rng.chance(0.02))
+            engine.flushSnc(static_cast<uint64_t>(op));
+    }
+}
+
+TEST_P(EngineFuzz, CiphertextNeverRepeatsAcrossWritebacks)
+{
+    // Write the same plaintext back many times: every image must be
+    // unique (fresh sequence numbers), even across SNC flushes.
+    mem::MemoryChannel channel;
+    OtpEngine engine(makeConfig(), channel, keys_);
+
+    std::vector<uint8_t> plaintext(128, 0xA5);
+    std::vector<std::vector<uint8_t>> images;
+    for (int i = 0; i < 200; ++i) {
+        const EvictPlan plan =
+            engine.planEvict(0x300000, mem::RegionKind::Protected);
+        std::vector<uint8_t> bytes = plaintext;
+        engine.applyEvict(plan, bytes);
+        images.push_back(std::move(bytes));
+        if (i % 37 == 0)
+            engine.flushSnc(static_cast<uint64_t>(i));
+    }
+    for (size_t i = 0; i < images.size(); ++i) {
+        for (size_t j = i + 1; j < images.size(); ++j) {
+            ASSERT_NE(images[i], images[j])
+                << "write-backs " << i << " and " << j
+                << " share ciphertext (pad reuse!)";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, EngineFuzz,
+    ::testing::Values(FuzzConfig{1, true, 0, false},
+                      FuzzConfig{1, true, 8, false},
+                      FuzzConfig{1, false, 0, false},
+                      FuzzConfig{4, true, 0, false},
+                      FuzzConfig{4, true, 8, true},
+                      FuzzConfig{8, true, 0, true},
+                      FuzzConfig{1, true, 0, true},
+                      FuzzConfig{2, false, 0, false}),
+    [](const auto &info) {
+        return "sector" + std::to_string(info.param.sector_lines) +
+               (info.param.allow_replacement ? "_lru" : "_norepl") +
+               "_assoc" + std::to_string(info.param.assoc) +
+               (info.param.pad_prediction ? "_predict" : "");
+    });
+
+} // namespace

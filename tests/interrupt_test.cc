@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for register-file protection across OS interrupts: mutating
+ * per-event pads, tamper/replay detection, and the Direct vs
+ * OtpPremade timing difference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/des.hh"
+#include "secure/interrupt_guard.hh"
+
+namespace
+{
+
+using namespace secproc;
+using namespace secproc::secure;
+
+class InterruptGuardTest : public ::testing::Test
+{
+  protected:
+    InterruptGuardTest() : cipher_(uint64_t{0x0123456789ABCDEFull}) {}
+
+    InterruptGuard
+    makeGuard(RegisterSaveMode mode, uint32_t regs = 16)
+    {
+        InterruptGuardConfig config;
+        config.mode = mode;
+        config.num_registers = regs;
+        config.crypto.latency = 50;
+        config.base_cost = 30;
+        return InterruptGuard(config, cipher_);
+    }
+
+    std::vector<uint64_t>
+    sampleRegisters(uint32_t count, uint64_t salt = 0)
+    {
+        std::vector<uint64_t> regs(count);
+        for (uint32_t i = 0; i < count; ++i)
+            regs[i] = 0x1111'2222'3333'4444ull * (i + 1) + salt;
+        return regs;
+    }
+
+    crypto::Des cipher_;
+};
+
+TEST_F(InterruptGuardTest, SaveRestoreRoundTrip)
+{
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    const auto regs = sampleRegisters(16);
+    const RegisterSave saved = guard.save(regs);
+    const auto restored = guard.restore(saved);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, regs);
+    EXPECT_EQ(guard.detections(), 0u);
+}
+
+TEST_F(InterruptGuardTest, ImageIsNotPlaintext)
+{
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    const auto regs = sampleRegisters(16);
+    const RegisterSave saved = guard.save(regs);
+    std::vector<uint8_t> plain(saved.image.size(), 0);
+    for (size_t i = 0; i < regs.size(); ++i)
+        std::memcpy(plain.data() + i * 8, &regs[i], 8);
+    EXPECT_NE(saved.image, plain);
+}
+
+TEST_F(InterruptGuardTest, IdenticalRegistersGiveFreshCiphertext)
+{
+    // The Section 3.4 requirement: the seed mutates per event, so
+    // two saves of the same register values never share ciphertext
+    // (a constant seed would leak E(r) XOR E(r')).
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    const auto regs = sampleRegisters(16);
+    const RegisterSave first = guard.save(regs);
+    const RegisterSave second = guard.save(regs);
+    EXPECT_NE(first.image, second.image);
+    EXPECT_NE(first.event_id, second.event_id);
+}
+
+TEST_F(InterruptGuardTest, TamperedImageIsDetected)
+{
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    RegisterSave saved = guard.save(sampleRegisters(16));
+    saved.image[3] ^= 0x40; // the malicious OS edits a register
+    EXPECT_FALSE(guard.restore(saved).has_value());
+    EXPECT_EQ(guard.detections(), 1u);
+}
+
+TEST_F(InterruptGuardTest, TamperedMacIsDetected)
+{
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    RegisterSave saved = guard.save(sampleRegisters(16));
+    saved.mac[0] ^= 1;
+    EXPECT_FALSE(guard.restore(saved).has_value());
+}
+
+TEST_F(InterruptGuardTest, ReplayedOldSaveIsDetected)
+{
+    // An authentic-but-stale save must not resume: replaying it
+    // would roll the program state back (Section 2.2's replay
+    // attack applied to the register file).
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    const RegisterSave old_save = guard.save(sampleRegisters(16, 1));
+    const RegisterSave new_save = guard.save(sampleRegisters(16, 2));
+    EXPECT_FALSE(guard.restore(old_save).has_value());
+    EXPECT_EQ(guard.detections(), 1u);
+    EXPECT_TRUE(guard.restore(new_save).has_value());
+}
+
+TEST_F(InterruptGuardTest, DirectSavePaysCryptoLatency)
+{
+    auto guard = makeGuard(RegisterSaveMode::Direct);
+    // base_cost 30 + latency 50.
+    EXPECT_EQ(guard.scheduleSave(1000), 1000 + 30 + 50u);
+    EXPECT_EQ(guard.scheduleRestore(2000), 2000 + 30 + 50u);
+}
+
+TEST_F(InterruptGuardTest, PremadeSaveCostsOneXor)
+{
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    // First save: no pad has been pre-generated yet at cycle 0, but
+    // pad_ready_ starts at 0, so the save is base + 1.
+    EXPECT_EQ(guard.scheduleSave(1000), 1000 + 30 + 1u);
+}
+
+TEST_F(InterruptGuardTest, PremadeBackToBackExposesPadWait)
+{
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade);
+    guard.scheduleSave(1000);
+    // Restore at 1100: resume at 1131, next pad ready at 1131+50.
+    const uint64_t resumed = guard.scheduleRestore(1100);
+    EXPECT_EQ(resumed, 1100 + 30 + 1u);
+    // An interrupt immediately after resume waits for the pad.
+    const uint64_t hasty = guard.scheduleSave(resumed);
+    EXPECT_EQ(hasty, resumed + 30 + 50 + 1u);
+    // One far in the future does not.
+    const uint64_t relaxed = guard.scheduleSave(resumed + 10'000);
+    EXPECT_EQ(relaxed, resumed + 10'000 + 30 + 1u);
+}
+
+TEST_F(InterruptGuardTest, EventCountsAccumulate)
+{
+    auto guard = makeGuard(RegisterSaveMode::Direct);
+    for (int i = 0; i < 5; ++i)
+        guard.scheduleSave(i * 1000);
+    EXPECT_EQ(guard.events(), 5u);
+}
+
+TEST_F(InterruptGuardTest, WrongRegisterCountIsFatal)
+{
+    auto guard = makeGuard(RegisterSaveMode::OtpPremade, 16);
+    EXPECT_DEATH_IF_SUPPORTED(guard.save(sampleRegisters(8)),
+                              "expected 16 registers");
+}
+
+TEST_F(InterruptGuardTest, OddRegisterCountPadsToCipherBlocks)
+{
+    // 9 registers = 72 bytes: not a multiple of the 8-byte DES
+    // block? It is; use 9 regs with AES-sized... DES blocks divide
+    // 72, so exercise the padding path with a 1-register file
+    // (8 bytes, exactly one block) and a 3-register file (24 bytes).
+    for (const uint32_t regs : {1u, 3u, 9u}) {
+        auto guard = makeGuard(RegisterSaveMode::OtpPremade, regs);
+        const auto values = sampleRegisters(regs);
+        const auto saved = guard.save(values);
+        EXPECT_EQ(saved.image.size() % 8, 0u);
+        const auto restored = guard.restore(saved);
+        ASSERT_TRUE(restored.has_value());
+        EXPECT_EQ(*restored, values);
+    }
+}
+
+} // namespace

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: set-associative cache
+ * behaviour and policies, functional main memory, the memory channel
+ * timing model and traffic accounting, virtual memory and regions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/memory_channel.hh"
+#include "mem/on_chip_store.hh"
+#include "mem/virtual_memory.hh"
+
+namespace
+{
+
+using namespace secproc::mem;
+
+// ------------------------------------------------------------------ cache
+
+CacheConfig
+smallCache(ReplacementPolicy policy = ReplacementPolicy::Lru,
+           uint32_t assoc = 2)
+{
+    CacheConfig config;
+    config.name = "test";
+    config.size_bytes = 1024; // 16 lines
+    config.line_size = 64;
+    config.assoc = assoc;
+    config.policy = policy;
+    return config;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.access(0x100, false));
+    cache.fill(0x100, false, 0);
+    EXPECT_TRUE(cache.access(0x100, false));
+    EXPECT_TRUE(cache.access(0x13F, false)) << "same line, last byte";
+    EXPECT_FALSE(cache.access(0x140, false)) << "next line";
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way: two lines mapping to the same set, then a third.
+    Cache cache(smallCache());
+    const uint64_t set_stride = 64 * 8; // 8 sets
+    cache.fill(0 * set_stride, false, 1);
+    cache.fill(1 * set_stride, false, 2);
+    // Touch the first so the second becomes LRU.
+    EXPECT_TRUE(cache.access(0, false));
+    const auto victim = cache.fill(2 * set_stride, false, 3);
+    ASSERT_TRUE(victim.has_value());
+    ASSERT_TRUE(victim->valid);
+    EXPECT_EQ(victim->line_addr, 1 * set_stride);
+    EXPECT_EQ(victim->meta, 2u);
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(1 * set_stride));
+}
+
+TEST(Cache, FifoIgnoresTouches)
+{
+    Cache cache(smallCache(ReplacementPolicy::Fifo));
+    const uint64_t set_stride = 64 * 8;
+    cache.fill(0 * set_stride, false, 0);
+    cache.fill(1 * set_stride, false, 0);
+    // Touching the oldest must not save it under FIFO.
+    EXPECT_TRUE(cache.access(0, false));
+    const auto victim = cache.fill(2 * set_stride, false, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line_addr, 0u) << "FIFO evicts insertion order";
+}
+
+TEST(Cache, NoReplacementRejectsWhenFull)
+{
+    Cache cache(smallCache(ReplacementPolicy::NoReplacement));
+    const uint64_t set_stride = 64 * 8;
+    EXPECT_TRUE(cache.fill(0 * set_stride, false, 0).has_value());
+    EXPECT_TRUE(cache.fill(1 * set_stride, false, 0).has_value());
+    EXPECT_FALSE(cache.fill(2 * set_stride, false, 0).has_value());
+    EXPECT_EQ(cache.rejectedFills(), 1u);
+    // Both residents survive.
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(set_stride));
+}
+
+TEST(Cache, DirtyTrackingAndWritebacks)
+{
+    Cache cache(smallCache());
+    cache.fill(0x000, false, 0);
+    cache.access(0x000, /*write=*/true);
+    const uint64_t set_stride = 64 * 8;
+    cache.fill(1 * set_stride, false, 0);
+    const auto victim = cache.fill(2 * set_stride, false, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->valid);
+    EXPECT_TRUE(victim->dirty) << "written line must evict dirty";
+    EXPECT_EQ(cache.dirtyEvictions(), 1u);
+}
+
+TEST(Cache, FullyAssociativeUsesWholeCapacity)
+{
+    Cache cache(smallCache(ReplacementPolicy::Lru, /*assoc=*/0));
+    // 16 lines at wild addresses all fit.
+    for (uint64_t i = 0; i < 16; ++i) {
+        const auto victim = cache.fill(i * 0x10000, false, 0);
+        ASSERT_TRUE(victim.has_value());
+        EXPECT_FALSE(victim->valid) << "no eviction while space remains";
+    }
+    EXPECT_EQ(cache.occupancy(), 16u);
+    const auto victim = cache.fill(99 * 0x10000, false, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->valid);
+}
+
+TEST(Cache, RefillOfResidentLineKeepsDirtyAndUpdatesMeta)
+{
+    Cache cache(smallCache());
+    cache.fill(0x40, true, 7);
+    const auto victim = cache.fill(0x40, false, 9);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_FALSE(victim->valid) << "refill displaces nothing";
+    EXPECT_EQ(*cache.meta(0x40), 9u);
+    const Victim inval = cache.invalidate(0x40);
+    EXPECT_TRUE(inval.dirty) << "dirty bit must survive the refill";
+}
+
+TEST(Cache, InvalidateAllReturnsEverything)
+{
+    Cache cache(smallCache());
+    cache.fill(0x000, true, 0);
+    cache.fill(0x400, false, 0);
+    const auto victims = cache.invalidateAll();
+    EXPECT_EQ(victims.size(), 2u);
+    EXPECT_EQ(cache.occupancy(), 0u);
+    EXPECT_FALSE(cache.probe(0x000));
+}
+
+TEST(Cache, MetaRoundTrip)
+{
+    Cache cache(smallCache());
+    cache.fill(0x80, false, 0xDEAD);
+    EXPECT_EQ(*cache.meta(0x80), 0xDEADu);
+    EXPECT_TRUE(cache.setMeta(0x80, 0xBEEF));
+    EXPECT_EQ(*cache.meta(0x80), 0xBEEFu);
+    EXPECT_FALSE(cache.meta(0x9999).has_value());
+    EXPECT_FALSE(cache.setMeta(0x9999, 1));
+}
+
+TEST(Cache, GeometryValidation)
+{
+    CacheConfig config = smallCache();
+    config.line_size = 48; // not a power of two
+    EXPECT_DEATH_IF_SUPPORTED({ Cache cache(config); (void)cache; },
+                              "power of two");
+}
+
+/** Parameterized sweep: occupancy never exceeds capacity and eviction
+ *  count matches fills minus capacity across shapes. */
+class CacheSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{};
+
+TEST_P(CacheSweep, CapacityInvariant)
+{
+    const auto [assoc, line_size] = GetParam();
+    CacheConfig config;
+    config.size_bytes = 8 * 1024;
+    config.assoc = assoc;
+    config.line_size = line_size;
+    Cache cache(config);
+    const uint64_t lines = config.numLines();
+
+    secproc::util::Rng rng(99);
+    uint64_t accepted = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t addr = rng.nextRange(1 << 20) * line_size;
+        if (!cache.access(addr, false)) {
+            const auto victim = cache.fill(addr, false, 0);
+            accepted += victim.has_value();
+        }
+        ASSERT_LE(cache.occupancy(), lines);
+    }
+    EXPECT_EQ(cache.evictions() + cache.occupancy(), accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u, 4u, 8u),
+                       ::testing::Values(32u, 64u, 128u)));
+
+// ---------------------------------------------------------- main memory
+
+TEST(MainMemory, ZeroFillSemantics)
+{
+    MainMemory memory;
+    uint8_t buf[16];
+    memory.read(0x123456, buf, sizeof(buf));
+    for (uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(memory.residentPages(), 0u) << "reads must not allocate";
+}
+
+TEST(MainMemory, WriteReadRoundTrip)
+{
+    MainMemory memory;
+    const std::vector<uint8_t> line = {1, 2, 3, 4, 5, 6, 7, 8};
+    memory.write(0x1000, line.data(), line.size());
+    uint8_t buf[8];
+    memory.read(0x1000, buf, sizeof(buf));
+    EXPECT_EQ(std::vector<uint8_t>(buf, buf + 8), line);
+}
+
+TEST(MainMemory, CrossPageAccess)
+{
+    MainMemory memory;
+    std::vector<uint8_t> data(256);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i);
+    const uint64_t addr = MainMemory::kPageSize - 100;
+    memory.write(addr, data.data(), data.size());
+    std::vector<uint8_t> back(256);
+    memory.read(addr, back.data(), back.size());
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(memory.residentPages(), 2u);
+}
+
+TEST(MainMemory, CorruptByteFlipsExactBit)
+{
+    MainMemory memory;
+    const std::vector<uint8_t> line(64, 0xAA);
+    memory.writeLine(0x2000, line);
+    memory.corruptByte(0x2010, 0x01);
+    const auto back = memory.readLine(0x2000, 64);
+    EXPECT_EQ(back[0x10], 0xAB);
+    EXPECT_EQ(back[0x11], 0xAA);
+}
+
+// --------------------------------------------------------------- channel
+
+ChannelConfig
+fastChannel()
+{
+    ChannelConfig config;
+    config.access_latency = 100;
+    config.transfer_cycles = 16;
+    config.small_transfer_cycles = 2;
+    config.write_buffer_entries = 4;
+    return config;
+}
+
+TEST(MemoryChannel, ReadLatency)
+{
+    MemoryChannel channel(fastChannel());
+    EXPECT_EQ(channel.scheduleRead(0, Traffic::DataFill), 100u);
+    // Second read queues behind the first transfer.
+    EXPECT_EQ(channel.scheduleRead(0, Traffic::DataFill), 116u);
+    // A read far in the future sees an idle bus.
+    EXPECT_EQ(channel.scheduleRead(1000, Traffic::DataFill), 1100u);
+}
+
+TEST(MemoryChannel, SmallTransfersOccupyLess)
+{
+    MemoryChannel channel(fastChannel());
+    channel.scheduleRead(0, Traffic::SeqnumFetch, /*small=*/true);
+    EXPECT_EQ(channel.scheduleRead(0, Traffic::DataFill), 102u)
+        << "seqnum transfer holds the bus for only 2 cycles";
+}
+
+TEST(MemoryChannel, WritesDrainIntoIdleGaps)
+{
+    MemoryChannel channel(fastChannel());
+    channel.enqueueWrite(0, Traffic::DataWriteback);
+    channel.enqueueWrite(0, Traffic::DataWriteback);
+    // Huge idle gap: both writes drain before this read, which then
+    // sees a free bus.
+    EXPECT_EQ(channel.scheduleRead(500, Traffic::DataFill), 600u);
+    EXPECT_EQ(channel.bytes(Traffic::DataWriteback),
+              2u * channel.config().line_bytes);
+}
+
+TEST(MemoryChannel, SaturatedWriteBufferStallsReads)
+{
+    MemoryChannel channel(fastChannel());
+    // Fill the 4-entry buffer with writes that are ready immediately.
+    for (int i = 0; i < 4; ++i)
+        channel.enqueueWrite(0, Traffic::DataWriteback);
+    // A read at cycle 0 has no idle gap; forced drains push it back.
+    const uint64_t ready = channel.scheduleRead(0, Traffic::DataFill);
+    EXPECT_GT(ready, 100u) << "forced drains must delay the read";
+}
+
+TEST(MemoryChannel, TrafficAttribution)
+{
+    MemoryChannel channel(fastChannel());
+    channel.scheduleRead(0, Traffic::DataFill);
+    channel.enqueueWrite(0, Traffic::DataWriteback);
+    channel.scheduleRead(0, Traffic::SeqnumFetch, true);
+    channel.enqueueWrite(0, Traffic::SeqnumWriteback, true);
+    EXPECT_EQ(channel.dataBytes(), 256u);
+    EXPECT_EQ(channel.seqnumBytes(), 16u);
+    EXPECT_EQ(channel.transactions(Traffic::SeqnumFetch), 1u);
+    channel.reset();
+    EXPECT_EQ(channel.dataBytes(), 0u);
+}
+
+// -------------------------------------------------------- virtual memory
+
+TEST(VirtualMemory, StableTranslation)
+{
+    VirtualMemory vm;
+    const uint64_t pa1 = vm.translate(1, 0x10000);
+    EXPECT_EQ(vm.translate(1, 0x10000), pa1);
+    EXPECT_EQ(vm.translate(1, 0x10008), pa1 + 8);
+    EXPECT_NE(vm.translate(1, 0x20000), pa1);
+}
+
+TEST(VirtualMemory, AsidsAreIsolated)
+{
+    VirtualMemory vm;
+    const uint64_t pa1 = vm.translate(1, 0x10000);
+    const uint64_t pa2 = vm.translate(2, 0x10000);
+    EXPECT_NE(pa1, pa2) << "same VA in different tasks, different PA";
+}
+
+TEST(VirtualMemory, ProbeDoesNotAllocate)
+{
+    VirtualMemory vm;
+    EXPECT_FALSE(vm.probeTranslate(1, 0x5000).has_value());
+    vm.translate(1, 0x5000);
+    EXPECT_TRUE(vm.probeTranslate(1, 0x5000).has_value());
+}
+
+TEST(VirtualMemory, SharedSegmentsAlias)
+{
+    VirtualMemory vm;
+    vm.share(1, 0x100000, 2, 0x400000, 2 * VirtualMemory::kPageSize);
+    EXPECT_EQ(vm.translate(1, 0x100010), vm.translate(2, 0x400010));
+    EXPECT_EQ(vm.regionKind(1, 0x100000), RegionKind::Shared);
+    EXPECT_EQ(vm.regionKind(2, 0x400FFF), RegionKind::Shared);
+    EXPECT_EQ(vm.regionKind(1, 0x900000), RegionKind::Protected);
+}
+
+TEST(VirtualMemory, PlaintextRegions)
+{
+    VirtualMemory vm;
+    vm.addRegion(1, Region{"libc", 0x7000000, 0x7100000,
+                           RegionKind::Plaintext});
+    EXPECT_EQ(vm.regionKind(1, 0x7000000), RegionKind::Plaintext);
+    EXPECT_EQ(vm.regionKind(1, 0x70FFFFF), RegionKind::Plaintext);
+    EXPECT_EQ(vm.regionKind(1, 0x7100000), RegionKind::Protected);
+}
+
+TEST(VirtualMemory, RebaseChangesPhysicalNotVirtual)
+{
+    VirtualMemory vm;
+    const uint64_t before = vm.translate(1, 0x30000);
+    vm.rebase(1);
+    const uint64_t after = vm.translate(1, 0x30000);
+    EXPECT_NE(before, after)
+        << "context switch relocates physical placement";
+}
+
+// --------------------------------------------------------- on-chip store
+
+TEST(OnChipStore, InstallPeekRemove)
+{
+    OnChipStore store(64);
+    std::vector<uint8_t> line(64, 0x5A);
+    store.install(0x1000, line);
+    ASSERT_NE(store.peek(0x1000), nullptr);
+    EXPECT_EQ((*store.peek(0x1000))[0], 0x5A);
+    (*store.peekMutable(0x1000))[0] = 0x11;
+    const auto removed = store.remove(0x1000);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_EQ((*removed)[0], 0x11);
+    EXPECT_EQ(store.peek(0x1000), nullptr);
+    EXPECT_FALSE(store.remove(0x1000).has_value());
+}
+
+} // namespace

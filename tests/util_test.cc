@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the util library: bit operations, RNG determinism
+ * and distributions, statistics, string helpers, table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace secproc::util;
+
+// ----------------------------------------------------------------- bitops
+
+TEST(BitOps, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitOps, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(255), 7u);
+    EXPECT_EQ(floorLog2(256), 8u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(256), 8u);
+    EXPECT_EQ(ceilLog2(257), 9u);
+}
+
+TEST(BitOps, Alignment)
+{
+    EXPECT_EQ(alignDown(0x12345, 0x100), 0x12300u);
+    EXPECT_EQ(alignUp(0x12345, 0x100), 0x12400u);
+    EXPECT_EQ(alignUp(0x12300, 0x100), 0x12300u);
+    EXPECT_EQ(alignDown(127, 128), 0u);
+    EXPECT_EQ(alignUp(1, 128), 128u);
+}
+
+TEST(BitOps, BitsAndMask)
+{
+    EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCu);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(16), 0xFFFFu);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(BitOps, Rotl28)
+{
+    // Rotating a 28-bit value by 28 must be the identity.
+    const uint32_t v = 0x0ABCDEF;
+    uint32_t r = v;
+    for (int i = 0; i < 28; ++i)
+        r = rotl28(r, 1);
+    EXPECT_EQ(r, v);
+    EXPECT_EQ(rotl28(0x8000000, 1) & ~0x0FFFFFFFu, 0u)
+        << "rotl28 must stay within 28 bits";
+}
+
+TEST(BitOps, EndianRoundTrip)
+{
+    uint8_t buf[8];
+    storeBe64(buf, 0x0123456789ABCDEFull);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[7], 0xEF);
+    EXPECT_EQ(loadBe64(buf), 0x0123456789ABCDEFull);
+    storeLe64(buf, 0x0123456789ABCDEFull);
+    EXPECT_EQ(buf[0], 0xEF);
+    EXPECT_EQ(loadLe64(buf), 0x0123456789ABCDEFull);
+}
+
+// ----------------------------------------------------------------- random
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next64() == b.next64());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.nextRange(17), 17u);
+    // All residues reachable.
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextRange(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(13);
+    uint64_t low = 0, high = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t rank = rng.nextZipf(1000, 1.0);
+        ASSERT_LT(rank, 1000u);
+        if (rank < 10)
+            ++low;
+        if (rank >= 500)
+            ++high;
+    }
+    EXPECT_GT(low, high) << "Zipf must favor popular ranks";
+    EXPECT_GT(low, 20000u / 10) << "top-10 of 1000 should exceed 10%";
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(0.5));
+    // Mean of geometric (failures before success) = (1-p)/p = 1.
+    EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Rng, FillBytesCoversAllPositions)
+{
+    Rng rng(19);
+    uint8_t buf[37] = {};
+    rng.fillBytes(buf, sizeof(buf));
+    int nonzero = 0;
+    for (uint8_t b : buf)
+        nonzero += (b != 0);
+    EXPECT_GT(nonzero, 25) << "essentially all bytes should be random";
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AccumulatorMoments)
+{
+    Accumulator a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 6.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    Histogram h(10.0, 5);
+    h.sample(0.0);
+    h.sample(9.99);
+    h.sample(10.0);
+    h.sample(49.0);
+    h.sample(50.0);   // overflow
+    h.sample(1234.0); // overflow
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+}
+
+TEST(Stats, StatGroupDump)
+{
+    Counter hits, misses;
+    hits += 10;
+    misses += 2;
+    StatGroup group("l2");
+    group.regCounter("hits", &hits);
+    group.regCounter("misses", &misses);
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("l2.hits 10"), std::string::npos);
+    EXPECT_NE(os.str().find("l2.misses 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- strutil
+
+TEST(StrUtil, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(16.756, 1), "16.8");
+}
+
+TEST(StrUtil, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.1676, 2), "16.76%");
+    EXPECT_EQ(formatPercent(0.0128, 2), "1.28%");
+}
+
+TEST(StrUtil, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(64 * 1024), "64KB");
+    EXPECT_EQ(formatBytes(4ull * 1024 * 1024), "4MB");
+    EXPECT_EQ(formatBytes(193), "193B");
+    EXPECT_EQ(formatBytes(1536), "1536B") << "non-multiples stay exact";
+}
+
+TEST(StrUtil, HexRoundTrip)
+{
+    const std::vector<uint8_t> bytes = {0x01, 0x23, 0xAB, 0xFF, 0x00};
+    const std::string hex = toHex(bytes.data(), bytes.size());
+    EXPECT_EQ(hex, "0123abff00");
+    EXPECT_EQ(fromHex(hex), bytes);
+}
+
+TEST(StrUtil, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"bench", "paper", "measured"});
+    t.addRow({"ammp", "23.02", "21.80"});
+    t.addRow({"mcf", "34.76", "33.10"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("ammp"), std::string::npos);
+    EXPECT_NE(out.find("34.76"), std::string::npos);
+    // Header separator row present.
+    EXPECT_NE(out.find("|---"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * secproc_run — command-line driver for the simulator.
+ *
+ * Runs one benchmark under one protection model with every paper
+ * parameter overridable from the command line, and prints either a
+ * summary or the full component statistics. This is the tool a
+ * downstream user scripts sweeps with.
+ *
+ *   secproc_run --bench=mcf --model=otp --snc-kb=64 --snc-assoc=0 \
+ *               --crypto=50 --l2-kb=256 --instructions=4000000
+ *   secproc_run --list
+ *   secproc_run --bench=gcc --model=xom --dump-stats
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "util/strutil.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+struct Options
+{
+    std::string bench = "mcf";
+    std::string model = "otp";
+    uint64_t instructions = 4'000'000;
+    uint64_t warmup = 1'000'000;
+    uint64_t snc_kb = 64;
+    uint32_t snc_assoc = 0;
+    bool snc_norepl = false;
+    uint32_t crypto_latency = 50;
+    uint64_t l2_kb = 256;
+    uint32_t l2_assoc = 4;
+    uint32_t mshrs = 8;
+    uint32_t snc_sector = 1;
+    uint32_t mem_latency = 100;
+    std::string dram; // "", "open" or "closed"
+    bool in_order = false;
+    bool dump_stats = false;
+    bool list = false;
+    bool parallel_seqnum = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: secproc_run [options]\n"
+        "  --list                 list benchmarks and exit\n"
+        "  --bench=NAME           benchmark profile (default mcf)\n"
+        "  --model=M              baseline | xom | otp (default otp)\n"
+        "  --instructions=N       measured instructions (default 4M)\n"
+        "  --warmup=N             warm-up instructions (default 1M)\n"
+        "  --snc-kb=N             SNC capacity in KB (default 64)\n"
+        "  --snc-assoc=N          SNC ways, 0 = fully assoc (default)\n"
+        "  --snc-norepl           no-replacement SNC policy\n"
+        "  --parallel-seqnum      issue line+seqnum fetches together\n"
+        "  --crypto=N             crypto latency in cycles (default 50)\n"
+        "  --mem-latency=N        flat memory latency (default 100)\n"
+        "  --dram=open|closed     banked DRAM instead of flat latency\n"
+        "  --snc-sector=N         lines per SNC directory tag (default 1)\n"
+        "  --in-order             blocking-loads in-order core\n"
+        "  --l2-kb=N --l2-assoc=N L2 geometry (default 256KB 4-way)\n"
+        "  --mshrs=N              outstanding misses (default 8)\n"
+        "  --dump-stats           print all component statistics\n";
+    std::exit(code);
+}
+
+uint64_t
+parseValue(const std::string &arg)
+{
+    const auto pos = arg.find('=');
+    if (pos == std::string::npos)
+        usage(1);
+    return std::stoull(arg.substr(pos + 1));
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto starts = [&arg](const char *prefix) {
+            return arg.rfind(prefix, 0) == 0;
+        };
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--list")
+            options.list = true;
+        else if (starts("--bench="))
+            options.bench = arg.substr(8);
+        else if (starts("--model="))
+            options.model = arg.substr(8);
+        else if (starts("--instructions="))
+            options.instructions = parseValue(arg);
+        else if (starts("--warmup="))
+            options.warmup = parseValue(arg);
+        else if (starts("--snc-kb="))
+            options.snc_kb = parseValue(arg);
+        else if (starts("--snc-assoc="))
+            options.snc_assoc = static_cast<uint32_t>(parseValue(arg));
+        else if (arg == "--snc-norepl")
+            options.snc_norepl = true;
+        else if (arg == "--parallel-seqnum")
+            options.parallel_seqnum = true;
+        else if (starts("--crypto="))
+            options.crypto_latency =
+                static_cast<uint32_t>(parseValue(arg));
+        else if (starts("--mem-latency="))
+            options.mem_latency =
+                static_cast<uint32_t>(parseValue(arg));
+        else if (starts("--snc-sector="))
+            options.snc_sector =
+                static_cast<uint32_t>(parseValue(arg));
+        else if (starts("--dram="))
+            options.dram = arg.substr(7);
+        else if (arg == "--in-order")
+            options.in_order = true;
+        else if (starts("--l2-kb="))
+            options.l2_kb = parseValue(arg);
+        else if (starts("--l2-assoc="))
+            options.l2_assoc = static_cast<uint32_t>(parseValue(arg));
+        else if (starts("--mshrs="))
+            options.mshrs = static_cast<uint32_t>(parseValue(arg));
+        else if (arg == "--dump-stats")
+            options.dump_stats = true;
+        else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(1);
+        }
+    }
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options = parse(argc, argv);
+
+    if (options.list) {
+        std::cout << "benchmarks:";
+        for (const std::string &name : sim::benchmarkNames())
+            std::cout << ' ' << name;
+        std::cout << "\n";
+        return 0;
+    }
+
+    const std::map<std::string, secure::SecurityModel> models = {
+        {"baseline", secure::SecurityModel::Baseline},
+        {"xom", secure::SecurityModel::Xom},
+        {"otp", secure::SecurityModel::OtpSnc},
+    };
+    const auto model_it = models.find(options.model);
+    if (model_it == models.end()) {
+        std::cerr << "unknown model '" << options.model << "'\n";
+        return 1;
+    }
+
+    sim::SystemConfig config = sim::paperConfig(model_it->second);
+    config.protection.snc.capacity_bytes = options.snc_kb * 1024;
+    config.protection.snc.assoc = options.snc_assoc;
+    config.protection.snc.allow_replacement = !options.snc_norepl;
+    config.protection.parallel_seqnum_fetch = options.parallel_seqnum;
+    config.protection.crypto.latency = options.crypto_latency;
+    config.protection.snc.sector_lines = options.snc_sector;
+    config.channel.access_latency = options.mem_latency;
+    if (!options.dram.empty()) {
+        if (options.dram != "open" && options.dram != "closed") {
+            std::cerr << "--dram must be 'open' or 'closed'\n";
+            return 1;
+        }
+        config.channel.use_dram = true;
+        config.channel.dram.closed_page = options.dram == "closed";
+    }
+    config.core.blocking_loads = options.in_order;
+    config.l2.size_bytes = options.l2_kb * 1024;
+    config.l2.assoc = options.l2_assoc;
+    config.mshrs = options.mshrs;
+
+    sim::SyntheticWorkload workload(
+        sim::benchmarkProfile(options.bench), config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(options.warmup);
+    system.beginMeasurement();
+    system.run(options.instructions);
+
+    const sim::RunStats stats = system.stats();
+    std::cout << "bench         " << options.bench << "\n"
+              << "model         " << options.model
+              << (options.snc_norepl ? " (no-replacement SNC)" : "")
+              << "\n"
+              << "instructions  " << stats.instructions << "\n"
+              << "cycles        " << stats.cycles << "\n"
+              << "ipc           " << util::formatDouble(stats.ipc, 3)
+              << "\n"
+              << "l2 misses     " << stats.l2_misses << " ("
+              << util::formatDouble(
+                     stats.instructions == 0
+                         ? 0.0
+                         : 1000.0 *
+                               static_cast<double>(stats.l2_misses) /
+                               static_cast<double>(stats.instructions),
+                     2)
+              << " MPKI)\n"
+              << "fast fills    " << stats.fast_fills << "\n"
+              << "slow fills    " << stats.slow_fills << "\n"
+              << "snc q-misses  " << stats.snc_query_misses << "\n"
+              << "data bytes    " << stats.data_bytes << "\n"
+              << "seqnum bytes  " << stats.seqnum_bytes << "\n";
+
+    if (options.dump_stats) {
+        std::cout << "\n-- full component statistics --\n";
+        system.dumpStats(std::cout);
+    }
+    return 0;
+}
