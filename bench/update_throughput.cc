@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Secure-update throughput (google-benchmark): how fast a fleet
+ * device chews through signed bundles. Measures the three phases
+ * separately — admission verify (signature + digests), full
+ * stage+activate install, and attestation quoting — across image
+ * sizes, cipher kinds and many concurrent compartments (the
+ * multitask scenario: one device hosting N independently-updated
+ * programs). Bytes/sec counts image payload bytes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "secure/engines.hh"
+#include "update/attestation.hh"
+#include "update/image_builder.hh"
+#include "update/update_engine.hh"
+#include "xom/vendor_tool.hh"
+
+namespace
+{
+
+using namespace secproc;
+using namespace secproc::update;
+
+constexpr uint32_t kLine = 128;
+
+/** Everything needed to exercise one device under update load. */
+struct Rig
+{
+    util::Rng rng{99};
+    ImageBuilder vendor;
+    crypto::RsaKeyPair processor;
+    secure::KeyTable keys;
+    mem::MemoryChannel channel;
+    std::unique_ptr<secure::ProtectionEngine> engine;
+    mem::MainMemory memory;
+    mem::VirtualMemory vm;
+    RollbackStore rollback{4096};
+    std::unique_ptr<UpdateEngine> updater;
+
+    Rig() : vendor(crypto::rsaGenerate(512, rng))
+    {
+        processor = crypto::rsaGenerate(512, rng);
+        secure::ProtectionConfig config;
+        config.line_size = kLine;
+        config.snc.l2_line_size = kLine;
+        engine = secure::makeProtectionEngine(config, channel, keys);
+        updater = std::make_unique<UpdateEngine>(
+            vendor.publicKey(), processor, keys, rollback,
+            StagingConfig{0x4000'0000, 64ull << 20});
+        updater->setAttestationKey(crypto::rsaGenerate(512, rng));
+    }
+
+    UpdateBundle
+    bundle(const std::string &title, uint32_t version,
+           uint64_t counter, size_t lines, secure::CipherKind cipher)
+    {
+        xom::PlainProgram program;
+        program.title = title;
+        program.entry_point = 0x400000;
+        xom::PlainProgram::PlainSection text;
+        text.name = ".text";
+        text.vaddr = 0x400000;
+        text.bytes.resize(lines * kLine,
+                          static_cast<uint8_t>(version));
+        program.sections = {text};
+
+        UpdateSpec spec;
+        spec.image_version = version;
+        spec.rollback_counter = counter;
+        spec.cipher = cipher;
+        return vendor.build(program, spec, processor.pub, rng);
+    }
+};
+
+/** Admission verify only: signature + digest + rollback checks. */
+void
+benchVerify(benchmark::State &state)
+{
+    Rig rig;
+    const UpdateBundle bundle =
+        rig.bundle("fw", 1, 1, static_cast<size_t>(state.range(0)),
+                   secure::CipherKind::Des);
+    for (auto _ : state) {
+        const VerifyResult result = rig.updater->verify(bundle);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(
+                                bundle.image.totalBytes()));
+}
+
+/** Full lifecycle: verify + stage into memory + activate + load. */
+void
+benchInstall(benchmark::State &state)
+{
+    Rig rig;
+    const size_t lines = static_cast<size_t>(state.range(0));
+    uint64_t counter = 0;
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        // Each iteration needs a fresh, higher-counter release.
+        const UpdateBundle bundle =
+            rig.bundle("fw", static_cast<uint32_t>(counter + 1),
+                       counter + 1, lines, secure::CipherKind::Des);
+        state.ResumeTiming();
+
+        const InstallResult result = rig.updater->install(
+            bundle, 1, rig.memory, rig.vm, 1, *rig.engine);
+        benchmark::DoNotOptimize(result);
+        ++counter;
+        bytes += bundle.image.totalBytes();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+
+/**
+ * Multitask fleet scenario: N compartments, each running its own
+ * title, all updated in one sweep. Reported rate is whole sweeps.
+ */
+void
+benchMultiCompartmentSweep(benchmark::State &state)
+{
+    Rig rig;
+    const auto compartments =
+        static_cast<secure::CompartmentId>(state.range(0));
+    uint64_t round = 0;
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::vector<UpdateBundle> wave;
+        for (secure::CompartmentId c = 1; c <= compartments; ++c) {
+            wave.push_back(rig.bundle(
+                "app-" + std::to_string(c),
+                static_cast<uint32_t>(round + 1), round + 1, 8,
+                secure::CipherKind::Des));
+        }
+        state.ResumeTiming();
+
+        for (secure::CompartmentId c = 1; c <= compartments; ++c) {
+            const InstallResult result = rig.updater->install(
+                wave[c - 1], c, rig.memory, rig.vm, c, *rig.engine);
+            benchmark::DoNotOptimize(result);
+            bytes += wave[c - 1].image.totalBytes();
+        }
+        ++round;
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(bytes));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            compartments);
+}
+
+/** Verify cost per cipher family (digests dominate; capsule fixed). */
+template <secure::CipherKind kKind>
+void
+benchVerifyCipher(benchmark::State &state)
+{
+    Rig rig;
+    const UpdateBundle bundle = rig.bundle("fw", 1, 1, 64, kKind);
+    for (auto _ : state) {
+        const VerifyResult result = rig.updater->verify(bundle);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(
+                                bundle.image.totalBytes()));
+}
+
+/** Attestation quote generation (RSA sign dominates). */
+void
+benchAttest(benchmark::State &state)
+{
+    Rig rig;
+    const UpdateBundle bundle =
+        rig.bundle("fw", 1, 1, 8, secure::CipherKind::Des);
+    const InstallResult installed = rig.updater->install(
+        bundle, 1, rig.memory, rig.vm, 1, *rig.engine);
+    if (!installed.ok())
+        state.SkipWithError("install failed");
+    Digest nonce = {};
+    for (auto _ : state) {
+        nonce[0]++;
+        const AttestationQuote quote =
+            attest(*rig.updater, 1, nonce);
+        benchmark::DoNotOptimize(quote);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+benchVerifyDes(benchmark::State &state)
+{
+    benchVerifyCipher<secure::CipherKind::Des>(state);
+}
+
+void
+benchVerifyAes(benchmark::State &state)
+{
+    benchVerifyCipher<secure::CipherKind::Aes128>(state);
+}
+
+} // namespace
+
+BENCHMARK(benchVerify)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(benchInstall)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(benchMultiCompartmentSweep)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(benchVerifyDes);
+BENCHMARK(benchVerifyAes);
+BENCHMARK(benchAttest);
+
+BENCHMARK_MAIN();

@@ -5,6 +5,8 @@
 
 #include "crypto/rsa.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace secproc::crypto
@@ -108,6 +110,59 @@ rsaUnwrap(const RsaPrivateKey &priv, const std::vector<uint8_t> &capsule)
         return std::nullopt;
     return std::vector<uint8_t>(block.begin() + static_cast<long>(sep + 1),
                                 block.end());
+}
+
+std::vector<uint8_t>
+rsaSignDigest(const RsaPrivateKey &priv,
+              const std::vector<uint8_t> &digest)
+{
+    const size_t modulus_bytes = (priv.n.bitLength() + 7) / 8;
+    fatal_if(digest.size() + 11 > modulus_bytes,
+             "digest of ", digest.size(),
+             " bytes exceeds signature capacity of a ",
+             modulus_bytes, "-byte modulus");
+
+    std::vector<uint8_t> block(modulus_bytes);
+    block[0] = 0x00;
+    block[1] = 0x01;
+    const size_t pad_len = modulus_bytes - 3 - digest.size();
+    std::fill_n(block.begin() + 2, pad_len, uint8_t{0xFF});
+    block[2 + pad_len] = 0x00;
+    std::copy(digest.begin(), digest.end(),
+              block.begin() + static_cast<long>(2 + pad_len + 1));
+
+    const BigInt m = BigInt::fromBytes(block.data(), block.size());
+    return m.modExp(priv.d, priv.n).toBytes(modulus_bytes);
+}
+
+bool
+rsaVerifyDigest(const RsaPublicKey &pub,
+                const std::vector<uint8_t> &digest,
+                const std::vector<uint8_t> &signature)
+{
+    const size_t modulus_bytes = (pub.n.bitLength() + 7) / 8;
+    if (signature.size() != modulus_bytes)
+        return false;
+    if (digest.size() + 11 > modulus_bytes)
+        return false;
+    const BigInt s = BigInt::fromBytes(signature.data(),
+                                       signature.size());
+    if (s >= pub.n)
+        return false;
+    const std::vector<uint8_t> block =
+        rsaEncryptRaw(pub, s).toBytes(modulus_bytes);
+
+    if (block[0] != 0x00 || block[1] != 0x01)
+        return false;
+    const size_t pad_len = modulus_bytes - 3 - digest.size();
+    for (size_t i = 0; i < pad_len; ++i) {
+        if (block[2 + i] != 0xFF)
+            return false;
+    }
+    if (block[2 + pad_len] != 0x00)
+        return false;
+    return std::equal(digest.begin(), digest.end(),
+                      block.begin() + static_cast<long>(2 + pad_len + 1));
 }
 
 } // namespace secproc::crypto

@@ -78,6 +78,25 @@ std::vector<uint8_t> rsaWrap(const RsaPublicKey &pub,
 std::optional<std::vector<uint8_t>>
 rsaUnwrap(const RsaPrivateKey &priv, const std::vector<uint8_t> &capsule);
 
+/**
+ * Sign a message digest: deterministic PKCS#1-v1.5-style type-01
+ * block (0x00 0x01 0xFF.. 0x00 <digest>) raised to the private
+ * exponent. The vendor signs update manifests and the processor
+ * signs attestation reports with this. Fatal if the digest does not
+ * fit the modulus.
+ */
+std::vector<uint8_t> rsaSignDigest(const RsaPrivateKey &priv,
+                                   const std::vector<uint8_t> &digest);
+
+/**
+ * Verify a signature produced by rsaSignDigest.
+ * @return true iff @p signature opens under @p pub to a well-formed
+ *         type-01 block carrying exactly @p digest.
+ */
+bool rsaVerifyDigest(const RsaPublicKey &pub,
+                     const std::vector<uint8_t> &digest,
+                     const std::vector<uint8_t> &signature);
+
 } // namespace secproc::crypto
 
 #endif // SECPROC_CRYPTO_RSA_HH

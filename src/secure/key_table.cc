@@ -16,6 +16,9 @@ namespace secproc::secure
 std::unique_ptr<crypto::BlockCipher>
 makeCipher(CipherKind kind, const std::vector<uint8_t> &key)
 {
+    fatal_if(key.size() != cipherKeySize(kind),
+             "key of ", key.size(), " bytes for a cipher that needs ",
+             cipherKeySize(kind));
     std::unique_ptr<crypto::BlockCipher> cipher;
     switch (kind) {
       case CipherKind::Des:

@@ -44,7 +44,10 @@ class KeyTable
 
     /**
      * Install a compartment's symmetric key (as unwrapped from the
-     * vendor's RSA capsule). Replaces any previous key.
+     * vendor's RSA capsule). Replaces any previous key. Fatal when
+     * the key length does not match @p kind (DES = 8, 3DES = 24,
+     * AES-128 = 16 bytes): a malformed key must never reach cipher
+     * construction.
      */
     void install(CompartmentId id, CipherKind kind,
                  const std::vector<uint8_t> &key);

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Attestation implementation.
+ */
+
+#include "update/attestation.hh"
+
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace secproc::update
+{
+
+namespace
+{
+
+constexpr uint32_t kReportMagic = 0x53505154; // "SPQT"
+
+} // namespace
+
+std::vector<uint8_t>
+AttestationReport::serialize() const
+{
+    using namespace util;
+    std::vector<uint8_t> out;
+    putU32(out, kReportMagic);
+    putArray(out, processor_id);
+    putU32(out, compartment);
+    putString(out, title);
+    putU32(out, image_version);
+    putU64(out, rollback_counter);
+    putArray(out, image_digest);
+    putArray(out, nonce);
+    return out;
+}
+
+AttestationQuote
+attest(const UpdateEngine &engine, secure::CompartmentId compartment,
+       const Digest &nonce, const std::vector<uint8_t> &session_key)
+{
+    const UpdateManifest *manifest =
+        engine.compartmentManifest(compartment);
+    panic_if(manifest == nullptr,
+             "attesting compartment ", compartment,
+             " with nothing installed");
+
+    AttestationQuote quote;
+    quote.report.processor_id = engine.processorIdentity();
+    quote.report.compartment = compartment;
+    quote.report.title = manifest->title;
+    quote.report.image_version = manifest->image_version;
+    quote.report.rollback_counter = manifest->rollback_counter;
+    quote.report.image_digest = manifest->image_digest;
+    quote.report.nonce = nonce;
+
+    const std::vector<uint8_t> bytes = quote.report.serialize();
+    const Digest digest = sha256Digest(bytes);
+    // Signed with the dedicated attestation key, never the capsule
+    // unwrap key (see UpdateEngine::setAttestationKey).
+    quote.signature = crypto::rsaSignDigest(
+        engine.attestationKey().priv, {digest.begin(), digest.end()});
+    if (!session_key.empty()) {
+        quote.mac = crypto::hmacSha256(session_key.data(),
+                                       session_key.size(), bytes.data(),
+                                       bytes.size());
+    }
+    return quote;
+}
+
+bool
+verifyQuote(const crypto::RsaPublicKey &attestation_pub,
+            const AttestationQuote &quote, const Digest &nonce)
+{
+    if (quote.report.nonce != nonce)
+        return false;
+    const Digest digest = sha256Digest(quote.report.serialize());
+    return crypto::rsaVerifyDigest(attestation_pub,
+                                   {digest.begin(), digest.end()},
+                                   quote.signature);
+}
+
+bool
+verifyQuoteMac(const std::vector<uint8_t> &session_key,
+               const AttestationQuote &quote, const Digest &nonce)
+{
+    if (quote.report.nonce != nonce)
+        return false;
+    const std::vector<uint8_t> bytes = quote.report.serialize();
+    return quote.mac == crypto::hmacSha256(session_key.data(),
+                                           session_key.size(),
+                                           bytes.data(), bytes.size());
+}
+
+} // namespace secproc::update

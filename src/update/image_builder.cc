@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Update builder implementation.
+ */
+
+#include "update/image_builder.hh"
+
+namespace secproc::update
+{
+
+UpdateBundle
+ImageBuilder::build(const xom::PlainProgram &program,
+                    const UpdateSpec &spec,
+                    const crypto::RsaPublicKey &processor_key,
+                    util::Rng &rng) const
+{
+    UpdateBundle bundle;
+    bundle.image = xom::vendorProtect(program, spec.scheme, spec.cipher,
+                                      processor_key, rng,
+                                      spec.line_size);
+
+    bundle.manifest = describeImage(bundle.image, processor_key);
+    bundle.manifest.image_version = spec.image_version;
+    bundle.manifest.rollback_counter = spec.rollback_counter;
+
+    return resign(std::move(bundle));
+}
+
+UpdateBundle
+ImageBuilder::resign(UpdateBundle bundle) const
+{
+    const Digest digest = bundle.manifest.digest();
+    bundle.signature = crypto::rsaSignDigest(
+        signing_key_.priv, {digest.begin(), digest.end()});
+    return bundle;
+}
+
+} // namespace secproc::update

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Vendor-side update builder.
+ *
+ * Layered on xom::vendorProtect: packages an encrypted ProgramImage
+ * for one target processor, describes it in an UpdateManifest
+ * (version, rollback counter, processor identity, per-section
+ * digests) and RSA-signs the manifest with the vendor's signing key.
+ * Fielded processors carry the vendor's *public* key and accept only
+ * bundles this builder (or the real vendor it models) produced.
+ */
+
+#ifndef SECPROC_UPDATE_IMAGE_BUILDER_HH
+#define SECPROC_UPDATE_IMAGE_BUILDER_HH
+
+#include "crypto/rsa.hh"
+#include "update/manifest.hh"
+#include "util/random.hh"
+#include "xom/vendor_tool.hh"
+
+namespace secproc::update
+{
+
+/** Release parameters for one update build. */
+struct UpdateSpec
+{
+    /** Human-facing version number. */
+    uint32_t image_version = 1;
+    /** Anti-rollback counter; must grow with every release. */
+    uint64_t rollback_counter = 1;
+    xom::VendorScheme scheme = xom::VendorScheme::Otp;
+    secure::CipherKind cipher = secure::CipherKind::Des;
+    uint32_t line_size = 128;
+};
+
+/**
+ * The vendor's release pipeline, bound to one signing identity.
+ */
+class ImageBuilder
+{
+  public:
+    /** @param signing_key The vendor's RSA signing key pair. */
+    explicit ImageBuilder(crypto::RsaKeyPair signing_key)
+        : signing_key_(std::move(signing_key))
+    {}
+
+    /**
+     * Build one signed update bundle.
+     *
+     * @param program Plaintext program as built.
+     * @param spec Release version and scheme parameters.
+     * @param processor_key Target processor's public key (the image
+     *        key capsule and manifest are bound to it).
+     * @param rng Entropy for the symmetric key and capsule padding.
+     */
+    UpdateBundle build(const xom::PlainProgram &program,
+                       const UpdateSpec &spec,
+                       const crypto::RsaPublicKey &processor_key,
+                       util::Rng &rng) const;
+
+    /**
+     * Re-sign an existing bundle after editing its manifest (test
+     * and attack-modelling hook: e.g. a "vendor mistake" that ships
+     * a lower rollback counter with a valid signature).
+     */
+    UpdateBundle resign(UpdateBundle bundle) const;
+
+    /** The public half verifiers carry. */
+    const crypto::RsaPublicKey &publicKey() const
+    {
+        return signing_key_.pub;
+    }
+
+  private:
+    crypto::RsaKeyPair signing_key_;
+};
+
+} // namespace secproc::update
+
+#endif // SECPROC_UPDATE_IMAGE_BUILDER_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Manifest and bundle serialization.
+ *
+ * Length-prefixed binary via util/serialize, parsed with the
+ * soft-failing ByteReader: update bundles cross a trust boundary,
+ * so malformed input must surface as a rejection the UpdateEngine
+ * can report, not a fatal().
+ *
+ *   manifest: magic "SPUM" | u32 version | title | u32 image_version |
+ *             u64 rollback | processor_id | u32 cipher | u64 entry |
+ *             u32 line | image_digest | capsule_digest |
+ *             u32 nsections | { name u64 vaddr u64 size digest }...
+ *   bundle:   magic "SPUB" | manifest blob | signature blob |
+ *             image blob
+ */
+
+#include "update/manifest.hh"
+
+#include "util/serialize.hh"
+
+namespace secproc::update
+{
+
+namespace
+{
+
+constexpr uint32_t kManifestMagic = 0x5350554D; // "SPUM"
+constexpr uint32_t kBundleMagic = 0x53505542;   // "SPUB"
+constexpr uint32_t kMaxSections = 1024;
+
+} // namespace
+
+Digest
+sha256Digest(const uint8_t *data, size_t len)
+{
+    return crypto::Sha256::digest(data, len);
+}
+
+Digest
+sha256Digest(const std::vector<uint8_t> &data)
+{
+    return crypto::Sha256::digest(data.data(), data.size());
+}
+
+Digest
+processorId(const crypto::RsaPublicKey &pub)
+{
+    std::vector<uint8_t> material = pub.n.toBytes();
+    const std::vector<uint8_t> e = pub.e.toBytes();
+    material.insert(material.end(), e.begin(), e.end());
+    return sha256Digest(material);
+}
+
+UpdateManifest
+describeImage(const xom::ProgramImage &image,
+              const crypto::RsaPublicKey &processor)
+{
+    UpdateManifest manifest;
+    manifest.title = image.title;
+    manifest.processor_id = processorId(processor);
+    manifest.cipher = image.cipher;
+    manifest.entry_point = image.entry_point;
+    manifest.line_size = image.line_size;
+    manifest.image_digest = sha256Digest(image.serialize());
+    manifest.capsule_digest = sha256Digest(image.key_capsule);
+    for (const xom::Section &section : image.sections) {
+        SectionDigest sd;
+        sd.name = section.name;
+        sd.vaddr = section.vaddr;
+        sd.size = section.bytes.size();
+        sd.digest = sha256Digest(section.bytes);
+        manifest.sections.push_back(std::move(sd));
+    }
+    return manifest;
+}
+
+std::vector<uint8_t>
+UpdateManifest::serialize() const
+{
+    using namespace util;
+    std::vector<uint8_t> out;
+    putU32(out, kManifestMagic);
+    putU32(out, kFormatVersion);
+    putString(out, title);
+    putU32(out, image_version);
+    putU64(out, rollback_counter);
+    putArray(out, processor_id);
+    putU32(out, static_cast<uint32_t>(cipher));
+    putU64(out, entry_point);
+    putU32(out, line_size);
+    putArray(out, image_digest);
+    putArray(out, capsule_digest);
+    putU32(out, static_cast<uint32_t>(sections.size()));
+    for (const SectionDigest &sd : sections) {
+        putString(out, sd.name);
+        putU64(out, sd.vaddr);
+        putU64(out, sd.size);
+        putArray(out, sd.digest);
+    }
+    return out;
+}
+
+std::optional<UpdateManifest>
+UpdateManifest::deserialize(const std::vector<uint8_t> &data)
+{
+    util::ByteReader reader(data);
+    if (reader.u32() != kManifestMagic)
+        return std::nullopt;
+    if (reader.u32() != kFormatVersion)
+        return std::nullopt;
+    UpdateManifest manifest;
+    manifest.title = reader.str();
+    manifest.image_version = reader.u32();
+    manifest.rollback_counter = reader.u64();
+    manifest.processor_id = reader.array<32>();
+    manifest.cipher = static_cast<secure::CipherKind>(reader.u32());
+    manifest.entry_point = reader.u64();
+    manifest.line_size = reader.u32();
+    manifest.image_digest = reader.array<32>();
+    manifest.capsule_digest = reader.array<32>();
+    const uint32_t nsections = reader.u32();
+    if (!reader.ok() || nsections > kMaxSections)
+        return std::nullopt;
+    for (uint32_t i = 0; i < nsections; ++i) {
+        SectionDigest sd;
+        sd.name = reader.str();
+        sd.vaddr = reader.u64();
+        sd.size = reader.u64();
+        sd.digest = reader.array<32>();
+        manifest.sections.push_back(std::move(sd));
+    }
+    if (!reader.atEnd())
+        return std::nullopt;
+    return manifest;
+}
+
+Digest
+UpdateManifest::digest() const
+{
+    return sha256Digest(serialize());
+}
+
+std::vector<uint8_t>
+UpdateBundle::serialize() const
+{
+    using namespace util;
+    std::vector<uint8_t> out;
+    putU32(out, kBundleMagic);
+    putBlob(out, manifest.serialize());
+    putBlob(out, signature);
+    putBlob(out, image.serialize());
+    return out;
+}
+
+std::optional<UpdateBundle>
+UpdateBundle::deserialize(const std::vector<uint8_t> &data)
+{
+    util::ByteReader reader(data);
+    if (reader.u32() != kBundleMagic)
+        return std::nullopt;
+    const std::vector<uint8_t> manifest_bytes = reader.blob();
+    const std::vector<uint8_t> signature = reader.blob();
+    const std::vector<uint8_t> image_bytes = reader.blob();
+    if (!reader.atEnd())
+        return std::nullopt;
+
+    const auto manifest = UpdateManifest::deserialize(manifest_bytes);
+    if (!manifest.has_value())
+        return std::nullopt;
+
+    // The manifest's image digest must match before the bytes are
+    // trusted any further (cheap consistency gate; the authenticated
+    // check is UpdateEngine::verify, which the engine runs on every
+    // parsed bundle).
+    if (sha256Digest(image_bytes) != manifest->image_digest)
+        return std::nullopt;
+    auto image = xom::ProgramImage::tryDeserialize(image_bytes);
+    if (!image.has_value())
+        return std::nullopt;
+
+    UpdateBundle bundle;
+    bundle.manifest = *manifest;
+    bundle.signature = signature;
+    bundle.image = std::move(*image);
+    return bundle;
+}
+
+} // namespace secproc::update

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Rollback counter bank implementation.
+ */
+
+#include "update/rollback_store.hh"
+
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace secproc::update
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x53505243; // "SPRC"
+
+} // namespace
+
+uint64_t
+RollbackStore::current(const std::string &title) const
+{
+    const auto it = counters_.find(title);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+RollbackStore::hasSlotFor(const std::string &title) const
+{
+    return counters_.count(title) > 0 ||
+           counters_.size() < capacity_;
+}
+
+bool
+RollbackStore::wouldAccept(const std::string &title,
+                           uint64_t counter) const
+{
+    return counter > current(title) && hasSlotFor(title);
+}
+
+void
+RollbackStore::commit(const std::string &title, uint64_t counter)
+{
+    panic_if(counter <= current(title),
+             "rollback counter for '", title, "' would shrink: ",
+             current(title), " -> ", counter);
+    fatal_if(counters_.count(title) == 0 &&
+                 counters_.size() >= capacity_,
+             "rollback store full (", capacity_, " slots)");
+    counters_[title] = counter;
+}
+
+std::vector<uint8_t>
+RollbackStore::serialize() const
+{
+    using namespace util;
+    std::vector<uint8_t> out;
+    putU32(out, kMagic);
+    putU64(out, capacity_);
+    putU32(out, static_cast<uint32_t>(counters_.size()));
+    for (const auto &[title, counter] : counters_) {
+        putString(out, title);
+        putU64(out, counter);
+    }
+    return out;
+}
+
+std::optional<RollbackStore>
+RollbackStore::deserialize(const std::vector<uint8_t> &data)
+{
+    util::ByteReader reader(data);
+    if (reader.u32() != kMagic)
+        return std::nullopt;
+    const uint64_t capacity = reader.u64();
+    const uint32_t count = reader.u32();
+    if (!reader.ok())
+        return std::nullopt;
+
+    RollbackStore store(static_cast<size_t>(capacity));
+    for (uint32_t i = 0; i < count; ++i) {
+        const std::string title = reader.str();
+        const uint64_t counter = reader.u64();
+        if (!reader.ok() || counter == 0 ||
+            !store.wouldAccept(title, counter))
+            return std::nullopt;
+        store.commit(title, counter);
+    }
+    if (!reader.atEnd())
+        return std::nullopt;
+    return store;
+}
+
+} // namespace secproc::update

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Update engine implementation.
+ */
+
+#include "update/update_engine.hh"
+
+#include "util/logging.hh"
+#include "util/serialize.hh"
+#include "util/strutil.hh"
+
+namespace secproc::update
+{
+
+namespace
+{
+
+/** Framing of a staged bundle in the slot: magic | u64 len | bytes. */
+constexpr uint32_t kSlotMagic = 0x53505354; // "SPST"
+constexpr uint64_t kSlotHeaderBytes = 12;
+
+std::vector<uint8_t>
+frameBundle(const std::vector<uint8_t> &bundle_bytes)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kSlotHeaderBytes + bundle_bytes.size());
+    util::putU32(out, kSlotMagic);
+    util::putU64(out, bundle_bytes.size());
+    out.insert(out.end(), bundle_bytes.begin(), bundle_bytes.end());
+    return out;
+}
+
+} // namespace
+
+const char *
+updateStatusName(UpdateStatus status)
+{
+    switch (status) {
+      case UpdateStatus::Ok: return "ok";
+      case UpdateStatus::MalformedBundle: return "malformed-bundle";
+      case UpdateStatus::WrongProcessor: return "wrong-processor";
+      case UpdateStatus::BadSignature: return "bad-signature";
+      case UpdateStatus::DigestMismatch: return "digest-mismatch";
+      case UpdateStatus::Rollback: return "rollback";
+      case UpdateStatus::CounterBankFull: return "counter-bank-full";
+      case UpdateStatus::TooLarge: return "too-large";
+      case UpdateStatus::StagingCorrupt: return "staging-corrupt";
+      case UpdateStatus::NothingStaged: return "nothing-staged";
+      case UpdateStatus::LoadFailed: return "load-failed";
+    }
+    panic("unknown update status");
+}
+
+UpdateEngine::UpdateEngine(crypto::RsaPublicKey vendor_key,
+                           crypto::RsaKeyPair processor_key,
+                           secure::KeyTable &keys,
+                           RollbackStore &rollback,
+                           const StagingConfig &staging)
+    : vendor_key_(std::move(vendor_key)),
+      processor_key_(std::move(processor_key)),
+      identity_(processorId(processor_key_.pub)), keys_(keys),
+      rollback_(rollback), staging_(staging),
+      loader_(processor_key_.priv, keys_)
+{}
+
+const crypto::RsaKeyPair &
+UpdateEngine::attestationKey() const
+{
+    panic_if(!attestation_key_.has_value(),
+             "attestation key was never provisioned "
+             "(setAttestationKey)");
+    return *attestation_key_;
+}
+
+VerifyResult
+UpdateEngine::verify(const UpdateBundle &bundle) const
+{
+    const UpdateManifest &manifest = bundle.manifest;
+
+    // 0. Structural sanity: downstream consumers (protection engine
+    //    geometry, loader alignment checks) assume a power-of-two
+    //    line size.
+    if (manifest.line_size == 0 ||
+        (manifest.line_size & (manifest.line_size - 1)) != 0) {
+        return {UpdateStatus::MalformedBundle,
+                "manifest line size " +
+                    std::to_string(manifest.line_size) +
+                    " is not a power of two"};
+    }
+
+    // 1. Is this update even meant for us? Checked first so a fleet
+    //    operator gets "wrong processor", not a signature puzzle.
+    if (manifest.processor_id != identity_) {
+        return {UpdateStatus::WrongProcessor,
+                "manifest targets processor " +
+                    util::toHex(manifest.processor_id.data(), 8) +
+                    "..., this processor is " +
+                    util::toHex(identity_.data(), 8) + "..."};
+    }
+
+    // 2. Vendor signature over the manifest's canonical bytes.
+    const std::vector<uint8_t> manifest_bytes = manifest.serialize();
+    const Digest digest = sha256Digest(manifest_bytes);
+    if (!crypto::rsaVerifyDigest(vendor_key_,
+                                 {digest.begin(), digest.end()},
+                                 bundle.signature)) {
+        return {UpdateStatus::BadSignature,
+                "manifest signature does not verify under the "
+                "trusted vendor key"};
+    }
+
+    // 3. The image must be exactly what the manifest signed:
+    //    per-section digests, then the key capsule.
+    if (manifest.sections.size() != bundle.image.sections.size()) {
+        return {UpdateStatus::DigestMismatch,
+                "manifest describes " +
+                    std::to_string(manifest.sections.size()) +
+                    " sections, image carries " +
+                    std::to_string(bundle.image.sections.size())};
+    }
+    for (size_t i = 0; i < manifest.sections.size(); ++i) {
+        const SectionDigest &sd = manifest.sections[i];
+        const xom::Section &section = bundle.image.sections[i];
+        if (sd.name != section.name || sd.vaddr != section.vaddr ||
+            sd.size != section.bytes.size() ||
+            sd.digest != sha256Digest(section.bytes)) {
+            return {UpdateStatus::DigestMismatch,
+                    "section '" + section.name +
+                        "' does not match its signed digest"};
+        }
+    }
+    if (manifest.capsule_digest !=
+        sha256Digest(bundle.image.key_capsule)) {
+        return {UpdateStatus::DigestMismatch,
+                "key capsule does not match its signed digest"};
+    }
+    // Whole-image digest last: it authenticates everything the
+    // per-section digests do not cover (entry point, cipher, line
+    // size, per-section encryption modes).
+    const std::vector<uint8_t> image_bytes = bundle.image.serialize();
+    if (manifest.image_digest != sha256Digest(image_bytes)) {
+        return {UpdateStatus::DigestMismatch,
+                "image does not match its signed whole-image digest"};
+    }
+
+    // 4. Anti-rollback: strictly monotonic per title, with bank
+    //    exhaustion reported as its own condition (a provisioning
+    //    limit, not an attack).
+    if (manifest.rollback_counter <=
+        rollback_.current(manifest.title)) {
+        return {UpdateStatus::Rollback,
+                "rollback counter " +
+                    std::to_string(manifest.rollback_counter) +
+                    " not above stored " +
+                    std::to_string(rollback_.current(manifest.title)) +
+                    " for '" + manifest.title + "'"};
+    }
+    if (!rollback_.hasSlotFor(manifest.title)) {
+        return {UpdateStatus::CounterBankFull,
+                "no rollback counter slot free for new title '" +
+                    manifest.title + "' (" +
+                    std::to_string(rollback_.capacity()) +
+                    " slots in use)"};
+    }
+
+    // 5. The bundle must fit the staging slot, or it can never be
+    //    installed on this device. Size computed from the parts
+    //    already serialized above (bundle framing is magic + three
+    //    length-prefixed blobs).
+    const uint64_t framed_size = kSlotHeaderBytes + 4 +
+                                 (4 + manifest_bytes.size()) +
+                                 (4 + bundle.signature.size()) +
+                                 (4 + image_bytes.size());
+    if (framed_size > staging_.slot_size) {
+        return {UpdateStatus::TooLarge,
+                "bundle does not fit the " +
+                    std::to_string(staging_.slot_size) +
+                    "-byte staging slot"};
+    }
+
+    return {UpdateStatus::Ok, {}};
+}
+
+VerifyResult
+UpdateEngine::stage(const UpdateBundle &bundle, mem::MainMemory &memory)
+{
+    const VerifyResult admission = verify(bundle);
+    if (!admission.ok())
+        return admission;
+
+    // verify() already gated the size; this only guards the framing
+    // arithmetic itself.
+    const std::vector<uint8_t> framed = frameBundle(bundle.serialize());
+    panic_if(framed.size() > staging_.slot_size,
+             "verified bundle does not fit its slot");
+    memory.write(slotBase(stagingSlot()), framed.data(), framed.size());
+    staged_pending_ = true;
+    return admission;
+}
+
+InstallResult
+UpdateEngine::activate(secure::CompartmentId compartment,
+                       mem::MainMemory &memory, mem::VirtualMemory &vm,
+                       mem::Asid asid, secure::ProtectionEngine &engine)
+{
+    if (!staged_pending_) {
+        return {UpdateStatus::NothingStaged,
+                "no staged update to activate", compartment, 0,
+                active_slot_};
+    }
+
+    const uint32_t slot = stagingSlot();
+    const uint64_t base = slotBase(slot);
+
+    // Re-read the slot header from untrusted memory.
+    std::vector<uint8_t> header(kSlotHeaderBytes);
+    memory.read(base, header.data(), header.size());
+    util::ByteReader reader(header);
+    const uint32_t magic = reader.u32();
+    const uint64_t len = reader.u64();
+    if (magic != kSlotMagic || len == 0 ||
+        len > staging_.slot_size - kSlotHeaderBytes) {
+        return {UpdateStatus::StagingCorrupt,
+                "staged slot header is damaged (interrupted "
+                "staging write?)",
+                compartment, 0, active_slot_};
+    }
+
+    std::vector<uint8_t> bundle_bytes(len);
+    memory.read(base + kSlotHeaderBytes, bundle_bytes.data(), len);
+    const auto staged = UpdateBundle::deserialize(bundle_bytes);
+    if (!staged.has_value()) {
+        return {UpdateStatus::StagingCorrupt,
+                "staged bundle bytes no longer parse or match "
+                "their image digest",
+                compartment, 0, active_slot_};
+    }
+
+    // The staging area is outside the boundary: everything gets
+    // re-verified before any state changes.
+    const VerifyResult admission = verify(*staged);
+    if (!admission.ok()) {
+        // Anything that re-fails here was verified clean at stage()
+        // and has since been damaged in untrusted memory — except
+        // rollback-store races (the counter advanced, or the last
+        // free slot was consumed, between stage and activate), which
+        // keep their own statuses.
+        const UpdateStatus status =
+            admission.status == UpdateStatus::Rollback ||
+                    admission.status == UpdateStatus::CounterBankFull
+                ? admission.status
+                : UpdateStatus::StagingCorrupt;
+        return {status, "staged bundle failed re-verification: " +
+                            admission.detail,
+                compartment, 0, active_slot_};
+    }
+
+    // Hand to the loader; this is the single point that mutates the
+    // key table and line states.
+    const xom::LoadResult loaded = loader_.load(
+        staged->image, compartment, memory, vm, asid, engine);
+    if (!loaded.success) {
+        return {UpdateStatus::LoadFailed, loaded.error, compartment, 0,
+                active_slot_};
+    }
+
+    // Commit: flip slots, burn the counter, remember the manifest.
+    active_slot_ = slot;
+    staged_pending_ = false;
+    rollback_.commit(staged->manifest.title,
+                     staged->manifest.rollback_counter);
+    active_manifest_ = staged->manifest;
+    installed_[compartment] = staged->manifest;
+    inform("activated '", staged->manifest.title, "' v",
+           staged->manifest.image_version, " (rollback ",
+           staged->manifest.rollback_counter, ") in slot ",
+           slot == 0 ? "A" : "B");
+
+    return {UpdateStatus::Ok, {}, compartment, loaded.entry_point,
+            slot};
+}
+
+InstallResult
+UpdateEngine::install(const UpdateBundle &bundle,
+                      secure::CompartmentId compartment,
+                      mem::MainMemory &memory, mem::VirtualMemory &vm,
+                      mem::Asid asid, secure::ProtectionEngine &engine)
+{
+    const VerifyResult admission = stage(bundle, memory);
+    if (!admission.ok()) {
+        return {admission.status, admission.detail, compartment, 0,
+                active_slot_};
+    }
+    return activate(compartment, memory, vm, asid, engine);
+}
+
+} // namespace secproc::update

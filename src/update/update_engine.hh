@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Processor-side secure update engine.
+ *
+ * Receives signed update bundles from untrusted transport and takes
+ * them live without ever trusting unverified bytes:
+ *
+ *  1. verify() — vendor signature over the manifest, target
+ *     processor identity, per-section + capsule digests, and the
+ *     anti-rollback counter, all inside the security boundary;
+ *  2. stage() — write the serialized bundle into the inactive half
+ *     of an A/B staging area in untrusted MainMemory (a download
+ *     may be interrupted or corrupted at any point);
+ *  3. activate() — read the staged bytes back, re-verify everything
+ *     (the staging area is outside the boundary), then atomically
+ *     hand the image to xom::SecureLoader — which unwraps the key
+ *     capsule, installs the compartment key and registers line
+ *     states — flip the active slot and commit the rollback
+ *     counter. A failure at any step leaves the previous image
+ *     active and the counter untouched.
+ */
+
+#ifndef SECPROC_UPDATE_UPDATE_ENGINE_HH
+#define SECPROC_UPDATE_UPDATE_ENGINE_HH
+
+#include <array>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/rsa.hh"
+#include "mem/main_memory.hh"
+#include "mem/virtual_memory.hh"
+#include "secure/key_table.hh"
+#include "secure/protection_engine.hh"
+#include "update/manifest.hh"
+#include "update/rollback_store.hh"
+#include "xom/secure_loader.hh"
+
+namespace secproc::update
+{
+
+/** Why an update was accepted or refused. Each check is distinct. */
+enum class UpdateStatus
+{
+    Ok,
+    /** Bundle bytes do not parse (truncation, framing damage). */
+    MalformedBundle,
+    /** Manifest targets a different processor's public key. */
+    WrongProcessor,
+    /** Vendor signature over the manifest does not verify. */
+    BadSignature,
+    /** A section / capsule digest disagrees with the manifest. */
+    DigestMismatch,
+    /** Rollback counter not above the stored monotonic value. */
+    Rollback,
+    /** New title, but every rollback counter slot is in use. */
+    CounterBankFull,
+    /** Bundle exceeds the staging slot capacity. */
+    TooLarge,
+    /** Staged bytes failed re-verification at activation. */
+    StagingCorrupt,
+    /** activate() with no staged update pending. */
+    NothingStaged,
+    /** Key capsule failed to unwrap at activation (loader). */
+    LoadFailed,
+};
+
+/** Short name for reports, e.g. "rollback". */
+const char *updateStatusName(UpdateStatus status);
+
+/** Outcome of verify(): status plus human-readable specifics. */
+struct VerifyResult
+{
+    UpdateStatus status = UpdateStatus::Ok;
+    std::string detail;
+
+    bool ok() const { return status == UpdateStatus::Ok; }
+};
+
+/** Outcome of activate()/install(). */
+struct InstallResult
+{
+    UpdateStatus status = UpdateStatus::Ok;
+    std::string detail;
+    secure::CompartmentId compartment = 0;
+    uint64_t entry_point = 0;
+    /** Slot (0 = A, 1 = B) that became active. */
+    uint32_t slot = 0;
+
+    bool ok() const { return status == UpdateStatus::Ok; }
+};
+
+/** Geometry of the A/B staging area in untrusted memory. */
+struct StagingConfig
+{
+    /** Physical base of slot A; slot B follows at base + size. */
+    uint64_t base = 0x4000'0000;
+    /** Per-slot capacity in bytes. */
+    uint64_t slot_size = 8ull << 20;
+};
+
+/**
+ * One processor's update engine. Lives inside the security boundary
+ * next to the SecureLoader; owns the trusted vendor public key, the
+ * rollback counter bank and the A/B slot bookkeeping.
+ */
+class UpdateEngine
+{
+  public:
+    /**
+     * @param vendor_key Trusted update-authority public key.
+     * @param processor_key This processor's RSA key pair (private
+     *        half drives the loader, public half is our identity).
+     * @param keys Compartment key table the loader installs into.
+     * @param rollback Monotonic counter bank (survives reboots).
+     * @param staging A/B staging area geometry.
+     */
+    UpdateEngine(crypto::RsaPublicKey vendor_key,
+                 crypto::RsaKeyPair processor_key,
+                 secure::KeyTable &keys, RollbackStore &rollback,
+                 const StagingConfig &staging = {});
+
+    /**
+     * Full admission check of a parsed bundle against this
+     * processor's identity and rollback history. Read-only.
+     */
+    VerifyResult verify(const UpdateBundle &bundle) const;
+
+    /**
+     * Verify @p bundle and write its serialized form into the
+     * inactive staging slot in @p memory. Does not touch the
+     * running image.
+     */
+    VerifyResult stage(const UpdateBundle &bundle,
+                       mem::MainMemory &memory);
+
+    /**
+     * Take the staged update live: re-read and re-verify the staged
+     * bytes, load through the SecureLoader, flip the active slot and
+     * commit the rollback counter. On any failure the previous
+     * image, slot and counter are untouched.
+     */
+    InstallResult activate(secure::CompartmentId compartment,
+                           mem::MainMemory &memory,
+                           mem::VirtualMemory &vm, mem::Asid asid,
+                           secure::ProtectionEngine &engine);
+
+    /** stage() + activate() in one call. */
+    InstallResult install(const UpdateBundle &bundle,
+                          secure::CompartmentId compartment,
+                          mem::MainMemory &memory,
+                          mem::VirtualMemory &vm, mem::Asid asid,
+                          secure::ProtectionEngine &engine);
+
+    /** Slot that would serve the next stage() (0 = A, 1 = B). */
+    uint32_t stagingSlot() const { return active_slot_ ^ 1u; }
+
+    /** Active slot index; meaningful once something installed. */
+    uint32_t activeSlot() const { return active_slot_; }
+
+    /** Manifest of the most recently activated image, if any. */
+    const std::optional<UpdateManifest> &activeManifest() const
+    {
+        return active_manifest_;
+    }
+
+    /** Manifest running in @p compartment, nullptr if none. */
+    const UpdateManifest *
+    compartmentManifest(secure::CompartmentId compartment) const
+    {
+        const auto it = installed_.find(compartment);
+        return it == installed_.end() ? nullptr : &it->second;
+    }
+
+    /** This processor's identity fingerprint. */
+    const Digest &processorIdentity() const { return identity_; }
+
+    const crypto::RsaKeyPair &processorKey() const
+    {
+        return processor_key_;
+    }
+
+    /**
+     * Provision the dedicated attestation signing key. Deliberately
+     * distinct from the capsule-unwrap key pair: the loader's
+     * PKCS#1 type-02 unwrap is an observable decryption oracle, and
+     * signing with the same key would expose quote forgery to
+     * Bleichenbacher-style cross-protocol attacks.
+     */
+    void setAttestationKey(crypto::RsaKeyPair key)
+    {
+        attestation_key_ = std::move(key);
+    }
+
+    /** Attestation key pair; panics when never provisioned. */
+    const crypto::RsaKeyPair &attestationKey() const;
+
+    const RollbackStore &rollback() const { return rollback_; }
+
+  private:
+    crypto::RsaPublicKey vendor_key_;
+    crypto::RsaKeyPair processor_key_;
+    std::optional<crypto::RsaKeyPair> attestation_key_;
+    Digest identity_;
+    secure::KeyTable &keys_;
+    RollbackStore &rollback_;
+    StagingConfig staging_;
+    xom::SecureLoader loader_;
+
+    uint32_t active_slot_ = 1; // first stage() lands in slot 0 (A)
+    bool staged_pending_ = false;
+    std::optional<UpdateManifest> active_manifest_;
+    /** compartment -> manifest of the image it runs. */
+    std::unordered_map<secure::CompartmentId, UpdateManifest>
+        installed_;
+
+    uint64_t slotBase(uint32_t slot) const
+    {
+        return staging_.base + slot * staging_.slot_size;
+    }
+};
+
+} // namespace secproc::update
+
+#endif // SECPROC_UPDATE_UPDATE_ENGINE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Serialization helper implementation.
+ */
+
+#include "util/serialize.hh"
+
+#include <algorithm>
+
+namespace secproc::util
+{
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putBytes(std::vector<uint8_t> &out, const uint8_t *data, size_t len)
+{
+    putU32(out, static_cast<uint32_t>(len));
+    out.insert(out.end(), data, data + len);
+}
+
+void
+putBlob(std::vector<uint8_t> &out, const std::vector<uint8_t> &blob)
+{
+    putBytes(out, blob.data(), blob.size());
+}
+
+void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    putBytes(out, reinterpret_cast<const uint8_t *>(s.data()),
+             s.size());
+}
+
+bool
+ByteReader::need(size_t n)
+{
+    if (!ok_ || pos_ + n > data_.size() || pos_ + n < pos_) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+uint32_t
+ByteReader::u32()
+{
+    if (!need(4))
+        return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+uint64_t
+ByteReader::u64()
+{
+    if (!need(8))
+        return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::vector<uint8_t>
+ByteReader::blob()
+{
+    const uint32_t len = u32();
+    if (!need(len))
+        return {};
+    std::vector<uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                             data_.begin() +
+                                 static_cast<long>(pos_ + len));
+    pos_ += len;
+    return out;
+}
+
+std::string
+ByteReader::str()
+{
+    const auto bytes = blob();
+    return std::string(bytes.begin(), bytes.end());
+}
+
+} // namespace secproc::util

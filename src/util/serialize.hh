@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Little-endian length-prefixed binary serialization, shared by
+ * every on-disk / in-memory artifact format (program images, update
+ * manifests and bundles, rollback banks, attestation reports).
+ *
+ * Writers append to a byte vector. ByteReader is deliberately
+ * *soft-failing*: formats cross trust boundaries, so malformed input
+ * must surface as a flag the caller turns into a rejection — never
+ * a fatal(). Callers that own their input (trusted round trips)
+ * wrap the ok() check in fatal_if themselves.
+ */
+
+#ifndef SECPROC_UTIL_SERIALIZE_HH
+#define SECPROC_UTIL_SERIALIZE_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secproc::util
+{
+
+/** Append @p v little-endian. @{ */
+void putU32(std::vector<uint8_t> &out, uint32_t v);
+void putU64(std::vector<uint8_t> &out, uint64_t v);
+/** @} */
+
+/** Append u32 length then @p len raw bytes. */
+void putBytes(std::vector<uint8_t> &out, const uint8_t *data,
+              size_t len);
+
+/** Append u32 length then the blob/string bytes. @{ */
+void putBlob(std::vector<uint8_t> &out,
+             const std::vector<uint8_t> &blob);
+void putString(std::vector<uint8_t> &out, const std::string &s);
+/** @} */
+
+/** Append a fixed-size array verbatim (no length prefix). */
+template <size_t N>
+void
+putArray(std::vector<uint8_t> &out, const std::array<uint8_t, N> &a)
+{
+    out.insert(out.end(), a.begin(), a.end());
+}
+
+/**
+ * Bounds-checked little-endian reader. Any out-of-range access
+ * latches ok() to false and yields zero values; callers check ok()
+ * (and usually atEnd()) once at the end instead of after every
+ * field.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &data)
+        : data_(data)
+    {}
+
+    bool ok() const { return ok_; }
+    /** All bytes consumed and no read ever ran off the end. */
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+    uint32_t u32();
+    uint64_t u64();
+
+    /** u32 length + raw bytes. */
+    std::vector<uint8_t> blob();
+    std::string str();
+
+    /** Fixed-size array, no length prefix. */
+    template <size_t N>
+    std::array<uint8_t, N>
+    array()
+    {
+        std::array<uint8_t, N> out = {};
+        if (!need(N))
+            return out;
+        std::copy_n(data_.begin() + static_cast<long>(pos_), N,
+                    out.begin());
+        pos_ += N;
+        return out;
+    }
+
+  private:
+    const std::vector<uint8_t> &data_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+
+    bool need(size_t n);
+};
+
+} // namespace secproc::util
+
+#endif // SECPROC_UTIL_SERIALIZE_HH

@@ -10,8 +10,8 @@
 
 #include "xom/program_image.hh"
 
-#include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace secproc::xom
 {
@@ -21,91 +21,7 @@ namespace
 
 constexpr uint32_t kMagic = 0x5350494D; // "SPIM"
 constexpr uint32_t kVersion = 1;
-
-void
-putU32(std::vector<uint8_t> &out, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void
-putU64(std::vector<uint8_t> &out, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void
-putBlob(std::vector<uint8_t> &out, const std::vector<uint8_t> &blob)
-{
-    putU32(out, static_cast<uint32_t>(blob.size()));
-    out.insert(out.end(), blob.begin(), blob.end());
-}
-
-void
-putString(std::vector<uint8_t> &out, const std::string &s)
-{
-    putU32(out, static_cast<uint32_t>(s.size()));
-    out.insert(out.end(), s.begin(), s.end());
-}
-
-/** Bounds-checked reader. */
-class Reader
-{
-  public:
-    explicit Reader(const std::vector<uint8_t> &data) : data_(data) {}
-
-    uint32_t
-    u32()
-    {
-        need(4);
-        uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
-        return v;
-    }
-
-    uint64_t
-    u64()
-    {
-        need(8);
-        uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
-        return v;
-    }
-
-    std::vector<uint8_t>
-    blob()
-    {
-        const uint32_t len = u32();
-        need(len);
-        std::vector<uint8_t> out(data_.begin() + pos_,
-                                 data_.begin() + pos_ + len);
-        pos_ += len;
-        return out;
-    }
-
-    std::string
-    str()
-    {
-        const auto bytes = blob();
-        return std::string(bytes.begin(), bytes.end());
-    }
-
-  private:
-    const std::vector<uint8_t> &data_;
-    size_t pos_ = 0;
-
-    void
-    need(size_t n)
-    {
-        fatal_if(pos_ + n > data_.size(),
-                 "truncated program image (need ", n, " at ", pos_,
-                 " of ", data_.size(), ")");
-    }
-};
+constexpr uint32_t kMaxSections = 1024;
 
 } // namespace
 
@@ -121,6 +37,7 @@ ProgramImage::totalBytes() const
 std::vector<uint8_t>
 ProgramImage::serialize() const
 {
+    using namespace util;
     std::vector<uint8_t> out;
     putU32(out, kMagic);
     putU32(out, kVersion);
@@ -139,12 +56,12 @@ ProgramImage::serialize() const
     return out;
 }
 
-ProgramImage
-ProgramImage::deserialize(const std::vector<uint8_t> &data)
+std::optional<ProgramImage>
+ProgramImage::tryDeserialize(const std::vector<uint8_t> &data)
 {
-    Reader reader(data);
-    fatal_if(reader.u32() != kMagic, "bad program image magic");
-    fatal_if(reader.u32() != kVersion, "unsupported image version");
+    util::ByteReader reader(data);
+    if (reader.u32() != kMagic || reader.u32() != kVersion)
+        return std::nullopt;
     ProgramImage image;
     image.cipher = static_cast<secure::CipherKind>(reader.u32());
     image.entry_point = reader.u64();
@@ -152,7 +69,8 @@ ProgramImage::deserialize(const std::vector<uint8_t> &data)
     image.title = reader.str();
     image.key_capsule = reader.blob();
     const uint32_t nsections = reader.u32();
-    fatal_if(nsections > 1024, "implausible section count");
+    if (!reader.ok() || nsections > kMaxSections)
+        return std::nullopt;
     for (uint32_t i = 0; i < nsections; ++i) {
         Section section;
         section.name = reader.str();
@@ -162,7 +80,18 @@ ProgramImage::deserialize(const std::vector<uint8_t> &data)
         section.bytes = reader.blob();
         image.sections.push_back(std::move(section));
     }
+    if (!reader.atEnd())
+        return std::nullopt;
     return image;
+}
+
+ProgramImage
+ProgramImage::deserialize(const std::vector<uint8_t> &data)
+{
+    auto image = tryDeserialize(data);
+    fatal_if(!image.has_value(),
+             "malformed program image (", data.size(), " bytes)");
+    return std::move(*image);
 }
 
 } // namespace secproc::xom

@@ -14,6 +14,7 @@
 #define SECPROC_XOM_PROGRAM_IMAGE_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,13 @@ struct ProgramImage
 
     /** Parse a serialized image; fatal on malformed input. */
     static ProgramImage deserialize(const std::vector<uint8_t> &data);
+
+    /**
+     * Parse bytes that crossed a trust boundary (an update bundle,
+     * a staged slot): std::nullopt on malformed input, never fatal.
+     */
+    static std::optional<ProgramImage>
+    tryDeserialize(const std::vector<uint8_t> &data);
 };
 
 } // namespace secproc::xom

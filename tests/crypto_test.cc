@@ -312,6 +312,40 @@ TEST(Sha256, KnownVectors)
               "27ae41e4649b934ca495991b7852b855");
 }
 
+struct ShaVector
+{
+    const char *message_hex;
+    const char *digest_hex;
+};
+
+/** NIST CAVP SHA-256 short-message known answers (byte-oriented). */
+const ShaVector kSha256ShortMessages[] = {
+    {"d3", "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"},
+    {"11af", "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98"},
+    {"b4190e", "dff2e73091f6c05e528896c4c831b9448653dc2ff043528f6769437bc7b975c2"},
+    {"74ba2521", "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e"},
+    {"c299209682", "f0887fe961c9cd3beab957e8222494abb969b1ce4c6557976df8b0f6d20e9166"},
+    {"e1dc724d5621", "eca0a060b489636225b4fa64d267dabbe44273067ac679f20820bddc6b6a90ac"},
+    {"06e076f5a442d5", "3fd877e27450e6bbd5d74bb82f9870c64c66e109418baa8e6bbcff355e287926"},
+    {"5738c929c4f4ccb6", "963bb88f27f512777aab6c8b1a02c70ec0ad651d428f870036e1917120fb48bf"},
+    {"3334c58075d3f4139e", "078da3d77ed43bd3037a433fd0341855023793f9afd08b4b08ea1e5597ceef20"},
+    {"74cb9381d89f5aa73368", "73d6fad1caaa75b43b21733561fd3958bdc555194a037c2addec19dc2d7a52bd"},
+};
+
+class Sha256ShortMessage : public ::testing::TestWithParam<ShaVector>
+{};
+
+TEST_P(Sha256ShortMessage, MatchesNistVector)
+{
+    const auto &[message_hex, digest_hex] = GetParam();
+    const auto message = fromHex(message_hex);
+    const auto d = Sha256::digest(message.data(), message.size());
+    EXPECT_EQ(toHex(d.data(), d.size()), digest_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(NistCavp, Sha256ShortMessage,
+                         ::testing::ValuesIn(kSha256ShortMessages));
+
 TEST(Sha256, IncrementalMatchesOneShot)
 {
     Rng rng(9);
@@ -354,6 +388,58 @@ TEST(Hmac, Rfc4231Case2)
     EXPECT_EQ(toHex(mac.data(), mac.size()),
               "5bdcc146bf60754e6a042426089575c7"
               "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3CombinedKeyAndData)
+{
+    const std::vector<uint8_t> key(20, 0xaa);
+    const std::vector<uint8_t> msg(50, 0xdd);
+    const auto mac =
+        hmacSha256(key.data(), key.size(), msg.data(), msg.size());
+    EXPECT_EQ(toHex(mac.data(), mac.size()),
+              "773ea91e36800e46854db8ebd09181a7"
+              "2959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case4TwentyFiveByteKey)
+{
+    const auto key =
+        fromHex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+    const std::vector<uint8_t> msg(50, 0xcd);
+    const auto mac =
+        hmacSha256(key.data(), key.size(), msg.data(), msg.size());
+    EXPECT_EQ(toHex(mac.data(), mac.size()),
+              "82558a389a443c0ea4cc819899f2083a"
+              "85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(Hmac, Rfc4231Case6KeyLargerThanBlock)
+{
+    // 131-byte key: exercises the hash-the-key-down path.
+    const std::vector<uint8_t> key(131, 0xaa);
+    const std::string msg =
+        "Test Using Larger Than Block-Size Key - Hash Key First";
+    const auto mac = hmacSha256(
+        key.data(), key.size(),
+        reinterpret_cast<const uint8_t *>(msg.data()), msg.size());
+    EXPECT_EQ(toHex(mac.data(), mac.size()),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7KeyAndDataLargerThanBlock)
+{
+    const std::vector<uint8_t> key(131, 0xaa);
+    const std::string msg =
+        "This is a test using a larger than block-size key and a "
+        "larger than block-size data. The key needs to be hashed "
+        "before being used by the HMAC algorithm.";
+    const auto mac = hmacSha256(
+        key.data(), key.size(),
+        reinterpret_cast<const uint8_t *>(msg.data()), msg.size());
+    EXPECT_EQ(toHex(mac.data(), mac.size()),
+              "9b09ffa71b942fcb27635fbcd5b0e944"
+              "bfdc63644f0713938a7f51535c3a35e2");
 }
 
 // ----------------------------------------------------------------- BigInt
@@ -508,6 +594,52 @@ TEST(Rsa, TamperedCapsuleRejectedOrGarbage)
     if (result.has_value()) {
         EXPECT_NE(*result, key);
     }
+}
+
+TEST(Rsa, SignVerifyDigest)
+{
+    Rng rng(35);
+    const auto pair = rsaGenerate(384, rng);
+    std::vector<uint8_t> digest(32);
+    rng.fillBytes(digest.data(), digest.size());
+
+    const auto signature = rsaSignDigest(pair.priv, digest);
+    EXPECT_TRUE(rsaVerifyDigest(pair.pub, digest, signature));
+
+    // Signatures are deterministic (type-01 padding, no salt).
+    EXPECT_EQ(rsaSignDigest(pair.priv, digest), signature);
+}
+
+TEST(Rsa, SignatureRejectsTampering)
+{
+    Rng rng(36);
+    const auto pair = rsaGenerate(384, rng);
+    std::vector<uint8_t> digest(32);
+    rng.fillBytes(digest.data(), digest.size());
+    const auto signature = rsaSignDigest(pair.priv, digest);
+
+    auto other_digest = digest;
+    other_digest[0] ^= 1;
+    EXPECT_FALSE(rsaVerifyDigest(pair.pub, other_digest, signature));
+
+    auto broken_signature = signature;
+    broken_signature[7] ^= 0x20;
+    EXPECT_FALSE(rsaVerifyDigest(pair.pub, digest, broken_signature));
+
+    EXPECT_FALSE(rsaVerifyDigest(pair.pub, digest, {}));
+}
+
+TEST(Rsa, SignatureBoundToKey)
+{
+    Rng rng(37);
+    const auto alice = rsaGenerate(384, rng);
+    const auto mallory = rsaGenerate(384, rng);
+    std::vector<uint8_t> digest(32);
+    rng.fillBytes(digest.data(), digest.size());
+
+    const auto signature = rsaSignDigest(mallory.priv, digest);
+    EXPECT_FALSE(rsaVerifyDigest(alice.pub, digest, signature))
+        << "a signature under another key must not verify";
 }
 
 // ---------------------------------------------------------- latency model

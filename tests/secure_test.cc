@@ -148,6 +148,49 @@ TEST(Snc, SetAssociativeConflicts)
     EXPECT_FALSE(full.install(2 * 4 * kLine, 3).victim_valid);
 }
 
+// -------------------------------------------------------------- key table
+
+TEST(KeyTableValidation, AcceptsCorrectKeyLengths)
+{
+    KeyTable keys;
+    keys.install(1, CipherKind::Des, std::vector<uint8_t>(8, 0x11));
+    keys.install(2, CipherKind::TripleDes,
+                 std::vector<uint8_t>(24, 0x22));
+    keys.install(3, CipherKind::Aes128,
+                 std::vector<uint8_t>(16, 0x33));
+    EXPECT_EQ(keys.size(), 3u);
+    EXPECT_NE(keys.cipher(1), nullptr);
+    EXPECT_NE(keys.cipher(2), nullptr);
+    EXPECT_NE(keys.cipher(3), nullptr);
+}
+
+TEST(KeyTableValidation, RejectsMalformedKeyLengths)
+{
+    // A key of the wrong length (e.g. a truncated RSA capsule
+    // payload) must die at the boundary, not build a bad cipher.
+    KeyTable keys;
+    EXPECT_EXIT(keys.install(1, CipherKind::Des,
+                             std::vector<uint8_t>(7, 0x11)),
+                ::testing::ExitedWithCode(1), "needs 8");
+    EXPECT_EXIT(keys.install(1, CipherKind::Des,
+                             std::vector<uint8_t>(16, 0x11)),
+                ::testing::ExitedWithCode(1), "needs 8");
+    EXPECT_EXIT(keys.install(1, CipherKind::TripleDes,
+                             std::vector<uint8_t>(8, 0x11)),
+                ::testing::ExitedWithCode(1), "needs 24");
+    EXPECT_EXIT(keys.install(1, CipherKind::Aes128,
+                             std::vector<uint8_t>(0)),
+                ::testing::ExitedWithCode(1), "needs 16");
+}
+
+TEST(KeyTableValidation, RejectsReservedNullCompartment)
+{
+    KeyTable keys;
+    EXPECT_EXIT(keys.install(0, CipherKind::Des,
+                             std::vector<uint8_t>(8, 0x11)),
+                ::testing::ExitedWithCode(1), "reserved");
+}
+
 // ---------------------------------------------------------------- engines
 
 struct EngineHarness

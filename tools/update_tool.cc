@@ -1,0 +1,493 @@
+/**
+ * @file
+ * update_tool — the secure-update lifecycle from the command line.
+ *
+ * Drives both sides of the update flow over real files: vendor-side
+ * key generation and bundle building, device-side verification,
+ * install and attestation. State that a fielded device would keep in
+ * fuses (the rollback counter bank) persists in a state file, so
+ * downgrade protection holds across invocations.
+ *
+ *   update_tool keygen  --out=vendor --bits=512 --seed=7
+ *   update_tool keygen  --out=cpu    --bits=512 --seed=8
+ *   update_tool build   --vendor=vendor --processor=cpu.pub \
+ *                       --title=firmware --version=2 --counter=2 \
+ *                       --out=fw2.bundle [--text=payload.bin]
+ *   update_tool info    --bundle=fw2.bundle
+ *   update_tool verify  --bundle=fw2.bundle --vendor=vendor.pub \
+ *                       --processor=cpu --state=device.state
+ *   update_tool install --bundle=fw2.bundle --vendor=vendor.pub \
+ *                       --processor=cpu --state=device.state
+ *   update_tool attest  --processor=cpu --state=device.state \
+ *                       --nonce=deadbeef
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "secure/engines.hh"
+#include "update/attestation.hh"
+#include "update/image_builder.hh"
+#include "update/update_engine.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+using namespace secproc;
+using namespace secproc::update;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: update_tool <command> [options]\n"
+        "  keygen  --out=PREFIX [--bits=512] [--seed=N]\n"
+        "          write PREFIX.pub / PREFIX.priv\n"
+        "  build   --vendor=PREFIX --processor=PUBFILE --out=FILE\n"
+        "          [--title=NAME] [--version=N] [--counter=N]\n"
+        "          [--text=FILE] [--scheme=otp|xom]\n"
+        "          [--cipher=des|3des|aes]\n"
+        "  info    --bundle=FILE\n"
+        "  verify  --bundle=FILE --vendor=PUBFILE --processor=PREFIX\n"
+        "          [--state=FILE]\n"
+        "  install --bundle=FILE --vendor=PUBFILE --processor=PREFIX\n"
+        "          [--state=FILE]\n"
+        "  attest  --processor=PREFIX --vendor=PUBFILE --bundle=FILE\n"
+        "          [--state=FILE] [--nonce=HEX]\n";
+    std::exit(code);
+}
+
+// ------------------------------------------------------------- file I/O
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open '", path, "'");
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!out, "cannot write '", path, "'");
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Keys persist as hex lines: "n <hex>" then "e <hex>" / "d <hex>". */
+void
+writeKeyFile(const std::string &path, const std::string &kind,
+             const crypto::BigInt &n, const crypto::BigInt &exponent)
+{
+    std::ofstream out(path, std::ios::trunc);
+    fatal_if(!out, "cannot write '", path, "'");
+    out << "n " << n.toHex() << "\n"
+        << kind << " " << exponent.toHex() << "\n";
+}
+
+std::pair<crypto::BigInt, crypto::BigInt>
+readKeyFile(const std::string &path, const std::string &kind)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open key file '", path, "'");
+    std::string label_n, hex_n, label_x, hex_x;
+    in >> label_n >> hex_n >> label_x >> hex_x;
+    fatal_if(label_n != "n" || label_x != kind,
+             "'", path, "' is not a ", kind == "e" ? "public" : "private",
+             " key file");
+    return {crypto::BigInt::fromHex(hex_n),
+            crypto::BigInt::fromHex(hex_x)};
+}
+
+crypto::RsaPublicKey
+readPublicKey(const std::string &path)
+{
+    const auto [n, e] = readKeyFile(path, "e");
+    return {n, e};
+}
+
+crypto::RsaPrivateKey
+readPrivateKey(const std::string &path)
+{
+    const auto [n, d] = readKeyFile(path, "d");
+    return {n, d};
+}
+
+/** "--processor=PREFIX" names PREFIX.pub + PREFIX.priv. */
+crypto::RsaKeyPair
+readKeyPair(const std::string &prefix)
+{
+    return {readPublicKey(prefix + ".pub"),
+            readPrivateKey(prefix + ".priv")};
+}
+
+// ------------------------------------------------------------- options
+
+struct Options
+{
+    std::string command;
+    std::string out;
+    std::string vendor;
+    std::string processor;
+    std::string bundle;
+    std::string state;
+    std::string title = "firmware";
+    std::string text;
+    std::string scheme = "otp";
+    std::string cipher = "des";
+    std::string nonce_hex;
+    unsigned bits = 512;
+    uint64_t seed = 1;
+    uint32_t version = 1;
+    uint64_t counter = 1;
+};
+
+uint64_t
+parseNumber(const std::string &key, const std::string &value)
+{
+    try {
+        size_t consumed = 0;
+        const uint64_t v = std::stoull(value, &consumed);
+        fatal_if(consumed != value.size(),
+                 "--", key, " needs a number, got '", value, "'");
+        return v;
+    } catch (const std::exception &) {
+        fatal("--", key, " needs a number, got '", value, "'");
+    }
+}
+
+Options
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(1);
+    Options options;
+    options.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        if (arg.rfind("--", 0) != 0 || eq == std::string::npos)
+            usage(1);
+        const std::string key = arg.substr(2, eq - 2);
+        const std::string value = arg.substr(eq + 1);
+        if (key == "out") options.out = value;
+        else if (key == "vendor") options.vendor = value;
+        else if (key == "processor") options.processor = value;
+        else if (key == "bundle") options.bundle = value;
+        else if (key == "state") options.state = value;
+        else if (key == "title") options.title = value;
+        else if (key == "text") options.text = value;
+        else if (key == "scheme") options.scheme = value;
+        else if (key == "cipher") options.cipher = value;
+        else if (key == "nonce") options.nonce_hex = value;
+        else if (key == "bits")
+            options.bits =
+                static_cast<unsigned>(parseNumber(key, value));
+        else if (key == "seed")
+            options.seed = parseNumber(key, value);
+        else if (key == "version")
+            options.version =
+                static_cast<uint32_t>(parseNumber(key, value));
+        else if (key == "counter")
+            options.counter = parseNumber(key, value);
+        else usage(1);
+    }
+    return options;
+}
+
+secure::CipherKind
+cipherKind(const std::string &name)
+{
+    if (name == "des") return secure::CipherKind::Des;
+    if (name == "3des") return secure::CipherKind::TripleDes;
+    if (name == "aes") return secure::CipherKind::Aes128;
+    fatal("unknown cipher '", name, "' (des | 3des | aes)");
+}
+
+// ------------------------------------------------------------ commands
+
+int
+cmdKeygen(const Options &options)
+{
+    fatal_if(options.out.empty(), "keygen needs --out=PREFIX");
+    util::Rng rng(options.seed);
+    const auto pair = crypto::rsaGenerate(options.bits, rng);
+    writeKeyFile(options.out + ".pub", "e", pair.pub.n, pair.pub.e);
+    writeKeyFile(options.out + ".priv", "d", pair.priv.n, pair.priv.d);
+    // Separate signing identity for attestation quotes — never the
+    // capsule-unwrap key (see UpdateEngine::setAttestationKey).
+    const auto att = crypto::rsaGenerate(options.bits, rng);
+    writeKeyFile(options.out + ".att.pub", "e", att.pub.n, att.pub.e);
+    writeKeyFile(options.out + ".att.priv", "d", att.priv.n,
+                 att.priv.d);
+    std::cout << "wrote " << options.out
+              << ".pub / .priv (+ .att.pub / .att.priv) ("
+              << options.bits << "-bit RSA)\n"
+              << "processor id: "
+              << util::toHex(processorId(pair.pub).data(), 16)
+              << "...\n";
+    return 0;
+}
+
+int
+cmdBuild(const Options &options)
+{
+    fatal_if(options.vendor.empty() || options.processor.empty() ||
+                 options.out.empty(),
+             "build needs --vendor, --processor and --out");
+
+    xom::PlainProgram program;
+    program.title = options.title;
+    program.entry_point = 0x400000;
+    xom::PlainProgram::PlainSection text;
+    text.name = ".text";
+    text.vaddr = 0x400000;
+    if (!options.text.empty()) {
+        text.bytes = readFile(options.text);
+    } else {
+        // Deterministic demo payload derived from the release.
+        util::Rng rng(options.seed + options.version);
+        text.bytes.resize(16 * 128);
+        rng.fillBytes(text.bytes.data(), text.bytes.size());
+    }
+    program.sections = {text};
+
+    UpdateSpec spec;
+    spec.image_version = options.version;
+    spec.rollback_counter = options.counter;
+    spec.scheme = options.scheme == "xom" ? xom::VendorScheme::Xom
+                                          : xom::VendorScheme::Otp;
+    spec.cipher = cipherKind(options.cipher);
+
+    util::Rng rng(options.seed);
+    const ImageBuilder builder(readKeyPair(options.vendor));
+    const UpdateBundle bundle =
+        builder.build(program, spec, readPublicKey(options.processor),
+                      rng);
+    writeFile(options.out, bundle.serialize());
+    std::cout << "wrote '" << options.out << "': " << options.title
+              << " v" << options.version << ", rollback counter "
+              << options.counter << ", "
+              << bundle.image.totalBytes() << " image bytes\n";
+    return 0;
+}
+
+UpdateBundle
+loadBundle(const std::string &path)
+{
+    const auto parsed = UpdateBundle::deserialize(readFile(path));
+    fatal_if(!parsed.has_value(),
+             "'", path, "' is not a well-formed update bundle");
+    return *parsed;
+}
+
+int
+cmdInfo(const Options &options)
+{
+    fatal_if(options.bundle.empty(), "info needs --bundle");
+    const UpdateBundle bundle = loadBundle(options.bundle);
+    const UpdateManifest &m = bundle.manifest;
+    std::cout << "title:            " << m.title << "\n"
+              << "image version:    " << m.image_version << "\n"
+              << "rollback counter: " << m.rollback_counter << "\n"
+              << "target processor: "
+              << util::toHex(m.processor_id.data(), 16) << "...\n"
+              << "entry point:      "
+              << util::formatHex(m.entry_point) << "\n"
+              << "line size:        " << m.line_size << "\n"
+              << "image digest:     "
+              << util::toHex(m.image_digest.data(), 16) << "...\n"
+              << "sections:\n";
+    for (const SectionDigest &sd : m.sections) {
+        std::cout << "  " << sd.name << " @ "
+                  << util::formatHex(sd.vaddr) << ", " << sd.size
+                  << " bytes, sha256 "
+                  << util::toHex(sd.digest.data(), 8) << "...\n";
+    }
+    return 0;
+}
+
+/** Device state file: rollback store bytes (fuse-bank snapshot). */
+RollbackStore
+loadState(const std::string &path)
+{
+    if (path.empty())
+        return RollbackStore();
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe)
+        return RollbackStore(); // first boot
+    const auto parsed = RollbackStore::deserialize(readFile(path));
+    fatal_if(!parsed.has_value(),
+             "state file '", path, "' is corrupt");
+    return *parsed;
+}
+
+int
+cmdVerifyOrInstall(const Options &options, bool install)
+{
+    fatal_if(options.bundle.empty() || options.vendor.empty() ||
+                 options.processor.empty(),
+             "needs --bundle, --vendor and --processor");
+
+    const UpdateBundle bundle = loadBundle(options.bundle);
+    RollbackStore rollback = loadState(options.state);
+
+    secure::KeyTable keys;
+    UpdateEngine updater(readPublicKey(options.vendor),
+                         readKeyPair(options.processor), keys,
+                         rollback);
+
+    // Admission first: nothing below may depend on unauthenticated
+    // manifest fields (e.g. line_size) until verify() passes.
+    const VerifyResult admission = updater.verify(bundle);
+    if (!install || !admission.ok()) {
+        std::cout << updateStatusName(admission.status)
+                  << (admission.detail.empty() ? ""
+                                               : ": " + admission.detail)
+                  << "\n";
+        return admission.ok() ? 0 : 1;
+    }
+
+    mem::MemoryChannel channel;
+    secure::ProtectionConfig config;
+    config.line_size = bundle.manifest.line_size;
+    config.snc.l2_line_size = bundle.manifest.line_size;
+    auto engine = secure::makeProtectionEngine(config, channel, keys);
+    mem::MainMemory memory;
+    mem::VirtualMemory vm;
+    const InstallResult result =
+        updater.install(bundle, 1, memory, vm, 1, *engine);
+    std::cout << updateStatusName(result.status)
+              << (result.detail.empty() ? "" : ": " + result.detail)
+              << "\n";
+    if (!result.ok())
+        return 1;
+    std::cout << "'" << bundle.manifest.title << "' v"
+              << bundle.manifest.image_version << " active in slot "
+              << (result.slot == 0 ? "A" : "B") << ", entry "
+              << util::formatHex(result.entry_point) << "\n";
+    if (!options.state.empty()) {
+        writeFile(options.state, rollback.serialize());
+        std::cout << "rollback state saved to '" << options.state
+                  << "'\n";
+    }
+    return 0;
+}
+
+int
+cmdAttest(const Options &options)
+{
+    fatal_if(options.processor.empty() || options.bundle.empty() ||
+                 options.vendor.empty(),
+             "attest needs --processor, --vendor and --bundle (the "
+             "bundle whose install to prove)");
+
+    // Reconstruct the device: re-install the bundle in a scratch
+    // engine, then quote. (A long-running device would keep the
+    // UpdateEngine alive instead.) The bundle must be *the* release
+    // the persisted state records as installed — its counter must
+    // equal the stored value, otherwise the quote would claim
+    // software this device's fuse bank no longer accepts.
+    const UpdateBundle bundle = loadBundle(options.bundle);
+    RollbackStore rollback = loadState(options.state);
+    const uint64_t recorded = rollback.current(bundle.manifest.title);
+    fatal_if(recorded != 0 &&
+                 bundle.manifest.rollback_counter != recorded,
+             "cannot attest '", bundle.manifest.title,
+             "' at rollback counter ",
+             bundle.manifest.rollback_counter,
+             ": device state records counter ", recorded);
+
+    secure::KeyTable keys;
+    const crypto::RsaKeyPair processor =
+        readKeyPair(options.processor);
+    const crypto::RsaKeyPair attestation =
+        readKeyPair(options.processor + ".att");
+    RollbackStore fresh(rollback.capacity());
+    UpdateEngine updater(readPublicKey(options.vendor), processor,
+                         keys, fresh);
+    updater.setAttestationKey(attestation);
+
+    // Admission before the engine touches unauthenticated fields.
+    const VerifyResult admission = updater.verify(bundle);
+    fatal_if(!admission.ok(),
+             "cannot attest: ", updateStatusName(admission.status),
+             " — ", admission.detail);
+
+    mem::MemoryChannel channel;
+    secure::ProtectionConfig config;
+    config.line_size = bundle.manifest.line_size;
+    config.snc.l2_line_size = bundle.manifest.line_size;
+    auto engine = secure::makeProtectionEngine(config, channel, keys);
+    mem::MainMemory memory;
+    mem::VirtualMemory vm;
+    const InstallResult installed =
+        updater.install(bundle, 1, memory, vm, 1, *engine);
+    fatal_if(!installed.ok(),
+             "cannot attest: ", updateStatusName(installed.status),
+             " — ", installed.detail);
+
+    Digest nonce = {};
+    if (!options.nonce_hex.empty()) {
+        const auto bytes = util::fromHex(options.nonce_hex);
+        std::copy_n(bytes.begin(),
+                    std::min(bytes.size(), nonce.size()),
+                    nonce.begin());
+    }
+    const AttestationQuote quote = attest(updater, 1, nonce);
+    std::cout << "report:\n"
+              << "  processor: "
+              << util::toHex(quote.report.processor_id.data(), 16)
+              << "...\n"
+              << "  title:     " << quote.report.title << " v"
+              << quote.report.image_version << " (rollback "
+              << quote.report.rollback_counter << ")\n"
+              << "  image:     "
+              << util::toHex(quote.report.image_digest.data(), 16)
+              << "...\n"
+              << "  nonce:     "
+              << util::toHex(quote.report.nonce.data(), 8) << "...\n"
+              << "signature: "
+              << util::toHex(quote.signature.data(),
+                             std::min<size_t>(quote.signature.size(),
+                                              16))
+              << "...\n"
+              << "self-check: "
+              << (verifyQuote(attestation.pub, quote, nonce)
+                      ? "verifies"
+                      : "FAILS")
+              << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options = parse(argc, argv);
+    if (options.command == "keygen")
+        return cmdKeygen(options);
+    if (options.command == "build")
+        return cmdBuild(options);
+    if (options.command == "info")
+        return cmdInfo(options);
+    if (options.command == "verify")
+        return cmdVerifyOrInstall(options, false);
+    if (options.command == "install")
+        return cmdVerifyOrInstall(options, true);
+    if (options.command == "attest")
+        return cmdAttest(options);
+    usage(1);
+}
