@@ -7,12 +7,12 @@
  * across context-switch frequencies.
  */
 
+#include <algorithm>
 #include <iostream>
 
-#include "bench/harness.hh"
+#include "exp/cli.hh"
 #include "secure/engines.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -20,9 +20,9 @@ namespace
 {
 
 /** Run one benchmark, flushing the SNC every @p interval ops. */
-uint64_t
+exp::CellOutput
 runWithFlushes(const std::string &bench, uint64_t interval,
-               const bench::HarnessOptions &options)
+               const exp::RunOptions &options)
 {
     const auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
     sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
@@ -36,47 +36,55 @@ runWithFlushes(const std::string &bench, uint64_t interval,
         system.run(chunk);
         remaining -= chunk;
         if (remaining > 0) {
-            auto *otp = dynamic_cast<secure::OtpEngine *>(
-                &system.engine());
+            auto *otp =
+                dynamic_cast<secure::OtpEngine *>(&system.engine());
             otp->flushSnc(system.core().cycles());
         }
     }
-    return system.stats().cycles;
+    exp::CellOutput output;
+    output.stats = system.stats();
+    return output;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_context_switch";
+    spec.title = "Ablation A2: SNC context-switch policies";
+    spec.subtitle = "slowdown % vs baseline; 'tagged' models "
+                    "compartment-ID tags that let entries survive "
+                    "switches, 'flush' spills and refetches the SNC";
     // Focus on the SNC-sensitive benchmarks to keep runtime modest.
-    const std::vector<std::string> benches = {"ammp", "gcc", "mcf",
-                                              "parser"};
+    spec.benchmarks = {"ammp", "gcc", "mcf", "parser"};
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    });
 
-    util::Table table({"bench", "tagged (no flush)", "flush @1M ops",
-                       "flush @250K ops", "flush @50K ops"});
-    for (const std::string &name : benches) {
-        const auto base = bench::runConfig(
-            name, sim::paperConfig(secure::SecurityModel::Baseline),
-            options);
-        std::vector<std::string> row = {name};
-        const uint64_t intervals[] = {~0ull, 1'000'000, 250'000,
-                                      50'000};
-        for (const uint64_t interval : intervals) {
-            const uint64_t cycles =
-                runWithFlushes(name, interval, options);
-            row.push_back(util::formatDouble(
-                bench::slowdownPct(base.cycles, cycles), 2));
-        }
-        table.addRow(row);
+    const std::vector<std::pair<std::string, uint64_t>> policies = {
+        {"tagged (no flush)", ~0ull},
+        {"flush @1M ops", 1'000'000},
+        {"flush @250K ops", 250'000},
+        {"flush @50K ops", 50'000},
+    };
+    for (const auto &[label, interval] : policies) {
+        const uint64_t flush_interval = interval;
+        spec.addCustom(label,
+                       [flush_interval](const std::string &bench,
+                                        const exp::RunOptions &options) {
+                           return runWithFlushes(bench, flush_interval,
+                                                 options);
+                       });
     }
 
-    std::cout << "== Ablation A2: SNC context-switch policies ==\n"
-              << "(slowdown % vs baseline; 'tagged' models "
-                 "compartment-ID tags that let entries survive "
-                 "switches, 'flush' spills and refetches the SNC)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printVariantRows(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -15,9 +15,8 @@
 
 #include <iostream>
 
-#include "bench/harness.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -35,54 +34,36 @@ coreConfig(secure::SecurityModel model, bool blocking)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
-    const std::vector<std::string> benches = {"ammp", "art",  "gcc",
-                                              "mcf",  "mesa", "vpr"};
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    util::Table table({"bench", "core", "XOM %", "SNC-LRU %"});
-    double xom_avg[2] = {0, 0};
-    double otp_avg[2] = {0, 0};
-    for (const std::string &name : benches) {
-        for (const bool blocking : {false, true}) {
-            const auto base = bench::runConfig(
-                name, coreConfig(secure::SecurityModel::Baseline,
-                                 blocking),
-                options);
-            const auto xom = bench::runConfig(
-                name, coreConfig(secure::SecurityModel::Xom, blocking),
-                options);
-            const auto otp = bench::runConfig(
-                name,
-                coreConfig(secure::SecurityModel::OtpSnc, blocking),
-                options);
-            const double xom_pct =
-                bench::slowdownPct(base.cycles, xom.cycles);
-            const double otp_pct =
-                bench::slowdownPct(base.cycles, otp.cycles);
-            xom_avg[blocking] += xom_pct;
-            otp_avg[blocking] += otp_pct;
-            table.addRow({name, blocking ? "in-order" : "ooo-4",
-                          util::formatDouble(xom_pct, 2),
-                          util::formatDouble(otp_pct, 2)});
-        }
-    }
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_core_model";
+    spec.title = "Ablation A9: out-of-order vs in-order core";
+    spec.subtitle =
+        "slowdown % vs the same core's insecure baseline";
+    spec.benchmarks = {"ammp", "art", "gcc", "mcf", "mesa", "vpr"};
+    spec.options = cli.options;
+
     for (const bool blocking : {false, true}) {
-        table.addRow(
-            {"average", blocking ? "in-order" : "ooo-4",
-             util::formatDouble(
-                 xom_avg[blocking] /
-                     static_cast<double>(benches.size()),
-                 2),
-             util::formatDouble(
-                 otp_avg[blocking] /
-                     static_cast<double>(benches.size()),
-                 2)});
+        const std::string core = blocking ? "in-order" : "ooo-4";
+        spec.add("base " + core, [blocking](const std::string &) {
+            return coreConfig(secure::SecurityModel::Baseline,
+                              blocking);
+        });
+        spec.add("XOM " + core, [blocking](const std::string &) {
+                return coreConfig(secure::SecurityModel::Xom, blocking);
+            }).baseline = "base " + core;
+        spec.add("SNC-LRU " + core, [blocking](const std::string &) {
+                return coreConfig(secure::SecurityModel::OtpSnc,
+                                  blocking);
+            }).baseline = "base " + core;
     }
 
-    std::cout << "== Ablation A9: out-of-order vs in-order core ==\n"
-              << "(slowdown % vs the same core's insecure baseline)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printVariantRows(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

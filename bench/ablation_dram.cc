@@ -11,14 +11,14 @@
  * open-page and closed-page DRAM: the XOM gap should stay large (its
  * +50 serial cycles do not depend on the memory model) while the
  * OTP fast path keeps hiding pad generation behind whichever
- * latency the DRAM produces.
+ * latency the DRAM produces. Each memory model's baseline cell
+ * records its DRAM row-hit rate in the JSON extras.
  */
 
 #include <iostream>
 
-#include "bench/harness.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -49,78 +49,68 @@ makeConfig(secure::SecurityModel model, MemModel mem)
     return config;
 }
 
+/** Baseline cell that also reports the DRAM row-hit rate. */
+exp::CellOutput
+runBaseline(const std::string &bench, MemModel mem,
+            const exp::RunOptions &options)
+{
+    const sim::SystemConfig config =
+        makeConfig(secure::SecurityModel::Baseline, mem);
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    system.run(options.measure_instructions);
+
+    exp::CellOutput output;
+    output.stats = system.stats();
+    if (mem != MemModel::Flat) {
+        output.extras.emplace_back(
+            "row_hit_pct", system.channel().dram()->rowHitRate() * 100.0);
+    }
+    return output;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
-    const std::vector<std::string> benches = {"ammp", "art",  "gcc",
-                                              "mcf",  "mesa", "vortex"};
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_dram";
+    spec.title = "Ablation A5: flat memory vs banked DRAM";
+    spec.subtitle = "slowdown % vs the insecure baseline on the "
+                    "*same* memory model";
+    spec.benchmarks = {"ammp", "art", "gcc", "mcf", "mesa", "vortex"};
+    spec.options = cli.options;
+
     const std::vector<std::pair<std::string, MemModel>> memories = {
         {"flat-100", MemModel::Flat},
         {"dram-open", MemModel::DramOpen},
         {"dram-closed", MemModel::DramClosed},
     };
-
-    util::Table table({"bench", "memory", "XOM %", "SNC-LRU %",
-                       "row-hit rate"});
-    std::vector<double> xom_avg(memories.size(), 0.0);
-    std::vector<double> otp_avg(memories.size(), 0.0);
-
-    for (const std::string &name : benches) {
-        for (size_t m = 0; m < memories.size(); ++m) {
-            const auto &[label, mem] = memories[m];
-            const auto base = bench::runConfig(
-                name, makeConfig(secure::SecurityModel::Baseline, mem),
-                options);
-            const auto xom = bench::runConfig(
-                name, makeConfig(secure::SecurityModel::Xom, mem),
-                options);
-            const auto otp = bench::runConfig(
-                name, makeConfig(secure::SecurityModel::OtpSnc, mem),
-                options);
-
-            const double xom_pct =
-                bench::slowdownPct(base.cycles, xom.cycles);
-            const double otp_pct =
-                bench::slowdownPct(base.cycles, otp.cycles);
-            xom_avg[m] += xom_pct;
-            otp_avg[m] += otp_pct;
-
-            // Re-measure the baseline's row-hit rate for context.
-            std::string hit_rate = "-";
-            if (mem != MemModel::Flat) {
-                sim::SyntheticWorkload workload(
-                    sim::benchmarkProfile(name), 128);
-                sim::System system(
-                    makeConfig(secure::SecurityModel::Baseline, mem),
-                    workload);
-                system.run(options.warmup_instructions +
-                           options.measure_instructions);
-                hit_rate = util::formatDouble(
-                    system.channel().dram()->rowHitRate() * 100.0, 1);
-            }
-            table.addRow({name, label, util::formatDouble(xom_pct, 2),
-                          util::formatDouble(otp_pct, 2), hit_rate});
-        }
+    for (const auto &[label, mem] : memories) {
+        const MemModel memory = mem;
+        spec.addCustom("base " + label,
+                       [memory](const std::string &bench,
+                                const exp::RunOptions &options) {
+                           return runBaseline(bench, memory, options);
+                       });
+        spec.add("XOM " + label, [memory](const std::string &) {
+                return makeConfig(secure::SecurityModel::Xom, memory);
+            }).baseline = "base " + label;
+        spec.add("SNC-LRU " + label, [memory](const std::string &) {
+                return makeConfig(secure::SecurityModel::OtpSnc,
+                                  memory);
+            }).baseline = "base " + label;
     }
 
-    std::cout << "== Ablation A5: flat memory vs banked DRAM ==\n"
-              << "(slowdown % vs the insecure baseline on the *same* "
-                 "memory model)\n";
-    table.print(std::cout);
-
-    util::Table avg({"memory", "XOM avg %", "SNC-LRU avg %"});
-    for (size_t m = 0; m < memories.size(); ++m) {
-        avg.addRow({memories[m].first,
-                    util::formatDouble(
-                        xom_avg[m] / static_cast<double>(benches.size()),
-                        2),
-                    util::formatDouble(
-                        otp_avg[m] / static_cast<double>(benches.size()),
-                        2)});
-    }
-    avg.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printVariantRows(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

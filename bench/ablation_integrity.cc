@@ -9,33 +9,50 @@
  * This bench drives the IntegrityEngine directly with a synthetic
  * fill/evict trace derived from one benchmark's miss profile rather
  * than the full system (the integrity engine composes at the same
- * boundary; see DESIGN.md).
+ * boundary; see DESIGN.md). Grid rows are working-set shapes; each
+ * cell reports added cycles per fill.
  */
 
+#include <algorithm>
 #include <iostream>
 
-#include "bench/harness.hh"
+#include "exp/cli.hh"
 #include "secure/integrity.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
 
 using namespace secproc;
 
 namespace
 {
 
-struct Row
+struct WorkingSet
 {
     const char *label;
-    secure::IntegrityMode mode;
+    uint64_t footprint_lines;
+    double locality;
 };
 
-/** Average added cycles per fill across a synthetic miss stream. */
-double
-addedLatency(secure::IntegrityMode mode, uint64_t footprint_lines,
-             double locality)
+const WorkingSet kWorkingSets[] = {
+    {"small-ws", 4096, 0.9},
+    {"large-ws", 512 * 1024, 0.5},
+};
+
+const WorkingSet &
+workingSet(const std::string &label)
 {
+    for (const WorkingSet &ws : kWorkingSets) {
+        if (label == ws.label)
+            return ws;
+    }
+    fatal("unknown working set '", label, "'");
+}
+
+/** Average added cycles per fill across a synthetic miss stream. */
+exp::CellOutput
+addedLatency(secure::IntegrityMode mode, const std::string &ws_label)
+{
+    const WorkingSet &ws = workingSet(ws_label);
     secure::IntegrityConfig config;
     config.mode = mode;
     config.hash_latency = 80;
@@ -50,9 +67,9 @@ addedLatency(secure::IntegrityMode mode, uint64_t footprint_lines,
     for (int i = 0; i < kFills; ++i) {
         cycle += 150 + rng.nextRange(100);
         // Locality: revisit a hot subset with probability `locality`.
-        const uint64_t universe = rng.chance(locality)
-                                      ? footprint_lines / 64
-                                      : footprint_lines;
+        const uint64_t universe = rng.chance(ws.locality)
+                                      ? ws.footprint_lines / 64
+                                      : ws.footprint_lines;
         const uint64_t line_va = rng.nextRange(universe) * 128;
         const uint64_t arrival =
             channel.scheduleRead(cycle, mem::Traffic::DataFill) + 1;
@@ -65,35 +82,46 @@ addedLatency(secure::IntegrityMode mode, uint64_t footprint_lines,
         // issue before this one commits, so backlog never diverges.
         cycle = std::max(cycle, committed);
     }
-    return added / kFills;
+
+    exp::CellOutput output;
+    output.measured = added / kFills;
+    return output;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const Row rows[] = {
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_integrity";
+    spec.title = "Ablation A3: integrity verification cost at the "
+                 "fill boundary";
+    spec.subtitle = "added cycles per L2 fill before architectural "
+                    "commit; speculative MACs and a warm Merkle node "
+                    "cache hide nearly all of it";
+    spec.benchmarks = {"small-ws", "large-ws"};
+    spec.options = cli.options;
+
+    const std::pair<const char *, secure::IntegrityMode> schemes[] = {
         {"none", secure::IntegrityMode::None},
         {"MAC blocking", secure::IntegrityMode::MacBlocking},
         {"MAC speculative", secure::IntegrityMode::MacSpeculative},
         {"Merkle cached", secure::IntegrityMode::MerkleCached},
     };
-
-    util::Table table({"scheme", "small WS (+cyc/fill)",
-                       "large WS (+cyc/fill)"});
-    for (const Row &row : rows) {
-        const double small_ws = addedLatency(row.mode, 4096, 0.9);
-        const double large_ws = addedLatency(row.mode, 512 * 1024, 0.5);
-        table.addRow({row.label, util::formatDouble(small_ws, 1),
-                      util::formatDouble(large_ws, 1)});
+    for (const auto &[label, mode] : schemes) {
+        const secure::IntegrityMode scheme = mode;
+        spec.addCustom(label, [scheme](const std::string &ws,
+                                       const exp::RunOptions &) {
+            return addedLatency(scheme, ws);
+        });
     }
 
-    std::cout << "== Ablation A3: integrity verification cost at the "
-                 "fill boundary ==\n"
-              << "(added cycles per L2 fill before architectural "
-                 "commit; speculative MACs and a warm Merkle node "
-                 "cache hide nearly all of it)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printVariantRows(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

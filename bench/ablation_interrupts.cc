@@ -10,15 +10,19 @@
  * the paper's one-time-pad idea applied to the interrupt path)
  * reduces each to one XOR unless interrupts arrive faster than the
  * engine can pre-generate.
+ *
+ * Grid rows are interrupt gaps in cycles; each cell reports the
+ * guard's added cycles as a percentage of a gcc-length run, with the
+ * raw added-cycle and event counts in the JSON extras.
  */
 
 #include <iostream>
 
-#include "bench/harness.hh"
 #include "crypto/des.hh"
+#include "exp/cli.hh"
 #include "secure/interrupt_guard.hh"
+#include "sim/profiles.hh"
 #include "util/strutil.hh"
-#include "util/table.hh"
 
 using namespace secproc;
 
@@ -50,44 +54,70 @@ guardOverhead(secure::RegisterSaveMode mode, uint64_t events,
     return added;
 }
 
+/** One (mode, gap) cell against a gcc-length run of @p run_cycles. */
+exp::CellOutput
+guardCell(secure::RegisterSaveMode mode, uint64_t gap,
+          uint64_t run_cycles)
+{
+    const uint64_t events = run_cycles / gap;
+    const uint64_t added = guardOverhead(mode, events, gap, 50);
+
+    exp::CellOutput output;
+    output.measured = run_cycles == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(added) /
+                                static_cast<double>(run_cycles);
+    output.extras.emplace_back("events",
+                               static_cast<double>(events));
+    output.extras.emplace_back("added_cycles",
+                               static_cast<double>(added));
+    return output;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
     // Context: cycles one benchmark takes, to express the interrupt
     // overhead as a fraction of real execution.
-    const auto base = bench::runConfig(
+    const sim::RunStats base = exp::runCell(
         "gcc", sim::paperConfig(secure::SecurityModel::OtpSnc),
-        options);
+        cli.options);
 
-    util::Table table({"interrupt gap (cycles)", "events",
-                       "direct added", "premade added",
-                       "direct % of gcc run", "premade % of gcc run"});
-    for (const uint64_t gap :
-         {100'000ull, 20'000ull, 5'000ull, 1'000ull}) {
-        const uint64_t events = base.cycles / gap;
-        const uint64_t direct = guardOverhead(
-            secure::RegisterSaveMode::Direct, events, gap, 50);
-        const uint64_t premade = guardOverhead(
-            secure::RegisterSaveMode::OtpPremade, events, gap, 50);
-        table.addRow(
-            {std::to_string(gap), std::to_string(events),
-             std::to_string(direct), std::to_string(premade),
-             util::formatDouble(100.0 * static_cast<double>(direct) /
-                                    static_cast<double>(base.cycles),
-                                3),
-             util::formatDouble(100.0 * static_cast<double>(premade) /
-                                    static_cast<double>(base.cycles),
-                                3)});
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_interrupts";
+    spec.title = "Ablation A7: interrupt register-save protection";
+    spec.subtitle = "guard overhead as % of a gcc-length run (" +
+                    std::to_string(base.cycles) +
+                    " cycles); 'direct' = crypto on the interrupt "
+                    "path, 'premade' = background-generated one-time "
+                    "pads";
+    spec.benchmarks = {"gap=100000", "gap=20000", "gap=5000",
+                       "gap=1000"};
+    spec.options = cli.options;
+
+    const std::pair<const char *, secure::RegisterSaveMode> modes[] = {
+        {"direct", secure::RegisterSaveMode::Direct},
+        {"premade", secure::RegisterSaveMode::OtpPremade},
+    };
+    const uint64_t run_cycles = base.cycles;
+    for (const auto &[label, mode_c] : modes) {
+        const secure::RegisterSaveMode mode = mode_c;
+        spec.addCustom(label, [mode, run_cycles](
+                                  const std::string &bench,
+                                  const exp::RunOptions &) {
+            const uint64_t gap =
+                util::parseU64(bench.substr(4), "interrupt gap");
+            return guardCell(mode, gap, run_cycles);
+        });
     }
 
-    std::cout << "== Ablation A7: interrupt register-save protection ==\n"
-              << "(added cycles across a gcc-length run; 'direct' = "
-                 "crypto on the interrupt path, 'premade' = "
-                 "background-generated one-time pads)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printVariantRows(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -14,9 +14,8 @@
 
 #include <iostream>
 
-#include "bench/harness.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -36,50 +35,46 @@ sweepConfig(secure::SecurityModel model, uint32_t mem_latency,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
-    // One memory-bound and one balanced benchmark tell the story.
-    const std::vector<std::string> benches = {"mcf", "gcc"};
-    const std::vector<uint32_t> memories = {40, 70, 100, 200, 400};
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+    const exp::Runner runner(cli.runner);
 
     for (const uint32_t crypto : {50u, 102u}) {
-        util::Table table({"bench", "mem latency", "XOM %",
-                           "SNC-LRU %", "XOM-OTP gap"});
-        for (const std::string &name : benches) {
-            for (const uint32_t mem : memories) {
-                const auto base = bench::runConfig(
-                    name,
-                    sweepConfig(secure::SecurityModel::Baseline, mem,
-                                crypto),
-                    options);
-                const auto xom = bench::runConfig(
-                    name,
-                    sweepConfig(secure::SecurityModel::Xom, mem,
-                                crypto),
-                    options);
-                const auto otp = bench::runConfig(
-                    name,
-                    sweepConfig(secure::SecurityModel::OtpSnc, mem,
-                                crypto),
-                    options);
-                const double xom_pct =
-                    bench::slowdownPct(base.cycles, xom.cycles);
-                const double otp_pct =
-                    bench::slowdownPct(base.cycles, otp.cycles);
-                table.addRow({name, std::to_string(mem),
-                              util::formatDouble(xom_pct, 2),
-                              util::formatDouble(otp_pct, 2),
-                              util::formatDouble(xom_pct - otp_pct,
-                                                 2)});
-            }
+        exp::ExperimentSpec spec;
+        spec.name = "ablation_mem_latency_c" + std::to_string(crypto);
+        spec.title = "Ablation A10: memory-latency sweep, " +
+                     std::to_string(crypto) + "-cycle crypto";
+        spec.subtitle =
+            "slowdown % vs baseline at the same memory latency";
+        // One memory-bound and one balanced benchmark tell the story.
+        spec.benchmarks = {"mcf", "gcc"};
+        spec.options = cli.options;
+
+        for (const uint32_t mem : {40u, 70u, 100u, 200u, 400u}) {
+            const std::string at = "@" + std::to_string(mem);
+            spec.add("base" + at, [mem, crypto](const std::string &) {
+                return sweepConfig(secure::SecurityModel::Baseline,
+                                   mem, crypto);
+            });
+            spec.add("XOM" + at, [mem, crypto](const std::string &) {
+                    return sweepConfig(secure::SecurityModel::Xom, mem,
+                                       crypto);
+                }).baseline = "base" + at;
+            spec.add("SNC-LRU" + at,
+                     [mem, crypto](const std::string &) {
+                         return sweepConfig(
+                             secure::SecurityModel::OtpSnc, mem,
+                             crypto);
+                     }).baseline = "base" + at;
         }
-        std::cout << "== Ablation A10: memory-latency sweep, "
-                  << crypto << "-cycle crypto ==\n"
-                  << "(slowdown % vs baseline at the same memory "
-                     "latency)\n";
-        table.print(std::cout);
-        std::cout << "\n";
+
+        const exp::Report report = runner.run(spec);
+        report.printVariantRows(std::cout);
+        if (cli.write_json)
+            report.writeJson(cli.json_path.empty()
+                                 ? ""
+                                 : spec.name + "_" + cli.json_path);
     }
     return 0;
 }

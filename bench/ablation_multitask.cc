@@ -10,14 +10,18 @@
  * whole SNC, and the next quantum re-fetches on demand). The
  * single-program ablation_context_switch isolates the flush cost;
  * this bench adds the real cross-task cache and SNC interference.
+ * Grid rows are task mixes ("gcc+mcf"); the flush variants report
+ * their penalty over the tag variant at the same quantum, and spills
+ * per switch land in the JSON extras.
  */
 
 #include <iostream>
 
-#include "bench/harness.hh"
+#include "exp/cli.hh"
 #include "sim/multitask.hh"
+#include "sim/profiles.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
-#include "util/table.hh"
 
 using namespace secproc;
 
@@ -26,14 +30,16 @@ namespace
 
 constexpr uint64_t kTaskStride = 1ull << 40;
 
-/** Total cycles for a two-task mix under one policy and quantum. */
-uint64_t
-runMix(const std::string &bench_a, const std::string &bench_b,
-       sim::SncSwitchPolicy policy, uint64_t quantum,
-       uint64_t total_instructions, uint64_t *spills)
+/** Run a "a+b" mix under one policy and quantum. */
+exp::CellOutput
+runMix(const std::string &mix, sim::SncSwitchPolicy policy,
+       uint64_t quantum, const exp::RunOptions &options)
 {
-    sim::WorkloadProfile profile_a = sim::benchmarkProfile(bench_a);
-    sim::WorkloadProfile profile_b = sim::benchmarkProfile(bench_b);
+    const std::vector<std::string> names = util::split(mix, '+');
+    fatal_if(names.size() != 2, "mix '", mix, "' is not 'a+b'");
+
+    sim::WorkloadProfile profile_a = sim::benchmarkProfile(names[0]);
+    sim::WorkloadProfile profile_b = sim::benchmarkProfile(names[1]);
     profile_b.va_offset = kTaskStride;
 
     const auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
@@ -44,52 +50,60 @@ runMix(const std::string &bench_a, const std::string &bench_b,
     mt.quantum = quantum;
     mt.policy = policy;
     sim::MultiTaskSystem multi(config, {{&a, 1}, {&b, 2}}, mt);
-    multi.run(total_instructions);
-    if (spills != nullptr)
-        *spills = multi.system().switchFlushSpills();
-    return multi.system().core().cycles();
+    const uint64_t total =
+        options.warmup_instructions + options.measure_instructions;
+    multi.run(total);
+
+    exp::CellOutput output;
+    output.stats = multi.system().stats();
+    const uint64_t switches = total / quantum;
+    if (policy == sim::SncSwitchPolicy::Flush && switches > 0) {
+        output.extras.emplace_back(
+            "spills_per_switch",
+            static_cast<double>(multi.system().switchFlushSpills()) /
+                static_cast<double>(switches));
+    }
+    return output;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
-    const uint64_t total = options.warmup_instructions +
-                           options.measure_instructions;
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    const std::vector<std::pair<std::string, std::string>> mixes = {
-        {"gcc", "mcf"},
-        {"ammp", "parser"},
-        {"gzip", "vortex"},
-    };
-    const std::vector<uint64_t> quanta = {1'000'000, 250'000, 50'000};
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_multitask";
+    spec.title = "Ablation A6: multi-programmed SNC switch policies";
+    spec.subtitle = "flush penalty % over the tag policy at the same "
+                    "quantum; two tasks round-robin on one secure "
+                    "processor";
+    spec.benchmarks = {"gcc+mcf", "ammp+parser", "gzip+vortex"};
+    spec.options = cli.options;
 
-    util::Table table({"mix", "quantum", "tag cycles", "flush cycles",
-                       "flush penalty %", "spills/switch"});
-    for (const auto &[a, b] : mixes) {
-        for (const uint64_t quantum : quanta) {
-            const uint64_t tag = runMix(a, b, sim::SncSwitchPolicy::Tag,
-                                        quantum, total, nullptr);
-            uint64_t spills = 0;
-            const uint64_t flush =
-                runMix(a, b, sim::SncSwitchPolicy::Flush, quantum,
-                       total, &spills);
-            const uint64_t switches = total / quantum;
-            table.addRow(
-                {a + "+" + b, std::to_string(quantum),
-                 std::to_string(tag), std::to_string(flush),
-                 util::formatDouble(bench::slowdownPct(tag, flush), 2),
-                 std::to_string(switches == 0 ? 0 : spills / switches)});
-        }
+    for (const uint64_t quantum : {1'000'000ull, 250'000ull, 50'000ull}) {
+        const std::string at = "@" + std::to_string(quantum);
+        spec.addCustom("tag" + at,
+                       [quantum](const std::string &mix,
+                                 const exp::RunOptions &options) {
+                           return runMix(mix,
+                                         sim::SncSwitchPolicy::Tag,
+                                         quantum, options);
+                       });
+        spec.addCustom("flush" + at,
+                       [quantum](const std::string &mix,
+                                 const exp::RunOptions &options) {
+                           return runMix(mix,
+                                         sim::SncSwitchPolicy::Flush,
+                                         quantum, options);
+                       })
+            .baseline = "tag" + at;
     }
 
-    std::cout
-        << "== Ablation A6: multi-programmed SNC switch policies ==\n"
-        << "(two tasks round-robin on one secure processor; 'tag' = "
-           "compartment-tagged entries survive, 'flush' = spill + "
-           "refetch every switch)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printVariantRows(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

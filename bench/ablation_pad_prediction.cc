@@ -9,14 +9,15 @@
  * prediction unit pre-generates the pad for line X+1 while line X's
  * fill is in flight (only when X+1's sequence number is already on
  * chip — a guess must never cost a metadata fetch). This bench
- * re-runs the fast-memory corner with prediction on and off.
+ * re-runs the fast-memory corner with prediction on and off;
+ * pad-buffer hit counts land in the JSON extras.
  */
 
 #include <iostream>
 
-#include "bench/harness.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "exp/cli.hh"
+#include "secure/engines.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -34,69 +35,77 @@ predictionConfig(secure::SecurityModel model, uint32_t mem_latency,
     return config;
 }
 
+/** Prediction cell: standard run plus the engine's hit counter. */
+exp::CellOutput
+runPredicted(const std::string &bench, uint32_t mem, uint32_t crypto,
+             const exp::RunOptions &options)
+{
+    const sim::SystemConfig config = predictionConfig(
+        secure::SecurityModel::OtpSnc, mem, crypto, true);
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    system.run(options.measure_instructions);
+
+    exp::CellOutput output;
+    output.stats = system.stats();
+    const auto *otp =
+        dynamic_cast<const secure::OtpEngine *>(&system.engine());
+    output.extras.emplace_back(
+        "pad_buffer_hits",
+        static_cast<double>(otp->padPredictionHits()));
+    return output;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_pad_prediction";
+    spec.title = "Ablation A11: sequential pad prediction";
+    spec.subtitle = "slowdown % vs baseline at the same memory "
+                    "latency; prediction pre-generates line X+1's "
+                    "pad during X's fill";
     // art streams (best case), gcc mixes, mcf chases pointers
     // (worst case: the next line is rarely the right guess).
-    const std::vector<std::string> benches = {"art", "gcc", "mcf"};
+    spec.benchmarks = {"art", "gcc", "mcf"};
+    spec.options = cli.options;
+
     const std::vector<std::pair<uint32_t, uint32_t>> corners = {
         {40, 50},   // fast memory vs the paper's crypto
         {100, 102}, // the paper's Figure 10 cipher
         {40, 102},  // both: the worst corner for plain OTP
     };
-
-    util::Table table({"bench", "mem/crypto", "SNC-LRU %",
-                       "+prediction %", "pad-buffer hits"});
-    for (const std::string &name : benches) {
-        for (const auto &[mem, crypto] : corners) {
-            const auto base = bench::runConfig(
-                name,
-                predictionConfig(secure::SecurityModel::Baseline, mem,
-                                 crypto, false),
-                options);
-            const auto plain = bench::runConfig(
-                name,
-                predictionConfig(secure::SecurityModel::OtpSnc, mem,
-                                 crypto, false),
-                options);
-            const auto predicted = bench::runConfig(
-                name,
-                predictionConfig(secure::SecurityModel::OtpSnc, mem,
-                                 crypto, true),
-                options);
-
-            // Re-run to read the engine's hit counters.
-            sim::SyntheticWorkload workload(sim::benchmarkProfile(name),
-                                            128);
-            sim::System system(
-                predictionConfig(secure::SecurityModel::OtpSnc, mem,
-                                 crypto, true),
-                workload);
-            system.run(options.warmup_instructions +
-                       options.measure_instructions);
-            const auto *otp = dynamic_cast<const secure::OtpEngine *>(
-                &system.engine());
-
-            table.addRow(
-                {name,
-                 std::to_string(mem) + "/" + std::to_string(crypto),
-                 util::formatDouble(
-                     bench::slowdownPct(base.cycles, plain.cycles), 2),
-                 util::formatDouble(
-                     bench::slowdownPct(base.cycles, predicted.cycles),
-                     2),
-                 std::to_string(otp->padPredictionHits())});
-        }
+    for (const auto &[mem_c, crypto_c] : corners) {
+        const uint32_t mem = mem_c, crypto = crypto_c;
+        const std::string at = "@" + std::to_string(mem) + "/" +
+                               std::to_string(crypto);
+        spec.add("base" + at, [mem, crypto](const std::string &) {
+            return predictionConfig(secure::SecurityModel::Baseline,
+                                    mem, crypto, false);
+        });
+        spec.add("SNC-LRU" + at, [mem, crypto](const std::string &) {
+                return predictionConfig(secure::SecurityModel::OtpSnc,
+                                        mem, crypto, false);
+            }).baseline = "base" + at;
+        spec.addCustom("+prediction" + at,
+                       [mem, crypto](const std::string &bench,
+                                     const exp::RunOptions &options) {
+                           return runPredicted(bench, mem, crypto,
+                                               options);
+                       })
+            .baseline = "base" + at;
     }
 
-    std::cout << "== Ablation A11: sequential pad prediction ==\n"
-              << "(slowdown % vs baseline at the same memory "
-                 "latency; prediction pre-generates line X+1's pad "
-                 "during X's fill)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printVariantRows(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -7,46 +7,56 @@
  * benchmarks.
  */
 
-#include "bench/harness.hh"
+#include <iostream>
+
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
-int
-main()
+namespace
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
 
-    auto baseline = [](const std::string &) {
+sim::SystemConfig
+fetchConfig(bool parallel)
+{
+    auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.parallel_seqnum_fetch = parallel;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_seqnum_fetch";
+    spec.title = "Ablation A1: serial vs parallel seqnum/line fetch "
+                 "on SNC query misses (paper column = Fig. 5 SNC-LRU)";
+    spec.subtitle = "program slowdown in % over the insecure baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
         return sim::paperConfig(secure::SecurityModel::Baseline);
-    };
+    });
+    spec.add(
+        "serial (Alg.1)",
+        [](const std::string &) { return fetchConfig(false); },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_lru;
+        });
+    spec.add(
+        "parallel",
+        [](const std::string &) { return fetchConfig(true); },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_lru;
+        });
 
-    std::vector<bench::FigureColumn> columns;
-    columns.push_back(
-        {"serial (Alg.1)",
-         [](const std::string &) {
-             auto config =
-                 sim::paperConfig(secure::SecurityModel::OtpSnc);
-             config.protection.parallel_seqnum_fetch = false;
-             return config;
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_lru;
-         }});
-    columns.push_back(
-        {"parallel",
-         [](const std::string &) {
-             auto config =
-                 sim::paperConfig(secure::SecurityModel::OtpSnc);
-             config.protection.parallel_seqnum_fetch = true;
-             return config;
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_lru;
-         }});
-
-    bench::runSlowdownFigure(
-        "Ablation A1: serial vs parallel seqnum/line fetch on SNC "
-        "query misses (paper column = Fig. 5 SNC-LRU)",
-        baseline, columns, options);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

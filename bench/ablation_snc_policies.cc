@@ -9,9 +9,8 @@
 
 #include <iostream>
 
-#include "bench/harness.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -29,39 +28,29 @@ widthConfig(uint32_t bytes_per_entry)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    util::Table table({"bench", "1B entries (8MB cover)",
-                       "2B entries (4MB cover)",
-                       "4B entries (2MB cover)"});
-    double sums[3] = {};
-    for (const std::string &name : sim::benchmarkNames()) {
-        const auto base = bench::runConfig(
-            name, sim::paperConfig(secure::SecurityModel::Baseline),
-            options);
-        std::vector<std::string> row = {name};
-        int col = 0;
-        for (uint32_t width : {1u, 2u, 4u}) {
-            const auto stats =
-                bench::runConfig(name, widthConfig(width), options);
-            const double slowdown =
-                bench::slowdownPct(base.cycles, stats.cycles);
-            sums[col++] += slowdown;
-            row.push_back(util::formatDouble(slowdown, 2));
-        }
-        table.addRow(row);
-    }
-    const double n = static_cast<double>(sim::benchmarkNames().size());
-    table.addRow({"average", util::formatDouble(sums[0] / n, 2),
-                  util::formatDouble(sums[1] / n, 2),
-                  util::formatDouble(sums[2] / n, 2)});
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_snc_policies";
+    spec.title = "Ablation A4: sequence-number width at fixed 64KB SNC";
+    spec.subtitle = "narrow entries cover more memory but overflow "
+                    "sooner; slowdown % vs baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    });
+    spec.add("1B entries (8MB cover)",
+             [](const std::string &) { return widthConfig(1); });
+    spec.add("2B entries (4MB cover)",
+             [](const std::string &) { return widthConfig(2); });
+    spec.add("4B entries (2MB cover)",
+             [](const std::string &) { return widthConfig(4); });
 
-    std::cout << "== Ablation A4: sequence-number width at fixed 64KB "
-                 "SNC ==\n"
-              << "(narrow entries cover more memory but overflow "
-                 "sooner; slowdown % vs baseline)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -14,9 +14,8 @@
 
 #include <iostream>
 
-#include "bench/harness.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -35,43 +34,32 @@ sectoredConfig(uint32_t sector_lines)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
-    const std::vector<std::string> benches = {"ammp", "art",  "equake",
-                                              "gcc",  "mcf",  "parser",
-                                              "vortex"};
-    const std::vector<uint32_t> sectors = {1, 4, 16};
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    util::Table table({"bench", "sector=1 %", "sector=4 %",
-                       "sector=16 %"});
-    std::vector<double> avg(sectors.size(), 0.0);
-    for (const std::string &name : benches) {
-        const auto base = bench::runConfig(
-            name, sim::paperConfig(secure::SecurityModel::Baseline),
-            options);
-        std::vector<std::string> row = {name};
-        for (size_t i = 0; i < sectors.size(); ++i) {
-            const auto run = bench::runConfig(
-                name, sectoredConfig(sectors[i]), options);
-            const double pct =
-                bench::slowdownPct(base.cycles, run.cycles);
-            avg[i] += pct;
-            row.push_back(util::formatDouble(pct, 2));
-        }
-        table.addRow(row);
+    exp::ExperimentSpec spec;
+    spec.name = "ablation_snc_sectoring";
+    spec.title = "Ablation A8: sectored SNC (64KB, LRU)";
+    spec.subtitle = "slowdown % vs baseline; sector=N shares one "
+                    "directory tag across N consecutive lines: 32K "
+                    "tags at N=1, 8K at N=4, 2K at N=16";
+    spec.benchmarks = {"ammp", "art",    "equake", "gcc",
+                       "mcf",  "parser", "vortex"};
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    });
+    for (const uint32_t sector : {1u, 4u, 16u}) {
+        spec.add("sector=" + std::to_string(sector),
+                 [sector](const std::string &) {
+                     return sectoredConfig(sector);
+                 });
     }
-    std::vector<std::string> avg_row = {"average"};
-    for (size_t i = 0; i < sectors.size(); ++i) {
-        avg_row.push_back(util::formatDouble(
-            avg[i] / static_cast<double>(benches.size()), 2));
-    }
-    table.addRow(avg_row);
 
-    std::cout << "== Ablation A8: sectored SNC (64KB, LRU) ==\n"
-              << "(slowdown % vs baseline; sector=N shares one "
-                 "directory tag across N consecutive lines: 32K tags "
-                 "at N=1, 8K at N=4, 2K at N=16)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

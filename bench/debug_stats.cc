@@ -7,10 +7,10 @@
  * Usage: debug_stats [bench] [baseline|xom|otp|otp-norepl]
  */
 
-#include <cstring>
 #include <iostream>
 
-#include "bench/harness.hh"
+#include "exp/spec.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -35,7 +35,7 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const auto options = exp::RunOptions::fromEnvironment();
     sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
                                     config.l2.line_size);
     sim::System system(config, workload);

@@ -7,32 +7,39 @@
  * Paper average: 16.76% slowdown over the insecure baseline.
  */
 
-#include "bench/harness.hh"
+#include <iostream>
+
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    auto baseline = [](const std::string &) {
+    exp::ExperimentSpec spec;
+    spec.name = "fig03_xom_slowdown";
+    spec.title = "Figure 3: performance loss due to "
+                 "encryption/decryption (XOM)";
+    spec.subtitle = "program slowdown in % over the insecure baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
         return sim::paperConfig(secure::SecurityModel::Baseline);
-    };
+    });
+    spec.add(
+        "XOM",
+        [](const std::string &) {
+            return sim::paperConfig(secure::SecurityModel::Xom);
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).xom_slowdown;
+        });
 
-    std::vector<bench::FigureColumn> columns;
-    columns.push_back(
-        {"XOM",
-         [](const std::string &) {
-             return sim::paperConfig(secure::SecurityModel::Xom);
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).xom_slowdown;
-         }});
-
-    bench::runSlowdownFigure(
-        "Figure 3: performance loss due to encryption/decryption "
-        "(XOM)",
-        baseline, columns, options);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -7,50 +7,56 @@
  * Paper averages: XOM 16.76%, SNC-NoRepl 4.59%, SNC-LRU 1.28%.
  */
 
-#include "bench/harness.hh"
+#include <iostream>
+
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    auto baseline = [](const std::string &) {
+    exp::ExperimentSpec spec;
+    spec.name = "fig05_snc_comparison";
+    spec.title = "Figure 5: XOM vs SNC-NoRepl vs SNC-LRU (64KB SNC)";
+    spec.subtitle = "program slowdown in % over the insecure baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
         return sim::paperConfig(secure::SecurityModel::Baseline);
-    };
+    });
+    spec.add(
+        "XOM",
+        [](const std::string &) {
+            return sim::paperConfig(secure::SecurityModel::Xom);
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).xom_slowdown;
+        });
+    spec.add(
+        "SNC-NoRepl",
+        [](const std::string &) {
+            auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+            config.protection.snc.allow_replacement = false;
+            return config;
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_norepl;
+        });
+    spec.add(
+        "SNC-LRU",
+        [](const std::string &) {
+            return sim::paperConfig(secure::SecurityModel::OtpSnc);
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_lru;
+        });
 
-    std::vector<bench::FigureColumn> columns;
-    columns.push_back(
-        {"XOM",
-         [](const std::string &) {
-             return sim::paperConfig(secure::SecurityModel::Xom);
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).xom_slowdown;
-         }});
-    columns.push_back(
-        {"SNC-NoRepl",
-         [](const std::string &) {
-             auto config =
-                 sim::paperConfig(secure::SecurityModel::OtpSnc);
-             config.protection.snc.allow_replacement = false;
-             return config;
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_norepl;
-         }});
-    columns.push_back(
-        {"SNC-LRU",
-         [](const std::string &) {
-             return sim::paperConfig(secure::SecurityModel::OtpSnc);
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_lru;
-         }});
-
-    bench::runSlowdownFigure(
-        "Figure 5: XOM vs SNC-NoRepl vs SNC-LRU (64KB SNC)", baseline,
-        columns, options);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -7,7 +7,10 @@
  * Paper averages: 3.25% / 1.28% / 0.51%.
  */
 
-#include "bench/harness.hh"
+#include <iostream>
+
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -25,36 +28,40 @@ sncConfig(uint64_t capacity_bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    auto baseline = [](const std::string &) {
+    exp::ExperimentSpec spec;
+    spec.name = "fig06_snc_size";
+    spec.title = "Figure 6: slowdown for different SNC sizes (LRU)";
+    spec.subtitle = "program slowdown in % over the insecure baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
         return sim::paperConfig(secure::SecurityModel::Baseline);
-    };
+    });
+    spec.add(
+        "32KB",
+        [](const std::string &) { return sncConfig(32 * 1024); },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_lru_32k;
+        });
+    spec.add(
+        "64KB",
+        [](const std::string &) { return sncConfig(64 * 1024); },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_lru;
+        });
+    spec.add(
+        "128KB",
+        [](const std::string &) { return sncConfig(128 * 1024); },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_lru_128k;
+        });
 
-    std::vector<bench::FigureColumn> columns;
-    columns.push_back(
-        {"32KB",
-         [](const std::string &) { return sncConfig(32 * 1024); },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_lru_32k;
-         }});
-    columns.push_back(
-        {"64KB",
-         [](const std::string &) { return sncConfig(64 * 1024); },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_lru;
-         }});
-    columns.push_back(
-        {"128KB",
-         [](const std::string &) { return sncConfig(128 * 1024); },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_lru_128k;
-         }});
-
-    bench::runSlowdownFigure(
-        "Figure 6: slowdown for different SNC sizes (LRU)", baseline,
-        columns, options);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -7,7 +7,10 @@
  * Paper averages: 1.28% (fully associative) vs 1.90% (32-way).
  */
 
-#include "bench/harness.hh"
+#include <iostream>
+
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -25,31 +28,35 @@ sncAssocConfig(uint32_t assoc)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    auto baseline = [](const std::string &) {
+    exp::ExperimentSpec spec;
+    spec.name = "fig07_snc_assoc";
+    spec.title = "Figure 7: fully associative vs 32-way set "
+                 "associative SNC (64KB, LRU)";
+    spec.subtitle = "program slowdown in % over the insecure baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
         return sim::paperConfig(secure::SecurityModel::Baseline);
-    };
+    });
+    spec.add(
+        "fully-assoc",
+        [](const std::string &) { return sncAssocConfig(0); },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_lru;
+        });
+    spec.add(
+        "32-way",
+        [](const std::string &) { return sncAssocConfig(32); },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).snc_32way;
+        });
 
-    std::vector<bench::FigureColumn> columns;
-    columns.push_back(
-        {"fully-assoc",
-         [](const std::string &) { return sncAssocConfig(0); },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_lru;
-         }});
-    columns.push_back(
-        {"32-way",
-         [](const std::string &) { return sncAssocConfig(32); },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).snc_32way;
-         }});
-
-    bench::runSlowdownFigure(
-        "Figure 7: fully associative vs 32-way set associative SNC "
-        "(64KB, LRU)",
-        baseline, columns, options);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

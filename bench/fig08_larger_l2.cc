@@ -13,9 +13,9 @@
 #include <iostream>
 
 #include "area/cacti_lite.hh"
-#include "bench/harness.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 #include "util/strutil.hh"
-#include "util/table.hh"
 
 using namespace secproc;
 
@@ -33,9 +33,9 @@ withL2(sim::SystemConfig config, uint64_t size, uint32_t assoc)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
     // Area side of the argument.
     const double l2_256 = area::cacheArea(256 * 1024, 4, 128);
@@ -54,66 +54,46 @@ main()
               << (area::paperAreaOrderingHolds() ? "yes" : "NO")
               << "\n\n";
 
-    util::Table table({"bench", "XOM-256K paper", "XOM-256K meas",
-                       "XOM-384K paper", "XOM-384K meas",
-                       "SNC-32w paper", "SNC-32w meas"});
-    double sums[6] = {};
+    exp::ExperimentSpec spec;
+    spec.name = "fig08_larger_l2";
+    spec.title = "Figure 8: larger L2 vs L2 + SNC at equal area";
+    spec.subtitle = "normalized execution time w.r.t. the insecure "
+                    "4-way 256KB-L2 baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
+        return sim::paperConfig(secure::SecurityModel::Baseline);
+    });
+    spec.add(
+        "XOM-256K",
+        [](const std::string &) {
+            return sim::paperConfig(secure::SecurityModel::Xom);
+        },
+        [](const std::string &bench) {
+            return 1.0 + sim::paperNumbers(bench).xom_slowdown / 100.0;
+        });
+    spec.add(
+        "XOM-384K",
+        [](const std::string &) {
+            return withL2(sim::paperConfig(secure::SecurityModel::Xom),
+                          384 * 1024, 6);
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).xom_384k_norm;
+        });
+    spec.add(
+        "SNC-32w",
+        [](const std::string &) {
+            auto config = sim::paperConfig(secure::SecurityModel::OtpSnc);
+            config.protection.snc.assoc = 32;
+            return config;
+        },
+        [](const std::string &bench) {
+            return 1.0 + sim::paperNumbers(bench).snc_32way / 100.0;
+        });
 
-    for (const std::string &name : sim::benchmarkNames()) {
-        const auto paper = sim::paperNumbers(name);
-
-        const auto base = bench::runConfig(
-            name, sim::paperConfig(secure::SecurityModel::Baseline),
-            options);
-
-        const auto xom256 = bench::runConfig(
-            name, sim::paperConfig(secure::SecurityModel::Xom),
-            options);
-
-        auto xom384_config =
-            withL2(sim::paperConfig(secure::SecurityModel::Xom),
-                   384 * 1024, 6);
-        const auto xom384 =
-            bench::runConfig(name, xom384_config, options);
-
-        auto snc_config =
-            sim::paperConfig(secure::SecurityModel::OtpSnc);
-        snc_config.protection.snc.assoc = 32;
-        const auto snc32 = bench::runConfig(name, snc_config, options);
-
-        const double norm256 = static_cast<double>(xom256.cycles) /
-                               static_cast<double>(base.cycles);
-        const double norm384 = static_cast<double>(xom384.cycles) /
-                               static_cast<double>(base.cycles);
-        const double norm_snc = static_cast<double>(snc32.cycles) /
-                                static_cast<double>(base.cycles);
-
-        const double paper256 = 1.0 + paper.xom_slowdown / 100.0;
-        const double paper_snc = 1.0 + paper.snc_32way / 100.0;
-        const double cells[6] = {paper256,          norm256,
-                                 paper.xom_384k_norm, norm384,
-                                 paper_snc,         norm_snc};
-        for (int i = 0; i < 6; ++i)
-            sums[i] += cells[i];
-
-        table.addRow({name, util::formatDouble(cells[0], 2),
-                      util::formatDouble(cells[1], 2),
-                      util::formatDouble(cells[2], 2),
-                      util::formatDouble(cells[3], 2),
-                      util::formatDouble(cells[4], 2),
-                      util::formatDouble(cells[5], 2)});
-    }
-
-    const double n = static_cast<double>(sim::benchmarkNames().size());
-    table.addRow({"average", util::formatDouble(sums[0] / n, 2),
-                  util::formatDouble(sums[1] / n, 2),
-                  util::formatDouble(sums[2] / n, 2),
-                  util::formatDouble(sums[3] / n, 2),
-                  util::formatDouble(sums[4] / n, 2),
-                  util::formatDouble(sums[5] / n, 2)});
-
-    std::cout << "(normalized execution time w.r.t. the insecure "
-                 "4-way 256KB-L2 baseline)\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout, exp::TableUnit::NormalizedTime);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

@@ -4,50 +4,46 @@
  * replacements (sequence-number fetches and victim spills), as a
  * percentage of the L2-memory data traffic.
  *
- * Paper average: 0.31% (maximum: gzip at 1.03%).
+ * Paper average: 0.31% (maximum: gzip at 1.03%). Raw byte counts
+ * per cell land in the JSON report's stats records.
  */
 
 #include <iostream>
 
-#include "bench/harness.hh"
-#include "util/strutil.hh"
-#include "util/table.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    util::Table table(
-        {"bench", "paper %", "measured %", "seqnum bytes", "L2 bytes"});
-    double paper_sum = 0.0, measured_sum = 0.0;
+    exp::ExperimentSpec spec;
+    spec.name = "fig09_snc_traffic";
+    spec.title = "Figure 9: SNC-induced additional memory traffic "
+                 "(64KB LRU SNC)";
+    spec.subtitle = "seqnum bytes as % of L2-memory data traffic";
+    spec.options = cli.options;
+    exp::ConfigVariant &traffic = spec.add(
+        "SNC-LRU",
+        [](const std::string &) {
+            return sim::paperConfig(secure::SecurityModel::OtpSnc);
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).traffic_pct;
+        });
+    traffic.metric = [](const sim::RunStats &stats) {
+        if (stats.data_bytes == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(stats.seqnum_bytes) /
+               static_cast<double>(stats.data_bytes);
+    };
 
-    for (const std::string &name : sim::benchmarkNames()) {
-        const auto config =
-            sim::paperConfig(secure::SecurityModel::OtpSnc);
-        const sim::RunStats stats =
-            bench::runConfig(name, config, options);
-        const double measured =
-            stats.data_bytes == 0
-                ? 0.0
-                : 100.0 * static_cast<double>(stats.seqnum_bytes) /
-                      static_cast<double>(stats.data_bytes);
-        const double paper = sim::paperNumbers(name).traffic_pct;
-        paper_sum += paper;
-        measured_sum += measured;
-        table.addRow({name, util::formatDouble(paper, 2),
-                      util::formatDouble(measured, 2),
-                      std::to_string(stats.seqnum_bytes),
-                      std::to_string(stats.data_bytes)});
-    }
-    const double n = static_cast<double>(sim::benchmarkNames().size());
-    table.addRow({"average", util::formatDouble(paper_sum / n, 2),
-                  util::formatDouble(measured_sum / n, 2), "", ""});
-
-    std::cout << "== Figure 9: SNC-induced additional memory traffic "
-                 "(64KB LRU SNC) ==\n";
-    table.print(std::cout);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

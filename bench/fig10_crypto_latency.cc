@@ -9,7 +9,10 @@
  * SNC-LRU 1.26%.
  */
 
-#include "bench/harness.hh"
+#include <iostream>
+
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
 
 using namespace secproc;
 
@@ -28,47 +31,51 @@ withCrypto(sim::SystemConfig config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto options = bench::HarnessOptions::fromEnvironment();
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
 
-    auto baseline = [](const std::string &) {
+    exp::ExperimentSpec spec;
+    spec.name = "fig10_crypto_latency";
+    spec.title = "Figure 10: 102-cycle encryption/decryption unit";
+    spec.subtitle = "program slowdown in % over the insecure baseline";
+    spec.options = cli.options;
+    spec.addBaseline("baseline", [](const std::string &) {
         return sim::paperConfig(secure::SecurityModel::Baseline);
-    };
+    });
+    spec.add(
+        "XOM",
+        [](const std::string &) {
+            return withCrypto(
+                sim::paperConfig(secure::SecurityModel::Xom));
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).xom_102;
+        });
+    spec.add(
+        "SNC-NoRepl",
+        [](const std::string &) {
+            auto config = withCrypto(
+                sim::paperConfig(secure::SecurityModel::OtpSnc));
+            config.protection.snc.allow_replacement = false;
+            return config;
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).norepl_102;
+        });
+    spec.add(
+        "SNC-LRU",
+        [](const std::string &) {
+            return withCrypto(
+                sim::paperConfig(secure::SecurityModel::OtpSnc));
+        },
+        [](const std::string &bench) {
+            return sim::paperNumbers(bench).lru_102;
+        });
 
-    std::vector<bench::FigureColumn> columns;
-    columns.push_back(
-        {"XOM",
-         [](const std::string &) {
-             return withCrypto(
-                 sim::paperConfig(secure::SecurityModel::Xom));
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).xom_102;
-         }});
-    columns.push_back(
-        {"SNC-NoRepl",
-         [](const std::string &) {
-             auto config = withCrypto(
-                 sim::paperConfig(secure::SecurityModel::OtpSnc));
-             config.protection.snc.allow_replacement = false;
-             return config;
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).norepl_102;
-         }});
-    columns.push_back(
-        {"SNC-LRU",
-         [](const std::string &) {
-             return withCrypto(
-                 sim::paperConfig(secure::SecurityModel::OtpSnc));
-         },
-         [](const std::string &bench) {
-             return sim::paperNumbers(bench).lru_102;
-         }});
-
-    bench::runSlowdownFigure(
-        "Figure 10: 102-cycle encryption/decryption unit", baseline,
-        columns, options);
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
     return 0;
 }

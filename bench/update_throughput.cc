@@ -9,8 +9,12 @@
  * programs). Bytes/sec counts image payload bytes.
  */
 
+#include <algorithm>
+#include <memory>
+
 #include <benchmark/benchmark.h>
 
+#include "exp/runner.hh"
 #include "secure/engines.hh"
 #include "update/attestation.hh"
 #include "update/image_builder.hh"
@@ -119,32 +123,55 @@ benchInstall(benchmark::State &state)
 /**
  * Multitask fleet scenario: N compartments, each running its own
  * title, all updated in one sweep. Reported rate is whole sweeps.
+ *
+ * The sweep is sharded through the experiment Runner: each worker
+ * owns one device shard (its own Rig) and installs that shard's
+ * compartments. Serial by default; set SECPROC_THREADS to fan the
+ * fleet out, e.g. SECPROC_THREADS=4 ./update_throughput.
  */
 void
 benchMultiCompartmentSweep(benchmark::State &state)
 {
-    Rig rig;
     const auto compartments =
         static_cast<secure::CompartmentId>(state.range(0));
+    const exp::Runner runner;
+    const size_t shards =
+        std::min<size_t>(runner.threads(), compartments);
+
+    // One device per shard, built (RSA keygen) outside the timing.
+    std::vector<std::unique_ptr<Rig>> rigs;
+    for (size_t s = 0; s < shards; ++s)
+        rigs.push_back(std::make_unique<Rig>());
+
     uint64_t round = 0;
     uint64_t bytes = 0;
     for (auto _ : state) {
         state.PauseTiming();
+        // Compartment c runs on shard (c-1) % shards; its bundle
+        // must come from that shard's vendor.
         std::vector<UpdateBundle> wave;
         for (secure::CompartmentId c = 1; c <= compartments; ++c) {
-            wave.push_back(rig.bundle(
+            wave.push_back(rigs[(c - 1) % shards]->bundle(
                 "app-" + std::to_string(c),
                 static_cast<uint32_t>(round + 1), round + 1, 8,
                 secure::CipherKind::Des));
         }
         state.ResumeTiming();
 
-        for (secure::CompartmentId c = 1; c <= compartments; ++c) {
-            const InstallResult result = rig.updater->install(
-                wave[c - 1], c, rig.memory, rig.vm, c, *rig.engine);
-            benchmark::DoNotOptimize(result);
-            bytes += wave[c - 1].image.totalBytes();
-        }
+        runner.forEach(shards, [&](size_t s) {
+            Rig &rig = *rigs[s];
+            for (secure::CompartmentId c =
+                     static_cast<secure::CompartmentId>(s + 1);
+                 c <= compartments;
+                 c = static_cast<secure::CompartmentId>(c + shards)) {
+                const InstallResult result = rig.updater->install(
+                    wave[c - 1], c, rig.memory, rig.vm, c,
+                    *rig.engine);
+                benchmark::DoNotOptimize(result);
+            }
+        });
+        for (const UpdateBundle &bundle : wave)
+            bytes += bundle.image.totalBytes();
         ++round;
     }
     state.SetBytesProcessed(static_cast<int64_t>(bytes));

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment-binary flag parsing.
+ */
+
+#include "exp/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace secproc::exp
+{
+
+BenchCli
+parseBenchCli(int argc, char **argv)
+{
+    BenchCli cli;
+    cli.runner = RunnerOptions::fromEnvironment();
+    cli.options = RunOptions::fromEnvironment();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto starts = [&arg](const char *prefix) {
+            return arg.rfind(prefix, 0) == 0;
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: " << argv[0] << " [options]\n"
+                << "  --threads=N   parallel grid cells "
+                   "(0 = all cores; also SECPROC_THREADS)\n"
+                << "  --json[=PATH] write the JSON report "
+                   "(default BENCH_<name>.json)\n"
+                << "  --no-json     print the table only\n"
+                << "  --warmup=N    warm-up instructions per cell "
+                   "(also SECPROC_WARMUP)\n"
+                << "  --measure=N   measured instructions per cell "
+                   "(also SECPROC_MEASURE)\n";
+            std::exit(0);
+        } else if (starts("--threads=")) {
+            cli.runner.threads = static_cast<unsigned>(
+                util::parseU64(arg.substr(10), "--threads"));
+        } else if (arg == "--json") {
+            cli.write_json = true;
+        } else if (starts("--json=")) {
+            cli.write_json = true;
+            cli.json_path = arg.substr(7);
+            fatal_if(cli.json_path.empty(), "--json= needs a path");
+        } else if (arg == "--no-json") {
+            cli.write_json = false;
+        } else if (starts("--warmup=")) {
+            cli.options.warmup_instructions =
+                util::parseU64(arg.substr(9), "--warmup");
+        } else if (starts("--measure=")) {
+            cli.options.measure_instructions =
+                util::parseU64(arg.substr(10), "--measure");
+        } else {
+            fatal("unknown option '", arg, "' (try --help)");
+        }
+    }
+    return cli;
+}
+
+} // namespace secproc::exp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared command line for the fig/ablation experiment binaries:
+ * every one accepts --threads=N (worker pool size), --json[=PATH]
+ * and --no-json, on top of the SECPROC_WARMUP / SECPROC_MEASURE /
+ * SECPROC_THREADS environment controls.
+ */
+
+#ifndef SECPROC_EXP_CLI_HH
+#define SECPROC_EXP_CLI_HH
+
+#include <string>
+
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+
+namespace secproc::exp
+{
+
+/** Parsed experiment-binary command line. */
+struct BenchCli
+{
+    RunnerOptions runner;
+    RunOptions options;
+
+    /** Emit BENCH_<name>.json next to the printed table. */
+    bool write_json = true;
+
+    /** Override for the JSON path ("" = the report default). */
+    std::string json_path;
+};
+
+/**
+ * Parse the standard experiment flags; fatal() (with usage on
+ * stderr) on anything unrecognized. Defaults come from the
+ * environment (SECPROC_WARMUP/MEASURE/THREADS).
+ */
+BenchCli parseBenchCli(int argc, char **argv);
+
+} // namespace secproc::exp
+
+#endif // SECPROC_EXP_CLI_HH

@@ -395,9 +395,9 @@ System::functionalStore(uint64_t vaddr)
     const uint64_t offset =
         util::alignDown(vaddr - line_va, 8) % config_.l2.line_size;
     // Deterministic store content: mixes address and store count so
-    // repeated writes change the data.
-    static uint64_t store_salt = 0;
-    util::storeLe64(bytes->data() + offset, vaddr ^ (++store_salt));
+    // repeated writes change the data. Per-instance so concurrent
+    // systems neither race nor perturb each other's data stream.
+    util::storeLe64(bytes->data() + offset, vaddr ^ (++store_salt_));
 }
 
 void

@@ -179,6 +179,9 @@ class System : public MemorySystem
     /** Outstanding L2 misses: line -> completion cycle. */
     std::map<uint64_t, uint64_t> outstanding_;
 
+    /** Functional-store content counter (see functionalStore). */
+    uint64_t store_salt_ = 0;
+
     // Measurement baselines (beginMeasurement snapshots).
     uint64_t base_cycles_ = 0;
     uint64_t base_instructions_ = 0;

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * JSON writer and recursive-descent parser.
+ */
+
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace secproc::util
+{
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::boolean() const
+{
+    panic_if(type_ != Type::Bool, "not a JSON bool");
+    return bool_;
+}
+
+double
+Json::number() const
+{
+    panic_if(type_ != Type::Number, "not a JSON number");
+    return number_;
+}
+
+uint64_t
+Json::asU64() const
+{
+    const double v = number();
+    panic_if(v < 0 || std::floor(v) != v,
+             "JSON number is not a non-negative integer: ", v);
+    return static_cast<uint64_t>(v);
+}
+
+const std::string &
+Json::str() const
+{
+    panic_if(type_ != Type::String, "not a JSON string");
+    return string_;
+}
+
+size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    return 0;
+}
+
+const Json &
+Json::operator[](size_t idx) const
+{
+    panic_if(type_ != Type::Array, "not a JSON array");
+    panic_if(idx >= array_.size(), "JSON array index ", idx,
+             " out of range (size ", array_.size(), ")");
+    return array_[idx];
+}
+
+void
+Json::push(Json v)
+{
+    panic_if(type_ != Type::Array && type_ != Type::Null,
+             "push() on a non-array JSON value");
+    type_ = Type::Array;
+    array_.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    panic_if(type_ != Type::Object && type_ != Type::Null,
+             "set() on a non-object JSON value");
+    type_ = Type::Object;
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &member : object_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *member = find(key);
+    panic_if(member == nullptr, "missing JSON key '", key, "'");
+    return *member;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    panic_if(type_ != Type::Object, "not a JSON object");
+    return object_;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null: return true;
+      case Type::Bool: return bool_ == other.bool_;
+      case Type::Number: return number_ == other.number_;
+      case Type::String: return string_ == other.string_;
+      case Type::Array: return array_ == other.array_;
+      case Type::Object: return object_ == other.object_;
+    }
+    return false;
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+formatNumber(std::string &out, double v)
+{
+    // Integral values (every simulator counter) print exactly.
+    if (std::floor(v) == v && std::abs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        formatNumber(out, number_);
+        break;
+      case Type::String:
+        escapeString(out, string_);
+        break;
+      case Type::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < array_.size(); ++i) {
+            if (i != 0)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      case Type::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < object_.size(); ++i) {
+            if (i != 0)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            escapeString(out, object_[i].first);
+            out += indent < 0 ? ":" : ": ";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser; any error latches ok_ false. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    std::optional<Json>
+    run()
+    {
+        const Json value = parseValue();
+        skipSpace();
+        if (!ok_ || pos_ != text_.size())
+            return std::nullopt;
+        return value;
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+    int depth_ = 0;
+
+    static constexpr int kMaxDepth = 128;
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || ++depth_ > kMaxDepth) {
+            ok_ = false;
+            return Json();
+        }
+        Json out;
+        const char c = text_[pos_];
+        if (c == '{')
+            out = parseObject();
+        else if (c == '[')
+            out = parseArray();
+        else if (c == '"')
+            out = Json(parseString());
+        else if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            out = parseNumber();
+        else if (literal("true"))
+            out = Json(true);
+        else if (literal("false"))
+            out = Json(false);
+        else if (literal("null"))
+            out = Json();
+        else
+            ok_ = false;
+        --depth_;
+        return out;
+    }
+
+    Json
+    parseObject()
+    {
+        ++pos_; // '{'
+        Json out = Json::object();
+        if (consume('}'))
+            return out;
+        while (ok_) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                ok_ = false;
+                return out;
+            }
+            const std::string key = parseString();
+            if (!ok_ || !consume(':')) {
+                ok_ = false;
+                return out;
+            }
+            out.set(key, parseValue());
+            if (consume('}'))
+                return out;
+            if (!consume(',')) {
+                ok_ = false;
+                return out;
+            }
+        }
+        return out;
+    }
+
+    Json
+    parseArray()
+    {
+        ++pos_; // '['
+        Json out = Json::array();
+        if (consume(']'))
+            return out;
+        while (ok_) {
+            out.push(parseValue());
+            if (consume(']'))
+                return out;
+            if (!consume(',')) {
+                ok_ = false;
+                return out;
+            }
+        }
+        return out;
+    }
+
+    std::string
+    parseString()
+    {
+        ++pos_; // '"'
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    ok_ = false;
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        ok_ = false;
+                        return out;
+                    }
+                }
+                // Reports only emit \u for control characters; wider
+                // code points round-trip as UTF-8 without escaping.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else {
+                    ok_ = false;
+                    return out;
+                }
+                break;
+              }
+              default:
+                ok_ = false;
+                return out;
+            }
+        }
+        ok_ = false;
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [this] {
+            const size_t before = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            return pos_ != before;
+        };
+        if (!digits()) {
+            ok_ = false;
+            return Json();
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits()) {
+                ok_ = false;
+                return Json();
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits()) {
+                ok_ = false;
+                return Json();
+            }
+        }
+        try {
+            return Json(std::stod(text_.substr(start, pos_ - start)));
+        } catch (const std::exception &) {
+            ok_ = false; // out-of-double-range literal
+            return Json();
+        }
+    }
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace secproc::util

@@ -91,6 +91,25 @@ fromHex(const std::string &hex)
     return out;
 }
 
+uint64_t
+parseU64(const std::string &s, const std::string &what)
+{
+    if (s.empty())
+        fatal(what, " is empty; expected a decimal integer");
+    uint64_t value = 0;
+    for (const char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+            fatal(what, " has invalid value '", s,
+                  "'; expected a decimal integer");
+        }
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            fatal(what, " value '", s, "' overflows 64 bits");
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
 std::vector<std::string>
 split(const std::string &s, char sep)
 {

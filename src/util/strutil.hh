@@ -34,6 +34,13 @@ std::vector<uint8_t> fromHex(const std::string &hex);
 /** Split @p s on @p sep, keeping empty fields. */
 std::vector<std::string> split(const std::string &s, char sep);
 
+/**
+ * Parse a non-negative decimal integer; fatal() (with @p what naming
+ * the offending setting) on empty input, non-digit characters or
+ * values that do not fit in 64 bits.
+ */
+uint64_t parseU64(const std::string &s, const std::string &what);
+
 } // namespace secproc::util
 
 #endif // SECPROC_UTIL_STRUTIL_HH

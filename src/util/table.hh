@@ -1,6 +1,6 @@
 /**
  * @file
- * ASCII table formatter used by the benchmark harnesses to print the
+ * ASCII table formatter used by the experiment reports to print the
  * paper's figures as paper-vs-measured tables.
  */
 

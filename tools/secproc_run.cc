@@ -2,25 +2,30 @@
  * @file
  * secproc_run — command-line driver for the simulator.
  *
- * Runs one benchmark under one protection model with every paper
- * parameter overridable from the command line, and prints either a
- * summary or the full component statistics. This is the tool a
- * downstream user scripts sweeps with.
+ * Runs one or more benchmarks under one protection model with every
+ * paper parameter overridable from the command line, and prints a
+ * summary, a per-benchmark table, or the full component statistics.
+ * Multi-benchmark runs go through the experiment Runner, so they
+ * parallelize with --threads and can emit the JSON report a
+ * downstream user scripts sweeps against.
  *
  *   secproc_run --bench=mcf --model=otp --snc-kb=64 --snc-assoc=0 \
  *               --crypto=50 --l2-kb=256 --instructions=4000000
+ *   secproc_run --bench=all --model=xom --threads=4 --json
  *   secproc_run --list
  *   secproc_run --bench=gcc --model=xom --dump-stats
  */
 
-#include <cstring>
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "exp/runner.hh"
 #include "sim/profiles.hh"
-#include "sim/system.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
+#include "util/table.hh"
 
 using namespace secproc;
 
@@ -47,6 +52,9 @@ struct Options
     bool dump_stats = false;
     bool list = false;
     bool parallel_seqnum = false;
+    unsigned threads = 1;
+    bool write_json = false;
+    std::string json_path;
 };
 
 [[noreturn]] void
@@ -55,10 +63,14 @@ usage(int code)
     std::cout <<
         "usage: secproc_run [options]\n"
         "  --list                 list benchmarks and exit\n"
-        "  --bench=NAME           benchmark profile (default mcf)\n"
+        "  --bench=NAME[,NAME...] benchmark profiles (default mcf);\n"
+        "                         'all' runs every profile\n"
         "  --model=M              baseline | xom | otp (default otp)\n"
         "  --instructions=N       measured instructions (default 4M)\n"
         "  --warmup=N             warm-up instructions (default 1M)\n"
+        "  --threads=N            parallel benchmarks (0 = all cores;\n"
+        "                         also SECPROC_THREADS)\n"
+        "  --json[=PATH]          write BENCH_secproc_run.json\n"
         "  --snc-kb=N             SNC capacity in KB (default 64)\n"
         "  --snc-assoc=N          SNC ways, 0 = fully assoc (default)\n"
         "  --snc-norepl           no-replacement SNC policy\n"
@@ -70,7 +82,8 @@ usage(int code)
         "  --in-order             blocking-loads in-order core\n"
         "  --l2-kb=N --l2-assoc=N L2 geometry (default 256KB 4-way)\n"
         "  --mshrs=N              outstanding misses (default 8)\n"
-        "  --dump-stats           print all component statistics\n";
+        "  --dump-stats           print all component statistics\n"
+        "                         (single benchmark only)\n";
     std::exit(code);
 }
 
@@ -80,13 +93,15 @@ parseValue(const std::string &arg)
     const auto pos = arg.find('=');
     if (pos == std::string::npos)
         usage(1);
-    return std::stoull(arg.substr(pos + 1));
+    return util::parseU64(arg.substr(pos + 1),
+                          arg.substr(0, pos));
 }
 
 Options
 parse(int argc, char **argv)
 {
     Options options;
+    options.threads = exp::RunnerOptions::fromEnvironment().threads;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto starts = [&arg](const char *prefix) {
@@ -104,7 +119,14 @@ parse(int argc, char **argv)
             options.instructions = parseValue(arg);
         else if (starts("--warmup="))
             options.warmup = parseValue(arg);
-        else if (starts("--snc-kb="))
+        else if (starts("--threads="))
+            options.threads = static_cast<unsigned>(parseValue(arg));
+        else if (arg == "--json")
+            options.write_json = true;
+        else if (starts("--json=")) {
+            options.write_json = true;
+            options.json_path = arg.substr(7);
+        } else if (starts("--snc-kb="))
             options.snc_kb = parseValue(arg);
         else if (starts("--snc-assoc="))
             options.snc_assoc = static_cast<uint32_t>(parseValue(arg));
@@ -139,6 +161,51 @@ parse(int argc, char **argv)
         }
     }
     return options;
+}
+
+std::vector<std::string>
+benchList(const std::string &arg)
+{
+    if (arg == "all")
+        return sim::benchmarkNames();
+    std::vector<std::string> benches;
+    for (const std::string &name : util::split(arg, ',')) {
+        if (!name.empty())
+            benches.push_back(name);
+    }
+    if (benches.empty())
+        usage(1);
+    return benches;
+}
+
+double
+mpki(const sim::RunStats &stats)
+{
+    if (stats.instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(stats.l2_misses) /
+           static_cast<double>(stats.instructions);
+}
+
+void
+printSummary(const std::string &bench, const Options &options,
+             const sim::RunStats &stats)
+{
+    std::cout << "bench         " << bench << "\n"
+              << "model         " << options.model
+              << (options.snc_norepl ? " (no-replacement SNC)" : "")
+              << "\n"
+              << "instructions  " << stats.instructions << "\n"
+              << "cycles        " << stats.cycles << "\n"
+              << "ipc           " << util::formatDouble(stats.ipc, 3)
+              << "\n"
+              << "l2 misses     " << stats.l2_misses << " ("
+              << util::formatDouble(mpki(stats), 2) << " MPKI)\n"
+              << "fast fills    " << stats.fast_fills << "\n"
+              << "slow fills    " << stats.slow_fills << "\n"
+              << "snc q-misses  " << stats.snc_query_misses << "\n"
+              << "data bytes    " << stats.data_bytes << "\n"
+              << "seqnum bytes  " << stats.seqnum_bytes << "\n";
 }
 
 } // namespace
@@ -188,40 +255,61 @@ main(int argc, char **argv)
     config.l2.assoc = options.l2_assoc;
     config.mshrs = options.mshrs;
 
-    sim::SyntheticWorkload workload(
-        sim::benchmarkProfile(options.bench), config.l2.line_size);
-    sim::System system(config, workload);
-    system.run(options.warmup);
-    system.beginMeasurement();
-    system.run(options.instructions);
-
-    const sim::RunStats stats = system.stats();
-    std::cout << "bench         " << options.bench << "\n"
-              << "model         " << options.model
-              << (options.snc_norepl ? " (no-replacement SNC)" : "")
-              << "\n"
-              << "instructions  " << stats.instructions << "\n"
-              << "cycles        " << stats.cycles << "\n"
-              << "ipc           " << util::formatDouble(stats.ipc, 3)
-              << "\n"
-              << "l2 misses     " << stats.l2_misses << " ("
-              << util::formatDouble(
-                     stats.instructions == 0
-                         ? 0.0
-                         : 1000.0 *
-                               static_cast<double>(stats.l2_misses) /
-                               static_cast<double>(stats.instructions),
-                     2)
-              << " MPKI)\n"
-              << "fast fills    " << stats.fast_fills << "\n"
-              << "slow fills    " << stats.slow_fills << "\n"
-              << "snc q-misses  " << stats.snc_query_misses << "\n"
-              << "data bytes    " << stats.data_bytes << "\n"
-              << "seqnum bytes  " << stats.seqnum_bytes << "\n";
+    const std::vector<std::string> benches = benchList(options.bench);
 
     if (options.dump_stats) {
+        // Component statistics need the live System, so this path
+        // runs outside the Runner and stays single-benchmark.
+        fatal_if(benches.size() != 1,
+                 "--dump-stats works on a single benchmark");
+        sim::SyntheticWorkload workload(
+            sim::benchmarkProfile(benches[0]), config.l2.line_size);
+        sim::System system(config, workload);
+        system.run(options.warmup);
+        system.beginMeasurement();
+        system.run(options.instructions);
+        printSummary(benches[0], options, system.stats());
         std::cout << "\n-- full component statistics --\n";
         system.dumpStats(std::cout);
+        return 0;
     }
+
+    exp::ExperimentSpec spec;
+    spec.name = "secproc_run";
+    spec.title = "secproc_run: " + options.model;
+    spec.benchmarks = benches;
+    spec.options.warmup_instructions = options.warmup;
+    spec.options.measure_instructions = options.instructions;
+    spec.add(options.model,
+             [&config](const std::string &) { return config; });
+
+    exp::RunnerOptions runner_options;
+    runner_options.threads = options.threads;
+    const exp::Report report =
+        exp::Runner(runner_options).run(spec);
+
+    if (benches.size() == 1) {
+        printSummary(benches[0], options,
+                     report.cells()[0].stats);
+    } else {
+        util::Table table({"bench", "cycles", "ipc", "l2 misses",
+                           "MPKI", "fast fills", "slow fills",
+                           "seqnum bytes"});
+        for (const exp::CellResult &cell : report.cells()) {
+            table.addRow({cell.bench,
+                          std::to_string(cell.stats.cycles),
+                          util::formatDouble(cell.stats.ipc, 3),
+                          std::to_string(cell.stats.l2_misses),
+                          util::formatDouble(mpki(cell.stats), 2),
+                          std::to_string(cell.stats.fast_fills),
+                          std::to_string(cell.stats.slow_fills),
+                          std::to_string(cell.stats.seqnum_bytes)});
+        }
+        std::cout << "== secproc_run: " << options.model << " ==\n";
+        table.print(std::cout);
+    }
+
+    if (options.write_json)
+        report.writeJson(options.json_path);
     return 0;
 }

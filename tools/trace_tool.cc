@@ -124,7 +124,7 @@ main(int argc, char **argv)
         if (argc < 4)
             return usage();
         const uint64_t ops =
-            argc > 4 ? std::stoull(argv[4]) : 1'000'000;
+            argc > 4 ? util::parseU64(argv[4], "ops") : 1'000'000;
         return record(argv[2], argv[3], ops);
     }
     if (command == "info")
@@ -134,7 +134,7 @@ main(int argc, char **argv)
             argc > 3 ? parseModel(argv[3])
                      : secure::SecurityModel::OtpSnc;
         const uint64_t instructions =
-            argc > 4 ? std::stoull(argv[4]) : 1'000'000;
+            argc > 4 ? util::parseU64(argv[4], "instructions") : 1'000'000;
         return replay(argv[2], model, instructions);
     }
     return usage();

@@ -154,15 +154,7 @@ struct Options
 uint64_t
 parseNumber(const std::string &key, const std::string &value)
 {
-    try {
-        size_t consumed = 0;
-        const uint64_t v = std::stoull(value, &consumed);
-        fatal_if(consumed != value.size(),
-                 "--", key, " needs a number, got '", value, "'");
-        return v;
-    } catch (const std::exception &) {
-        fatal("--", key, " needs a number, got '", value, "'");
-    }
+    return util::parseU64(value, "--" + key);
 }
 
 Options
