@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json experiment reports against committed baselines.
+
+For every ``BENCH_<name>.json`` in the baseline directory, the current
+directory must contain a report with the same name; each baseline
+cell's ``measured`` value is then compared with the current run's and
+the build fails when any cell regresses past the tolerance.
+
+What counts as a regression depends on the experiment:
+
+* Simulation experiments (the default) report percent slowdowns
+  derived from deterministic cycle counts, so *higher* measured values
+  are regressions.
+* Throughput-style experiments listed in ``RULES`` with
+  ``higher_is_better`` fail when the value *drops*. For
+  ``rsa_throughput`` only the machine-portable ``speedup-*`` cells
+  (fast engine over schoolbook engine, measured in the same run on
+  the same machine) are gated; absolute ops/s do not transfer between
+  machines and are reported for information only.
+
+Improvements never fail the gate.
+
+Re-baselining: rerun the gated benches with the same SECPROC_WARMUP /
+SECPROC_MEASURE the CI perf-gate job uses (see
+.github/workflows/ci.yml), then copy the fresh reports over
+``bench/baselines/`` and commit them. Ratio cells may be committed
+with conservative floors instead of measured values; see
+bench/baselines/README.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Per-experiment comparison rules; experiments not listed use the
+# defaults (lower-is-better, every cell with a "measured" value,
+# run-length options must match the baseline).
+RULES = {
+    "rsa_throughput": {
+        "higher_is_better": True,
+        "variant_regex": r"^speedup-",
+        # Cells are wall-clock rates/ratios, not instruction-count
+        # driven; warmup/measure options are irrelevant to them, and
+        # the ratios wobble a little run-to-run, so they get a wider
+        # absolute floor than the deterministic simulation cells.
+        "check_options": False,
+        "abs_floor": 0.5,
+    },
+}
+
+GATED_OPTIONS = ("warmup_instructions", "measure_instructions")
+
+
+def load_cells(doc):
+    """Map (variant, bench) -> measured for cells that report one."""
+    return {
+        (cell["variant"], cell["bench"]): cell["measured"]
+        for cell in doc.get("cells", [])
+        if "measured" in cell
+    }
+
+
+def check_report(name, baseline, current, args, failures, rows):
+    rule = RULES.get(name, {})
+    higher_is_better = rule.get("higher_is_better", False)
+    variant_re = re.compile(rule.get("variant_regex", ""))
+
+    if rule.get("check_options", True):
+        for key in GATED_OPTIONS:
+            base_opt = baseline.get("options", {}).get(key)
+            cur_opt = current.get("options", {}).get(key)
+            if base_opt != cur_opt:
+                failures.append(
+                    f"{name}: option {key} is {cur_opt} but the "
+                    f"baseline was recorded with {base_opt}; rerun "
+                    f"with the baseline's SECPROC_* settings or "
+                    f"re-baseline"
+                )
+                return
+
+    abs_floor = rule.get("abs_floor", args.abs_floor)
+    base_cells = load_cells(baseline)
+    cur_cells = load_cells(current)
+    for key, base in sorted(base_cells.items()):
+        variant, bench = key
+        if not variant_re.search(variant):
+            continue
+        if key not in cur_cells:
+            failures.append(
+                f"{name}: cell ({variant}, {bench}) is in the "
+                f"baseline but missing from the current report"
+            )
+            continue
+        cur = cur_cells[key]
+        margin = max(args.tolerance * abs(base), abs_floor)
+        if higher_is_better:
+            regressed = cur < base - margin
+            improved = cur > base + margin
+        else:
+            regressed = cur > base + margin
+            improved = cur < base - margin
+        status = (
+            "REGRESSION" if regressed else
+            "improved" if improved else "ok"
+        )
+        delta = cur - base
+        rows.append((name, variant, bench, base, cur, delta, status))
+        if regressed:
+            failures.append(
+                f"{name}: ({variant}, {bench}) regressed: "
+                f"baseline {base:g}, current {cur:g} "
+                f"(allowed margin {margin:g})"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=Path("bench/baselines"),
+        help="directory with committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir", type=Path, default=Path("."),
+        help="directory with freshly produced BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative regression tolerance (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--abs-floor", type=float, default=0.02,
+        help="absolute slack in value units for near-zero baselines; "
+             "kept tiny because simulation cells are deterministic "
+             "(experiments in RULES may override it)",
+    )
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines under "
+              f"{args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    rows = []
+    for path in baseline_files:
+        name = path.stem.removeprefix("BENCH_")
+        current_path = args.current_dir / path.name
+        if not current_path.exists():
+            failures.append(
+                f"{name}: {current_path} not found; the gated bench "
+                f"did not run or did not emit JSON"
+            )
+            continue
+        with path.open() as fh:
+            baseline = json.load(fh)
+        with current_path.open() as fh:
+            current = json.load(fh)
+        check_report(name, baseline, current, args, failures, rows)
+
+    if rows:
+        header = ("experiment", "variant", "bench", "baseline",
+                  "current", "delta", "status")
+        widths = [
+            max(len(header[i]),
+                max(len(f"{r[i]:.3f}") if isinstance(r[i], float)
+                    else len(str(r[i])) for r in rows))
+            for i in range(len(header))
+        ]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        print(fmt.format(*header))
+        for r in rows:
+            cols = [f"{c:.3f}" if isinstance(c, float) else str(c)
+                    for c in r]
+            print(fmt.format(*cols))
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} problem(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("\nIf the change is intentional, re-baseline: rerun the "
+              "benches with the CI SECPROC_* settings and copy the "
+              "new BENCH_*.json into bench/baselines/ (see "
+              "scripts/check_bench_regression.py --help).",
+              file=sys.stderr)
+        return 1
+
+    print(f"\nperf gate passed: {len(rows)} cell(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

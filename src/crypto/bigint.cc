@@ -1,13 +1,20 @@
 /**
  * @file
- * BigInt implementation. Schoolbook multiplication and binary long
- * division: simple, allocation-conscious, and fast enough for the
- * 384..1024-bit RSA moduli used in the simulation.
+ * BigInt implementation.
+ *
+ * Multiplication dispatches between a schoolbook inner loop and
+ * Karatsuba recursion; division is Knuth Algorithm D (TAOCP vol. 2,
+ * 4.3.1) over 64-bit limbs; modular exponentiation uses CIOS
+ * Montgomery multiplication with a 4-bit window for odd moduli. The
+ * pre-optimization algorithms survive as the *Schoolbook reference
+ * methods used by the differential tests and the rsa_throughput
+ * bench's "schoolbook" engine.
  */
 
 #include "crypto/bigint.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "util/logging.hh"
 
@@ -18,6 +25,14 @@ namespace
 {
 
 using Limbs = std::vector<uint64_t>;
+
+/** Drop trailing zero limbs (the normalized representation). */
+void
+trimLimbs(Limbs &v)
+{
+    while (!v.empty() && v.back() == 0)
+        v.pop_back();
+}
 
 /** Compare limb vectors as integers. */
 int
@@ -46,8 +61,7 @@ subInPlace(Limbs &a, const Limbs &b)
         a[i] = after;
     }
     panic_if(borrow != 0, "BigInt subtraction underflow");
-    while (!a.empty() && a.back() == 0)
-        a.pop_back();
+    trimLimbs(a);
 }
 
 /** In place: a = (a << 1) | carry_in_bit. */
@@ -64,6 +78,127 @@ shl1InPlace(Limbs &a, bool carry_in)
         a.push_back(1);
 }
 
+/** dst += src * 2^(64*offset); dst must be large enough. */
+void
+addShifted(Limbs &dst, const Limbs &src, size_t offset)
+{
+    uint64_t carry = 0;
+    size_t i = 0;
+    for (; i < src.size(); ++i) {
+        const __uint128_t sum =
+            static_cast<__uint128_t>(dst[offset + i]) + src[i] + carry;
+        dst[offset + i] = static_cast<uint64_t>(sum);
+        carry = static_cast<uint64_t>(sum >> 64);
+    }
+    for (; carry != 0; ++i) {
+        const __uint128_t sum =
+            static_cast<__uint128_t>(dst[offset + i]) + carry;
+        dst[offset + i] = static_cast<uint64_t>(sum);
+        carry = static_cast<uint64_t>(sum >> 64);
+    }
+}
+
+/** Schoolbook product; inputs need not be normalized. */
+Limbs
+mulSchoolbookLimbs(const Limbs &a, const Limbs &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    Limbs out(a.size() + b.size(), 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        uint64_t carry = 0;
+        for (size_t j = 0; j < b.size(); ++j) {
+            const __uint128_t prod =
+                static_cast<__uint128_t>(a[i]) * b[j] + out[i + j] +
+                carry;
+            out[i + j] = static_cast<uint64_t>(prod);
+            carry = static_cast<uint64_t>(prod >> 64);
+        }
+        out[i + b.size()] += carry;
+    }
+    trimLimbs(out);
+    return out;
+}
+
+/** Sum as a fresh vector (never underflows). */
+Limbs
+addLimbs(const Limbs &a, const Limbs &b)
+{
+    Limbs out(std::max(a.size(), b.size()) + 1, 0);
+    std::copy(a.begin(), a.end(), out.begin());
+    addShifted(out, b, 0);
+    trimLimbs(out);
+    return out;
+}
+
+/**
+ * Karatsuba recursion: split both operands at `half` limbs so
+ * a = a1*B + a0, b = b1*B + b0 (B = 2^(64*half)) and combine three
+ * half-size products. z1 = (a0+a1)(b0+b1) - z0 - z2 can never
+ * underflow, so the subInPlace panic path is unreachable here.
+ */
+Limbs
+mulLimbs(const Limbs &a, const Limbs &b)
+{
+    if (std::min(a.size(), b.size()) <
+        BigInt::kKaratsubaThresholdLimbs) {
+        return mulSchoolbookLimbs(a, b);
+    }
+
+    const size_t half = (std::max(a.size(), b.size()) + 1) / 2;
+    const auto low = [half](const Limbs &v) {
+        Limbs out(v.begin(),
+                  v.begin() + static_cast<long>(
+                                  std::min(half, v.size())));
+        trimLimbs(out);
+        return out;
+    };
+    const auto high = [half](const Limbs &v) {
+        if (v.size() <= half)
+            return Limbs{};
+        return Limbs(v.begin() + static_cast<long>(half), v.end());
+    };
+
+    const Limbs a0 = low(a), a1 = high(a);
+    const Limbs b0 = low(b), b1 = high(b);
+
+    const Limbs z0 = mulLimbs(a0, b0);
+    const Limbs z2 = mulLimbs(a1, b1);
+    Limbs z1 = mulLimbs(addLimbs(a0, a1), addLimbs(b0, b1));
+    subInPlace(z1, z0);
+    subInPlace(z1, z2);
+
+    Limbs out(a.size() + b.size() + 1, 0);
+    addShifted(out, z0, 0);
+    addShifted(out, z1, half);
+    addShifted(out, z2, 2 * half);
+    trimLimbs(out);
+    return out;
+}
+
+/** v << shift (shift < 64) into a vector of exactly @p len limbs. */
+Limbs
+shiftLeftBits(const Limbs &v, unsigned shift, size_t len)
+{
+    Limbs out(len, 0);
+    for (size_t i = 0; i < v.size(); ++i) {
+        out[i] |= v[i] << shift;
+        if (shift != 0 && i + 1 < len)
+            out[i + 1] = v[i] >> (64 - shift);
+    }
+    return out;
+}
+
+/** Multiplicative inverse of odd @p x modulo 2^64 (Newton lifting). */
+uint64_t
+inverse64(uint64_t x)
+{
+    uint64_t inv = x; // correct modulo 2^3 for odd x
+    for (int i = 0; i < 5; ++i)
+        inv *= 2 - x * inv; // doubles the correct low bits
+    return inv;
+}
+
 } // namespace
 
 BigInt::BigInt(uint64_t v)
@@ -75,8 +210,7 @@ BigInt::BigInt(uint64_t v)
 void
 BigInt::trim()
 {
-    while (!limbs_.empty() && limbs_.back() == 0)
-        limbs_.pop_back();
+    trimLimbs(limbs_);
 }
 
 BigInt
@@ -250,19 +384,15 @@ BigInt::operator*(const BigInt &o) const
     if (isZero() || o.isZero())
         return BigInt();
     BigInt out;
-    out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        uint64_t carry = 0;
-        for (size_t j = 0; j < o.limbs_.size(); ++j) {
-            const __uint128_t prod =
-                static_cast<__uint128_t>(limbs_[i]) * o.limbs_[j] +
-                out.limbs_[i + j] + carry;
-            out.limbs_[i + j] = static_cast<uint64_t>(prod);
-            carry = static_cast<uint64_t>(prod >> 64);
-        }
-        out.limbs_[i + o.limbs_.size()] += carry;
-    }
-    out.trim();
+    out.limbs_ = mulLimbs(limbs_, o.limbs_);
+    return out;
+}
+
+BigInt
+BigInt::mulSchoolbook(const BigInt &a, const BigInt &b)
+{
+    BigInt out;
+    out.limbs_ = mulSchoolbookLimbs(a.limbs_, b.limbs_);
     return out;
 }
 
@@ -316,6 +446,110 @@ BigInt::divmod(const BigInt &div) const
         return result;
     }
 
+    // Single-limb divisor: one 128/64 division per limb.
+    if (div.limbs_.size() == 1) {
+        const uint64_t d = div.limbs_[0];
+        Limbs quot(limbs_.size(), 0);
+        uint64_t rem = 0;
+        for (size_t i = limbs_.size(); i-- > 0;) {
+            const __uint128_t cur =
+                (static_cast<__uint128_t>(rem) << 64) | limbs_[i];
+            quot[i] = static_cast<uint64_t>(cur / d);
+            rem = static_cast<uint64_t>(cur % d);
+        }
+        result.first.limbs_ = std::move(quot);
+        result.first.trim();
+        result.second = BigInt(rem);
+        return result;
+    }
+
+    // Knuth Algorithm D. Normalize so the divisor's top bit is set:
+    // the two-limb trial quotient is then off by at most 2, and the
+    // add-back correction below runs with probability ~2/2^64.
+    const size_t n = div.limbs_.size();
+    const size_t m = limbs_.size() - n;
+    const unsigned shift = static_cast<unsigned>(
+        __builtin_clzll(div.limbs_.back()));
+    const Limbs v = shiftLeftBits(div.limbs_, shift, n);
+    Limbs u = shiftLeftBits(limbs_, shift, limbs_.size() + 1);
+
+    Limbs quot(m + 1, 0);
+    for (size_t j = m + 1; j-- > 0;) {
+        // Trial quotient from the top two limbs of u / top of v.
+        const __uint128_t num =
+            (static_cast<__uint128_t>(u[j + n]) << 64) | u[j + n - 1];
+        __uint128_t qhat = num / v[n - 1];
+        __uint128_t rhat = num % v[n - 1];
+        while (qhat > UINT64_MAX ||
+               static_cast<__uint128_t>(static_cast<uint64_t>(qhat)) *
+                       v[n - 2] >
+                   ((rhat << 64) | u[j + n - 2])) {
+            --qhat;
+            rhat += v[n - 1];
+            if (rhat > UINT64_MAX)
+                break;
+        }
+        uint64_t q = static_cast<uint64_t>(qhat);
+
+        // u[j .. j+n] -= q * v. The subtraction is two's-complement
+        // on purpose: when q is one too large the window wraps and
+        // the add-back below restores it — no underflow panic is
+        // involved (and none of its machinery runs) on this path.
+        uint64_t mul_carry = 0;
+        uint64_t borrow = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const __uint128_t prod =
+                static_cast<__uint128_t>(q) * v[i] + mul_carry;
+            mul_carry = static_cast<uint64_t>(prod >> 64);
+            const uint64_t sub = static_cast<uint64_t>(prod);
+            const uint64_t before = u[j + i];
+            const uint64_t mid = before - sub;
+            const uint64_t after = mid - borrow;
+            borrow = (before < sub) || (mid < borrow) ? 1 : 0;
+            u[j + i] = after;
+        }
+        const uint64_t top_before = u[j + n];
+        const uint64_t top_mid = top_before - mul_carry;
+        const uint64_t top_after = top_mid - borrow;
+        const bool overshot =
+            (top_before < mul_carry) || (top_mid < borrow);
+        u[j + n] = top_after;
+
+        if (overshot) {
+            // Quotient correction: q was one too large; add v back.
+            --q;
+            uint64_t carry = 0;
+            for (size_t i = 0; i < n; ++i) {
+                const __uint128_t sum =
+                    static_cast<__uint128_t>(u[j + i]) + v[i] + carry;
+                u[j + i] = static_cast<uint64_t>(sum);
+                carry = static_cast<uint64_t>(sum >> 64);
+            }
+            u[j + n] += carry; // wraps, cancelling the borrowed bit
+        }
+        quot[j] = q;
+    }
+
+    result.first.limbs_ = std::move(quot);
+    result.first.trim();
+    u.resize(n);
+    BigInt rem;
+    rem.limbs_ = std::move(u);
+    rem.trim();
+    result.second = rem >> shift;
+    return result;
+}
+
+std::pair<BigInt, BigInt>
+BigInt::divmodSchoolbook(const BigInt &div) const
+{
+    panic_if(div.isZero(), "BigInt division by zero");
+    std::pair<BigInt, BigInt> result;
+    if (*this < div) {
+        result.second = *this;
+        return result;
+    }
+
     const unsigned total_bits = bitLength();
     Limbs rem;
     Limbs quot((total_bits + 63) / 64, 0);
@@ -333,18 +567,187 @@ BigInt::divmod(const BigInt &div) const
     return result;
 }
 
+// --------------------------------------------------------- MontgomeryCtx
+
+MontgomeryCtx::MontgomeryCtx(const BigInt &modulus) : n_(modulus)
+{
+    panic_if(!modulus.isOdd() || modulus <= BigInt(1),
+             "MontgomeryCtx modulus must be odd and > 1");
+    k_ = n_.limbs_.size();
+    n0inv_ = ~inverse64(n_.limbs_[0]) + 1; // -n^{-1} mod 2^64
+    rr_ = (BigInt(1) << static_cast<unsigned>(128 * k_)) % n_;
+    one_ = toMont(BigInt(1));
+}
+
+MontgomeryCtx::Limbs
+MontgomeryCtx::montMul(const Limbs &a, const Limbs &b) const
+{
+    // CIOS: interleave the multiply pass with the reduction pass so
+    // the accumulator never exceeds k+2 limbs.
+    const Limbs &nl = n_.limbs_;
+    Limbs t(k_ + 2, 0);
+    for (size_t i = 0; i < k_; ++i) {
+        const uint64_t ai = i < a.size() ? a[i] : 0;
+        uint64_t carry = 0;
+        for (size_t j = 0; j < k_; ++j) {
+            const __uint128_t sum =
+                static_cast<__uint128_t>(ai) *
+                    (j < b.size() ? b[j] : 0) +
+                t[j] + carry;
+            t[j] = static_cast<uint64_t>(sum);
+            carry = static_cast<uint64_t>(sum >> 64);
+        }
+        __uint128_t top = static_cast<__uint128_t>(t[k_]) + carry;
+        t[k_] = static_cast<uint64_t>(top);
+        t[k_ + 1] = static_cast<uint64_t>(top >> 64);
+
+        const uint64_t mfactor = t[0] * n0inv_;
+        __uint128_t sum =
+            static_cast<__uint128_t>(mfactor) * nl[0] + t[0];
+        carry = static_cast<uint64_t>(sum >> 64);
+        for (size_t j = 1; j < k_; ++j) {
+            sum = static_cast<__uint128_t>(mfactor) * nl[j] + t[j] +
+                  carry;
+            t[j - 1] = static_cast<uint64_t>(sum);
+            carry = static_cast<uint64_t>(sum >> 64);
+        }
+        top = static_cast<__uint128_t>(t[k_]) + carry;
+        t[k_ - 1] = static_cast<uint64_t>(top);
+        t[k_] = t[k_ + 1] + static_cast<uint64_t>(top >> 64);
+    }
+
+    t.pop_back(); // t[k_+1] is spent; result is t[0 .. k_]
+    trimLimbs(t);
+    if (compareLimbs(t, nl) >= 0)
+        subInPlace(t, nl);
+    return t;
+}
+
+BigInt
+MontgomeryCtx::toMont(const BigInt &x) const
+{
+    const BigInt reduced = x >= n_ ? x % n_ : x;
+    BigInt out;
+    out.limbs_ = montMul(reduced.limbs_, rr_.limbs_);
+    return out;
+}
+
+BigInt
+MontgomeryCtx::fromMont(const BigInt &x) const
+{
+    BigInt out;
+    out.limbs_ = montMul(x.limbs_, Limbs{1});
+    return out;
+}
+
+BigInt
+MontgomeryCtx::mul(const BigInt &a, const BigInt &b) const
+{
+    BigInt out;
+    out.limbs_ = montMul(a.limbs_, b.limbs_);
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Left-to-right exponentiation over an abstract multiply (shared by
+ * the Montgomery and even-modulus paths): plain square-and-multiply
+ * for short exponents, where building the window table would
+ * dominate (RSA's e = 65537 public exponent is the important case),
+ * 4-bit fixed window otherwise. @p base is the base in mul's domain,
+ * @p one the domain's multiplicative identity; @p exp must be
+ * non-zero.
+ */
+template <typename MulFn>
+BigInt
+expLeftToRight(const BigInt &base, const BigInt &exp,
+               const BigInt &one, const MulFn &mul)
+{
+    const unsigned bits = exp.bitLength();
+    if (bits <= 32) {
+        BigInt acc = base; // consumes the top bit
+        for (unsigned i = bits - 1; i-- > 0;) {
+            acc = mul(acc, acc);
+            if (exp.bit(i))
+                acc = mul(acc, base);
+        }
+        return acc;
+    }
+
+    // table[i] = base^i in mul's domain.
+    std::array<BigInt, 16> table;
+    table[0] = one;
+    table[1] = base;
+    for (size_t i = 2; i < table.size(); ++i)
+        table[i] = mul(table[i - 1], table[1]);
+
+    const auto window = [&exp](unsigned w) {
+        unsigned value = 0;
+        for (unsigned b = 0; b < 4; ++b)
+            value |= static_cast<unsigned>(exp.bit(4 * w + b)) << b;
+        return value;
+    };
+
+    unsigned w = (bits - 1) / 4;
+    BigInt acc = table[window(w)]; // top window is non-zero
+    while (w-- > 0) {
+        for (int s = 0; s < 4; ++s)
+            acc = mul(acc, acc);
+        const unsigned value = window(w);
+        if (value != 0)
+            acc = mul(acc, table[value]);
+    }
+    return acc;
+}
+
+} // namespace
+
+BigInt
+MontgomeryCtx::modExp(const BigInt &base, const BigInt &exp) const
+{
+    if (exp.isZero())
+        return BigInt(1); // n > 1, so 1 mod n == 1
+    const BigInt acc = expLeftToRight(
+        toMont(base), exp, one_,
+        [this](const BigInt &a, const BigInt &b) { return mul(a, b); });
+    return fromMont(acc);
+}
+
+// ---------------------------------------------------------------- modExp
+
 BigInt
 BigInt::modExp(const BigInt &exp, const BigInt &m) const
 {
     panic_if(m.isZero(), "modExp modulus must be non-zero");
-    BigInt base = *this % m;
-    BigInt result(1);
-    result = result % m; // handles m == 1
+    if (m == BigInt(1))
+        return BigInt(); // everything is 0 mod 1
+    if (m.isOdd())
+        return MontgomeryCtx(m).modExp(*this, exp);
+
+    // Even modulus (never hit by RSA): same exponentiation ladder
+    // with division-based reduction.
+    if (exp.isZero())
+        return BigInt(1);
+    return expLeftToRight(
+        *this % m, exp, BigInt(1),
+        [&m](const BigInt &a, const BigInt &b) { return (a * b) % m; });
+}
+
+BigInt
+BigInt::modExpSchoolbook(const BigInt &exp, const BigInt &m) const
+{
+    panic_if(m.isZero(), "modExp modulus must be non-zero");
+    BigInt base = divmodSchoolbook(m).second;
+    BigInt result = BigInt(1).divmodSchoolbook(m).second; // m == 1
     const unsigned bits = exp.bitLength();
     for (unsigned i = bits; i-- > 0;) {
-        result = (result * result) % m;
+        result = mulSchoolbook(result, result).divmodSchoolbook(m)
+                     .second;
         if (exp.bit(i))
-            result = (result * base) % m;
+            result = mulSchoolbook(result, base).divmodSchoolbook(m)
+                         .second;
     }
     return result;
 }
@@ -433,16 +836,23 @@ BigInt::isProbablePrime(util::Rng &rng, int rounds) const
         ++r;
     }
 
+    // The candidate is odd and > 113 here, so the witness loop can
+    // run entirely in the Montgomery domain (squarings compare
+    // against the Montgomery form of n-1; the map is a bijection).
+    const MontgomeryCtx ctx(*this);
+    const BigInt minus_one_m = ctx.toMont(n_minus_1);
+
     const BigInt n_minus_3 = *this - BigInt(3);
     for (int round = 0; round < rounds; ++round) {
         const BigInt a = BigInt(2) + randomBelow(n_minus_3, rng);
-        BigInt x = a.modExp(d, *this);
+        const BigInt x = ctx.modExp(a, d);
         if (x == BigInt(1) || x == n_minus_1)
             continue;
+        BigInt xm = ctx.toMont(x);
         bool witness = true;
         for (unsigned i = 1; i < r; ++i) {
-            x = (x * x) % *this;
-            if (x == n_minus_1) {
+            xm = ctx.mul(xm, xm);
+            if (xm == minus_one_m) {
                 witness = false;
                 break;
             }

@@ -6,11 +6,60 @@
 #include "crypto/rsa.hh"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/logging.hh"
 
 namespace secproc::crypto
 {
+
+namespace
+{
+
+/**
+ * Lazily build (and memoize in @p slot) the Montgomery context for
+ * @p n. One global mutex guards every key's first-use construction;
+ * steady-state calls take it only for a pointer check and a limb
+ * compare, which is noise next to a modular exponentiation. The
+ * returned shared_ptr keeps the context alive for the caller even if
+ * the key is reassigned concurrently.
+ */
+std::shared_ptr<const MontgomeryCtx>
+cachedMontCtx(const BigInt &n,
+              std::shared_ptr<const MontgomeryCtx> &slot)
+{
+    if (!n.isOdd() || n <= BigInt(1))
+        return nullptr;
+    static std::mutex mutex;
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!slot || slot->modulus() != n)
+        slot = std::make_shared<const MontgomeryCtx>(n);
+    return slot;
+}
+
+/** base^exp mod the key's modulus, via the cached context. */
+BigInt
+keyModExp(const BigInt &base, const BigInt &exp, const BigInt &n,
+          const std::shared_ptr<const MontgomeryCtx> &ctx)
+{
+    if (ctx != nullptr)
+        return ctx->modExp(base, exp);
+    return base.modExp(exp, n);
+}
+
+} // namespace
+
+std::shared_ptr<const MontgomeryCtx>
+RsaPublicKey::montCtx() const
+{
+    return cachedMontCtx(n, mont_);
+}
+
+std::shared_ptr<const MontgomeryCtx>
+RsaPrivateKey::montCtx() const
+{
+    return cachedMontCtx(n, mont_);
+}
 
 size_t
 RsaPublicKey::maxPayload() const
@@ -53,13 +102,13 @@ BigInt
 rsaEncryptRaw(const RsaPublicKey &pub, const BigInt &m)
 {
     panic_if(m >= pub.n, "RSA message must be < modulus");
-    return m.modExp(pub.e, pub.n);
+    return keyModExp(m, pub.e, pub.n, pub.montCtx());
 }
 
 BigInt
 rsaDecryptRaw(const RsaPrivateKey &priv, const BigInt &c)
 {
-    return c.modExp(priv.d, priv.n);
+    return keyModExp(c, priv.d, priv.n, priv.montCtx());
 }
 
 std::vector<uint8_t>
@@ -113,10 +162,8 @@ rsaUnwrap(const RsaPrivateKey &priv, const std::vector<uint8_t> &capsule)
 }
 
 std::vector<uint8_t>
-rsaSignDigest(const RsaPrivateKey &priv,
-              const std::vector<uint8_t> &digest)
+rsaType01Block(const std::vector<uint8_t> &digest, size_t modulus_bytes)
 {
-    const size_t modulus_bytes = (priv.n.bitLength() + 7) / 8;
     fatal_if(digest.size() + 11 > modulus_bytes,
              "digest of ", digest.size(),
              " bytes exceeds signature capacity of a ",
@@ -130,9 +177,19 @@ rsaSignDigest(const RsaPrivateKey &priv,
     block[2 + pad_len] = 0x00;
     std::copy(digest.begin(), digest.end(),
               block.begin() + static_cast<long>(2 + pad_len + 1));
+    return block;
+}
 
+std::vector<uint8_t>
+rsaSignDigest(const RsaPrivateKey &priv,
+              const std::vector<uint8_t> &digest)
+{
+    const size_t modulus_bytes = (priv.n.bitLength() + 7) / 8;
+    const std::vector<uint8_t> block =
+        rsaType01Block(digest, modulus_bytes);
     const BigInt m = BigInt::fromBytes(block.data(), block.size());
-    return m.modExp(priv.d, priv.n).toBytes(modulus_bytes);
+    return keyModExp(m, priv.d, priv.n, priv.montCtx())
+        .toBytes(modulus_bytes);
 }
 
 bool
@@ -151,18 +208,7 @@ rsaVerifyDigest(const RsaPublicKey &pub,
         return false;
     const std::vector<uint8_t> block =
         rsaEncryptRaw(pub, s).toBytes(modulus_bytes);
-
-    if (block[0] != 0x00 || block[1] != 0x01)
-        return false;
-    const size_t pad_len = modulus_bytes - 3 - digest.size();
-    for (size_t i = 0; i < pad_len; ++i) {
-        if (block[2 + i] != 0xFF)
-            return false;
-    }
-    if (block[2 + pad_len] != 0x00)
-        return false;
-    return std::equal(digest.begin(), digest.end(),
-                      block.begin() + static_cast<long>(2 + pad_len + 1));
+    return block == rsaType01Block(digest, modulus_bytes);
 }
 
 } // namespace secproc::crypto

@@ -14,6 +14,7 @@
 #ifndef SECPROC_CRYPTO_RSA_HH
 #define SECPROC_CRYPTO_RSA_HH
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -23,14 +24,50 @@
 namespace secproc::crypto
 {
 
-/** RSA public key (n, e). */
+/**
+ * RSA public key (n, e).
+ *
+ * Both key structs lazily build and cache a MontgomeryCtx for their
+ * modulus on first use (montCtx()), so every sign/verify/attest on
+ * the same key reuses the n'/R^2 precomputation. montCtx() itself is
+ * thread-safe; copies deliberately start with a cold cache (rebuilt
+ * in microseconds on first use) so copying a key never races another
+ * thread's lazy initialization of the source.
+ */
 struct RsaPublicKey
 {
     BigInt n;
     BigInt e;
 
+    RsaPublicKey() = default;
+    RsaPublicKey(BigInt n_in, BigInt e_in)
+        : n(std::move(n_in)), e(std::move(e_in))
+    {}
+    RsaPublicKey(const RsaPublicKey &other) : n(other.n), e(other.e) {}
+    RsaPublicKey &
+    operator=(const RsaPublicKey &other)
+    {
+        n = other.n;
+        e = other.e;
+        mont_.reset();
+        return *this;
+    }
+    RsaPublicKey(RsaPublicKey &&) = default;
+    RsaPublicKey &operator=(RsaPublicKey &&) = default;
+
     /** Maximum payload bytes a capsule can carry. */
     size_t maxPayload() const;
+
+    /**
+     * Cached Montgomery context for n; null when n is even or <= 1
+     * (callers fall back to BigInt::modExp). Thread-safe; returns a
+     * shared reference so the context outlives even a concurrent
+     * reassignment of the key.
+     */
+    std::shared_ptr<const MontgomeryCtx> montCtx() const;
+
+  private:
+    mutable std::shared_ptr<const MontgomeryCtx> mont_;
 };
 
 /** RSA private key (n, d); kept inside the processor in the model. */
@@ -38,6 +75,29 @@ struct RsaPrivateKey
 {
     BigInt n;
     BigInt d;
+
+    RsaPrivateKey() = default;
+    RsaPrivateKey(BigInt n_in, BigInt d_in)
+        : n(std::move(n_in)), d(std::move(d_in))
+    {}
+    RsaPrivateKey(const RsaPrivateKey &other) : n(other.n), d(other.d)
+    {}
+    RsaPrivateKey &
+    operator=(const RsaPrivateKey &other)
+    {
+        n = other.n;
+        d = other.d;
+        mont_.reset();
+        return *this;
+    }
+    RsaPrivateKey(RsaPrivateKey &&) = default;
+    RsaPrivateKey &operator=(RsaPrivateKey &&) = default;
+
+    /** Cached Montgomery context for n (see RsaPublicKey). */
+    std::shared_ptr<const MontgomeryCtx> montCtx() const;
+
+  private:
+    mutable std::shared_ptr<const MontgomeryCtx> mont_;
 };
 
 /** A generated key pair. */
@@ -79,8 +139,17 @@ std::optional<std::vector<uint8_t>>
 rsaUnwrap(const RsaPrivateKey &priv, const std::vector<uint8_t> &capsule);
 
 /**
- * Sign a message digest: deterministic PKCS#1-v1.5-style type-01
- * block (0x00 0x01 0xFF.. 0x00 <digest>) raised to the private
+ * The deterministic PKCS#1-v1.5-style type-01 padding block
+ * (0x00 0x01 0xFF.. 0x00 <digest>) that rsaSignDigest exponentiates
+ * and rsaVerifyDigest expects back. Exposed so benches and tests
+ * reproduce the exact signing input without re-rolling the layout.
+ * Fatal unless the digest fits (digest size + 11 <= modulus_bytes).
+ */
+std::vector<uint8_t>
+rsaType01Block(const std::vector<uint8_t> &digest, size_t modulus_bytes);
+
+/**
+ * Sign a message digest: the type-01 block raised to the private
  * exponent. The vendor signs update manifests and the processor
  * signs attestation reports with this. Fatal if the digest does not
  * fit the modulus.

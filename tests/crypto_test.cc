@@ -542,6 +542,206 @@ TEST(BigInt, RandomPrimeHasExactBitLength)
     }
 }
 
+// ------------------------------------------- BigInt fast-path differentials
+//
+// The optimized paths (Karatsuba multiply, Knuth-D divmod, Montgomery
+// modExp) must be bit-identical to the retained schoolbook reference
+// implementations. Together these loops cross-check well over 1000
+// randomized cases spanning 512/1024/2048-bit (and larger) operands.
+
+TEST(BigIntDifferential, MulMatchesSchoolbook)
+{
+    Rng rng(41);
+    for (int i = 0; i < 400; ++i) {
+        // Spans both sides of kKaratsubaThresholdLimbs (48 limbs =
+        // 3072 bits), including asymmetric operand sizes.
+        const unsigned abits =
+            64 + static_cast<unsigned>(rng.next64() % 4100);
+        const unsigned bbits =
+            64 + static_cast<unsigned>(rng.next64() % 4100);
+        const BigInt a = BigInt::randomBits(abits, rng);
+        const BigInt b = BigInt::randomBits(bbits, rng);
+        ASSERT_EQ(a * b, BigInt::mulSchoolbook(a, b))
+            << "abits=" << abits << " bbits=" << bbits;
+    }
+}
+
+TEST(BigIntDifferential, MulKaratsubaBoundarySizes)
+{
+    Rng rng(42);
+    const unsigned t =
+        static_cast<unsigned>(BigInt::kKaratsubaThresholdLimbs);
+    for (unsigned limbs : {t - 1, t, t + 1, 2 * t, 2 * t + 3}) {
+        const BigInt a = BigInt::randomBits(64 * limbs, rng);
+        const BigInt b = BigInt::randomBits(64 * limbs - 17, rng);
+        EXPECT_EQ(a * b, BigInt::mulSchoolbook(a, b))
+            << "limbs=" << limbs;
+        // Operands with many zero limbs stress the split/trim logic.
+        const BigInt sparse = BigInt(1) << (64 * limbs - 1);
+        EXPECT_EQ(a * sparse, BigInt::mulSchoolbook(a, sparse));
+    }
+}
+
+TEST(BigIntDifferential, DivmodMatchesSchoolbook)
+{
+    Rng rng(43);
+    for (int i = 0; i < 400; ++i) {
+        const unsigned abits =
+            64 + static_cast<unsigned>(rng.next64() % 2100);
+        const unsigned bbits =
+            1 + static_cast<unsigned>(rng.next64() % abits);
+        const BigInt a = BigInt::randomBits(abits, rng);
+        const BigInt b = BigInt::randomBits(bbits, rng);
+        const auto [q, r] = a.divmod(b);
+        const auto [qs, rs] = a.divmodSchoolbook(b);
+        ASSERT_EQ(q, qs) << "abits=" << abits << " bbits=" << bbits;
+        ASSERT_EQ(r, rs);
+        ASSERT_EQ(q * b + r, a);
+        ASSERT_TRUE(r < b);
+    }
+}
+
+TEST(BigIntDifferential, DivmodQuotientCorrectionPath)
+{
+    // The base-2^32 add-back case from the classic Algorithm D test
+    // suites, widened to 64-bit limbs: the two-limb trial quotient
+    // overestimates and the quotient-correction (add-back) branch
+    // must fire. No panic machinery may run on this path.
+    const BigInt u = BigInt::fromHex(
+        "8000000000000000" "fffffffffffffffe" "0000000000000000");
+    const BigInt v =
+        BigInt::fromHex("8000000000000000" "ffffffffffffffff");
+    const auto [q, r] = u.divmod(v);
+    const auto [qs, rs] = u.divmodSchoolbook(v);
+    EXPECT_EQ(q, qs);
+    EXPECT_EQ(r, rs);
+    EXPECT_EQ(q * v + r, u);
+    EXPECT_TRUE(r < v);
+
+    // Divisors just below a power of two keep the estimate maximally
+    // optimistic; sweep dividends around multiples of the divisor.
+    Rng rng(44);
+    for (int i = 0; i < 64; ++i) {
+        const BigInt d =
+            (BigInt(1) << 192) - BigInt(1 + (rng.next64() & 0xFF));
+        const BigInt k = BigInt::randomBits(130, rng);
+        for (const BigInt &a :
+             {d * k, d * k + BigInt(1), d * k - BigInt(1),
+              d * k + d - BigInt(1)}) {
+            const auto [q2, r2] = a.divmod(d);
+            const auto [q2s, r2s] = a.divmodSchoolbook(d);
+            ASSERT_EQ(q2, q2s);
+            ASSERT_EQ(r2, r2s);
+        }
+    }
+}
+
+TEST(BigIntDifferential, MontgomeryMulMatchesPlainReduction)
+{
+    Rng rng(45);
+    for (unsigned bits : {512u, 1024u, 2048u}) {
+        for (int i = 0; i < 100; ++i) {
+            BigInt n = BigInt::randomBits(bits, rng);
+            if (!n.isOdd())
+                n = n + BigInt(1);
+            const MontgomeryCtx ctx(n);
+            const BigInt a = BigInt::randomBelow(n, rng);
+            const BigInt b = BigInt::randomBelow(n, rng);
+            ASSERT_EQ(ctx.fromMont(ctx.mul(ctx.toMont(a),
+                                           ctx.toMont(b))),
+                      (a * b) % n)
+                << "bits=" << bits;
+            ASSERT_EQ(ctx.fromMont(ctx.toMont(a)), a);
+        }
+    }
+}
+
+TEST(BigIntDifferential, ModExpMatchesSchoolbook)
+{
+    Rng rng(46);
+    for (unsigned bits : {512u, 1024u, 2048u}) {
+        for (int i = 0; i < 12; ++i) {
+            const BigInt m = BigInt::randomBits(bits, rng);
+            const BigInt base = BigInt::randomBits(bits + 13, rng);
+            const BigInt exp = BigInt::randomBits(
+                1 + static_cast<unsigned>(rng.next64() % 48), rng);
+            // Covers both parities of m: the Montgomery path for odd
+            // moduli and the windowed divmod fallback for even ones.
+            ASSERT_EQ(base.modExp(exp, m),
+                      base.modExpSchoolbook(exp, m))
+                << "bits=" << bits << " odd=" << m.isOdd();
+        }
+    }
+}
+
+TEST(BigInt, ModExpEdgeCases)
+{
+    const BigInt m = BigInt::fromHex("facefeed12345677");
+    const BigInt even = BigInt::fromHex("facefeed12345678");
+    // Zero exponent is 1 mod m on every path.
+    EXPECT_EQ(BigInt(5).modExp(BigInt(0), m), BigInt(1));
+    EXPECT_EQ(BigInt(5).modExp(BigInt(0), even), BigInt(1));
+    EXPECT_EQ(BigInt(5).modExpSchoolbook(BigInt(0), m), BigInt(1));
+    // Modulus 1 collapses everything to zero.
+    EXPECT_EQ(BigInt(5).modExp(BigInt(12345), BigInt(1)), BigInt());
+    EXPECT_EQ(BigInt(5).modExp(BigInt(0), BigInt(1)), BigInt());
+    EXPECT_EQ(BigInt(5).modExpSchoolbook(BigInt(12345), BigInt(1)),
+              BigInt());
+    // Zero base with a non-zero exponent.
+    EXPECT_EQ(BigInt(0).modExp(BigInt(977), m), BigInt());
+    EXPECT_EQ(BigInt(0).modExp(BigInt(977), even), BigInt());
+    // Base larger than the modulus is reduced first.
+    Rng rng(47);
+    const BigInt big = BigInt::randomBits(300, rng);
+    EXPECT_EQ(big.modExp(BigInt(3), m), (big % m).modExp(BigInt(3), m));
+    // Power-of-two modulus exercises the even fallback's trims.
+    const BigInt pow2 = BigInt(1) << 128;
+    EXPECT_EQ(BigInt(3).modExp(BigInt(129), pow2),
+              BigInt(3).modExpSchoolbook(BigInt(129), pow2));
+    // Exponent bit lengths around the 4-bit window boundaries.
+    for (unsigned ebits : {1u, 3u, 4u, 5u, 8u, 9u, 63u, 64u, 65u}) {
+        const BigInt e = BigInt::randomBits(ebits, rng);
+        EXPECT_EQ(BigInt(7).modExp(e, m),
+                  BigInt(7).modExpSchoolbook(e, m))
+            << "ebits=" << ebits;
+    }
+}
+
+TEST(BigIntDeath, ExplicitFailureModes)
+{
+    const BigInt x = BigInt::fromHex("1234567890abcdef00");
+    EXPECT_DEATH_IF_SUPPORTED(x.divmod(BigInt(0)),
+                              "division by zero");
+    EXPECT_DEATH_IF_SUPPORTED(x.divmodSchoolbook(BigInt(0)),
+                              "division by zero");
+    EXPECT_DEATH_IF_SUPPORTED(x.modExp(BigInt(3), BigInt(0)),
+                              "modulus must be non-zero");
+    EXPECT_DEATH_IF_SUPPORTED(x.modExpSchoolbook(BigInt(3), BigInt(0)),
+                              "modulus must be non-zero");
+    EXPECT_DEATH_IF_SUPPORTED(BigInt(1) - BigInt(2),
+                              "subtraction underflow");
+    EXPECT_DEATH_IF_SUPPORTED(MontgomeryCtx(BigInt(10)), "odd");
+    EXPECT_DEATH_IF_SUPPORTED(MontgomeryCtx(BigInt(1)), "odd");
+}
+
+TEST(MontgomeryCtx, KnownValuesAndDomainRoundTrip)
+{
+    const BigInt n = BigInt::fromHex("10000000000000000000000001");
+    const MontgomeryCtx ctx(n);
+    EXPECT_EQ(ctx.modulus(), n);
+    // 4^13 mod 497 via a context on a different modulus size.
+    const MontgomeryCtx small(BigInt(497));
+    EXPECT_EQ(small.modExp(BigInt(4), BigInt(13)), BigInt(445));
+    // Multiplying by the Montgomery form of 1 is the identity.
+    Rng rng(48);
+    for (int i = 0; i < 20; ++i) {
+        const BigInt a = BigInt::randomBelow(n, rng);
+        const BigInt am = ctx.toMont(a);
+        EXPECT_EQ(ctx.mul(am, ctx.toMont(BigInt(1))), am);
+        EXPECT_EQ(ctx.modExp(a, BigInt(1)), a);
+    }
+}
+
 // -------------------------------------------------------------------- RSA
 
 TEST(Rsa, RoundTripRaw)
@@ -640,6 +840,75 @@ TEST(Rsa, SignatureBoundToKey)
     const auto signature = rsaSignDigest(mallory.priv, digest);
     EXPECT_FALSE(rsaVerifyDigest(alice.pub, digest, signature))
         << "a signature under another key must not verify";
+}
+
+// Known-answer vector generated independently with Python's pow()
+// (pure-python Miller-Rabin key generation, seed 20260730): a fixed
+// 1024-bit key, digest, and the expected deterministic type-01
+// signature. Pins the Montgomery path to an external reference, not
+// just to our own schoolbook code.
+TEST(Rsa, SignKnownAnswer1024)
+{
+    RsaPrivateKey priv(
+        BigInt::fromHex(
+            "d7dcfa22c2a489ff1718d6c02f3a85c73a3aeaae980842da4005d19a"
+            "cbb44304490341050cfc6092290c55271ca117f7ea23d6b1132b541a"
+            "f5d58c1d9073478893db15004f46df6bedbb3fac5508e768467de0c0"
+            "4ed0610087c83a57991724cff793e08f3787c1c4e0d75d9a910d86e4"
+            "107d97321bdc30125bb11a49aaf6f9a3"),
+        BigInt::fromHex(
+            "1527e41ffa019440baebc5484a98aab9cedc2d59f52e8216cfc58238"
+            "70947728f95ae7496e6f61ab917852f4255b287534ae54814046b3d4"
+            "7c997445057e36d95eb7c1792e90bf4bd1db39639c09cef92875201b"
+            "c01b93f24faafb1800ccb6ce986e35c67360f6bed6cab0bee1f79e24"
+            "148db94904089601159f3ca236452171"));
+    const RsaPublicKey pub(priv.n, BigInt(0x10001));
+    const auto digest = fromHex(
+        "2ecd23bd1b95c236a642ddb3f10ad2694bfc0b293c8e4b8c9b74eed1"
+        "3136250f");
+    const auto expected = fromHex(
+        "c03a9aa161d9ef0d7ac2e0a37539247819c8ccccef92e9ef1ea6bdee"
+        "3528b985c1224aaca66bf4dc493083c7be5a422584cb40bd574d0910"
+        "925d9e7e9ee0a0aa9875f75c17626f03802c0871685b75575533b725"
+        "ea50fcae934fe6056856097a566990f9c429ad013933a99eefa3b7f2"
+        "4107fd2b5f5426a69ff89ae144b425bd");
+
+    EXPECT_EQ(rsaSignDigest(priv, digest), expected);
+    EXPECT_TRUE(rsaVerifyDigest(pub, digest, expected));
+
+    auto wrong = digest;
+    wrong[31] ^= 1;
+    EXPECT_FALSE(rsaVerifyDigest(pub, wrong, expected));
+
+    // The schoolbook engine reproduces the same signature bits.
+    const size_t k = (pub.n.bitLength() + 7) / 8;
+    const auto block = rsaType01Block(digest, k);
+    const BigInt m = BigInt::fromBytes(block.data(), block.size());
+    EXPECT_EQ(m.modExpSchoolbook(priv.d, priv.n).toBytes(k), expected);
+}
+
+TEST(Rsa, MontgomeryContextIsCachedPerKey)
+{
+    Rng rng(38);
+    const auto pair = rsaGenerate(384, rng);
+    const auto ctx = pair.priv.montCtx();
+    ASSERT_NE(ctx, nullptr);
+    EXPECT_EQ(pair.priv.montCtx(), ctx) << "second use must reuse";
+    EXPECT_EQ(ctx->modulus(), pair.priv.n);
+
+    // Copies start with a cold cache (so copying never races a lazy
+    // init of the source) and rebuild their own context on first use.
+    const RsaPrivateKey copy = pair.priv;
+    const auto copy_ctx = copy.montCtx();
+    ASSERT_NE(copy_ctx, nullptr);
+    EXPECT_NE(copy_ctx, ctx);
+    EXPECT_EQ(copy_ctx->modulus(), pair.priv.n);
+    EXPECT_EQ(copy.montCtx(), copy_ctx);
+
+    // An even (invalid) modulus yields no context rather than a bad
+    // one; modExp callers fall back to the generic path.
+    const RsaPublicKey even_key(BigInt(0x10000), BigInt(3));
+    EXPECT_EQ(even_key.montCtx(), nullptr);
 }
 
 // ---------------------------------------------------------- latency model
