@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "crypto/des.hh"
+#include "crypto/latency.hh"
 #include "exp/cli.hh"
 #include "secure/interrupt_guard.hh"
 #include "sim/profiles.hh"
@@ -60,7 +61,8 @@ guardCell(secure::RegisterSaveMode mode, uint64_t gap,
           uint64_t run_cycles)
 {
     const uint64_t events = run_cycles / gap;
-    const uint64_t added = guardOverhead(mode, events, gap, 50);
+    const uint64_t added = guardOverhead(
+        mode, events, gap, crypto::kPaperCryptoLatency);
 
     exp::CellOutput output;
     output.measured = run_cycles == 0

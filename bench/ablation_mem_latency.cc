@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "crypto/latency.hh"
 #include "exp/cli.hh"
 #include "sim/profiles.hh"
 
@@ -40,7 +41,9 @@ main(int argc, char **argv)
     const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
     const exp::Runner runner(cli.runner);
 
-    for (const uint32_t crypto : {50u, 102u}) {
+    for (const uint32_t crypto :
+         {crypto::kPaperCryptoLatency,
+          crypto::kStrongCipherLatency}) {
         exp::ExperimentSpec spec;
         spec.name = "ablation_mem_latency_c" + std::to_string(crypto);
         spec.title = "Ablation A10: memory-latency sweep, " +

@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "crypto/latency.hh"
 #include "exp/cli.hh"
 #include "secure/engines.hh"
 #include "sim/profiles.hh"
@@ -78,9 +79,12 @@ main(int argc, char **argv)
     spec.options = cli.options;
 
     const std::vector<std::pair<uint32_t, uint32_t>> corners = {
-        {40, 50},   // fast memory vs the paper's crypto
-        {100, 102}, // the paper's Figure 10 cipher
-        {40, 102},  // both: the worst corner for plain OTP
+        // fast memory vs the paper's crypto
+        {40, crypto::kPaperCryptoLatency},
+        // the paper's Figure 10 cipher
+        {100, crypto::kStrongCipherLatency},
+        // both: the worst corner for plain OTP
+        {40, crypto::kStrongCipherLatency},
     };
     for (const auto &[mem_c, crypto_c] : corners) {
         const uint32_t mem = mem_c, crypto = crypto_c;

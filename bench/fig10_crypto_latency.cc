@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "crypto/latency.hh"
 #include "exp/cli.hh"
 #include "sim/profiles.hh"
 
@@ -19,7 +20,7 @@ using namespace secproc;
 namespace
 {
 
-constexpr uint32_t kSlowCrypto = 102;
+constexpr uint32_t kSlowCrypto = crypto::kStrongCipherLatency;
 
 sim::SystemConfig
 withCrypto(sim::SystemConfig config)

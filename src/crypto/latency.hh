@@ -4,10 +4,15 @@
  *
  * The paper assumes a fully pipelined engine that encrypts or
  * decrypts one L2 line in a flat 50 cycles (102 cycles for the
- * stronger-cipher study of Figure 10). This class models that: a
+ * stronger-cipher study of Figure 10). This class models that — a
  * flat per-operation latency plus an optional initiation interval so
  * back-to-back line operations can be serialized when the engine is
- * configured as less than fully pipelined.
+ * configured as less than fully pipelined — and, beyond the paper,
+ * lets *multiple agents* share the one physical engine: the
+ * protection engines issue pipelined per-line operations while bulk
+ * consumers (software-visible hashing, signature checks and capsule
+ * unwraps during an OTA install) take exclusive reservations that
+ * occupy the engine for the whole operation.
  */
 
 #ifndef SECPROC_CRYPTO_LATENCY_HH
@@ -18,11 +23,24 @@
 namespace secproc::crypto
 {
 
+/**
+ * The paper's Section 5 machine: one L2 line through the engine in a
+ * flat 50 cycles. Every place that needs "the default crypto
+ * latency" must use this constant, not a literal.
+ */
+inline constexpr uint32_t kPaperCryptoLatency = 50;
+
+/**
+ * The paper's stronger-cipher estimate (Figure 10): a 102-cycle
+ * engine standing in for a wider-block, more serial cipher.
+ */
+inline constexpr uint32_t kStrongCipherLatency = 102;
+
 /** Static description of the crypto engine hardware. */
 struct CryptoEngineConfig
 {
     /** Cycles from first input block to last output block. */
-    uint32_t latency = 50;
+    uint32_t latency = kPaperCryptoLatency;
 
     /**
      * Cycles between accepting successive whole-line operations.
@@ -32,18 +50,29 @@ struct CryptoEngineConfig
 };
 
 /**
- * Tracks engine occupancy and answers "when would this line-sized
- * crypto operation complete?".
+ * Occupancy model of the shared crypto engine: answers "when would
+ * this crypto operation complete?" while tracking how busy the
+ * engine already is.
+ *
+ * Two kinds of work contend for the engine:
+ *  - schedule(): a pipelined per-line operation (pad generation,
+ *    line decryption on a fill). Successive operations only pay the
+ *    initiation interval, matching the paper's fully pipelined
+ *    assumption.
+ *  - reserve(): an exclusive bulk reservation (digesting or
+ *    re-encrypting a whole image line during an install, an RSA
+ *    operation). The engine is held for the full operation latency,
+ *    so concurrent pipelined work queues behind it.
  */
-class CryptoLatencyModel
+class CryptoEngineModel
 {
   public:
-    explicit CryptoLatencyModel(CryptoEngineConfig cfg = {})
+    explicit CryptoEngineModel(CryptoEngineConfig cfg = {})
         : cfg_(cfg)
     {}
 
     /**
-     * Schedule one whole-line operation.
+     * Schedule one pipelined whole-line operation.
      *
      * @param request_cycle Cycle the operands are available.
      * @return Cycle the output is available.
@@ -52,12 +81,36 @@ class CryptoLatencyModel
     schedule(uint64_t request_cycle)
     {
         const uint64_t start =
-            request_cycle > next_issue_ ? request_cycle : next_issue_;
-        next_issue_ = start + (cfg_.initiation_interval
+            request_cycle > busy_until_ ? request_cycle : busy_until_;
+        busy_until_ = start + (cfg_.initiation_interval
                                ? cfg_.initiation_interval : 1);
         ++operations_;
         return start + cfg_.latency;
     }
+
+    /**
+     * Take an exclusive reservation of @p ops back-to-back whole-line
+     * operations: the engine is occupied until the last one drains,
+     * so pipelined work issued meanwhile queues behind the
+     * reservation.
+     *
+     * @param request_cycle Cycle the operands are available.
+     * @param ops Number of line-sized operations reserved.
+     * @return Cycle the reservation completes (== busyUntil()).
+     */
+    uint64_t
+    reserve(uint64_t request_cycle, uint32_t ops = 1)
+    {
+        const uint64_t start =
+            request_cycle > busy_until_ ? request_cycle : busy_until_;
+        busy_until_ = start + static_cast<uint64_t>(ops) * cfg_.latency;
+        operations_ += ops;
+        reserved_ops_ += ops;
+        return busy_until_;
+    }
+
+    /** First cycle a new operation could start unobstructed. */
+    uint64_t busyUntil() const { return busy_until_; }
 
     /** Flat operation latency in cycles. */
     uint32_t latency() const { return cfg_.latency; }
@@ -65,18 +118,23 @@ class CryptoLatencyModel
     /** Total operations scheduled (statistics). */
     uint64_t operations() const { return operations_; }
 
+    /** Operations issued through exclusive reservations. */
+    uint64_t reservedOperations() const { return reserved_ops_; }
+
     /** Forget all occupancy state (new simulation run). */
     void
     reset()
     {
-        next_issue_ = 0;
+        busy_until_ = 0;
         operations_ = 0;
+        reserved_ops_ = 0;
     }
 
   private:
     CryptoEngineConfig cfg_;
-    uint64_t next_issue_ = 0;
+    uint64_t busy_until_ = 0;
     uint64_t operations_ = 0;
+    uint64_t reserved_ops_ = 0;
 };
 
 } // namespace secproc::crypto

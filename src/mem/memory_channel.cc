@@ -17,6 +17,27 @@ MemoryChannel::MemoryChannel(ChannelConfig config)
              "write buffer needs at least one entry");
     if (config_.use_dram)
         dram_ = std::make_unique<DramModel>(config_.dram);
+    agent_names_.emplace_back("core");
+    agent_bytes_.emplace_back();
+    agent_transactions_.emplace_back();
+}
+
+AgentId
+MemoryChannel::registerAgent(const std::string &name)
+{
+    fatal_if(name.empty(), "channel agents need a name");
+    agent_names_.push_back(name);
+    agent_bytes_.emplace_back();
+    agent_transactions_.emplace_back();
+    return static_cast<AgentId>(agent_names_.size() - 1);
+}
+
+const std::string &
+MemoryChannel::agentName(AgentId agent) const
+{
+    panic_if(agent >= agent_names_.size(), "unknown channel agent ",
+             agent);
+    return agent_names_[agent];
 }
 
 uint32_t
@@ -27,11 +48,20 @@ MemoryChannel::transferCycles(bool small) const
 }
 
 void
-MemoryChannel::account(Traffic category, bool small)
+MemoryChannel::account(Traffic category, bool small, AgentId agent)
 {
     const auto idx = static_cast<size_t>(category);
-    bytes_[idx] += small ? config_.small_bytes : config_.line_bytes;
+    panic_if(idx >= kNumCategories, "transaction with invalid traffic "
+             "category ", idx);
+    panic_if(agent >= agent_names_.size(),
+             "transaction from unregistered channel agent ", agent);
+    const uint64_t size =
+        small ? config_.small_bytes : config_.line_bytes;
+    bytes_[idx] += size;
     ++transactions_[idx];
+    total_bytes_ += size;
+    agent_bytes_[agent][idx] += size;
+    ++agent_transactions_[agent][idx];
 }
 
 void
@@ -61,7 +91,7 @@ MemoryChannel::drainWrites(uint64_t now, bool force_all)
 
 uint64_t
 MemoryChannel::scheduleRead(uint64_t request_cycle, Traffic category,
-                            bool small, uint64_t addr)
+                            bool small, uint64_t addr, AgentId agent)
 {
     drainWrites(request_cycle, /*force_all=*/false);
     // If the buffer is saturated the read waits for forced drains;
@@ -83,7 +113,7 @@ MemoryChannel::scheduleRead(uint64_t request_cycle, Traffic category,
     const uint32_t cycles = transferCycles(small);
     busy_until_ = start + cycles;
     busy_cycles_ += cycles;
-    account(category, small);
+    account(category, small, agent);
     if (dram_)
         return dram_->access(start, addr);
     return start + config_.access_latency;
@@ -91,9 +121,9 @@ MemoryChannel::scheduleRead(uint64_t request_cycle, Traffic category,
 
 void
 MemoryChannel::enqueueWrite(uint64_t ready_cycle, Traffic category,
-                            bool small, uint64_t addr)
+                            bool small, uint64_t addr, AgentId agent)
 {
-    account(category, small);
+    account(category, small, agent);
     write_queue_.push_back(PendingWrite{ready_cycle, small, addr});
     // Keep the queue bounded even if no read ever arrives again.
     if (write_queue_.size() > 4 * config_.write_buffer_entries)
@@ -124,6 +154,80 @@ MemoryChannel::seqnumBytes() const
     return bytes(Traffic::SeqnumFetch) + bytes(Traffic::SeqnumWriteback);
 }
 
+uint64_t
+MemoryChannel::macBytes() const
+{
+    return bytes(Traffic::MacFetch) + bytes(Traffic::MacWriteback);
+}
+
+uint64_t
+MemoryChannel::updateBytes() const
+{
+    return bytes(Traffic::UpdateFill) + bytes(Traffic::UpdateWriteback);
+}
+
+uint64_t
+MemoryChannel::agentBytes(AgentId agent, Traffic category) const
+{
+    panic_if(agent >= agent_bytes_.size(), "unknown channel agent ",
+             agent);
+    return agent_bytes_[agent][static_cast<size_t>(category)];
+}
+
+uint64_t
+MemoryChannel::agentBytes(AgentId agent) const
+{
+    panic_if(agent >= agent_bytes_.size(), "unknown channel agent ",
+             agent);
+    uint64_t sum = 0;
+    for (const uint64_t value : agent_bytes_[agent])
+        sum += value;
+    return sum;
+}
+
+uint64_t
+MemoryChannel::agentTransactions(AgentId agent) const
+{
+    panic_if(agent >= agent_transactions_.size(),
+             "unknown channel agent ", agent);
+    uint64_t sum = 0;
+    for (const uint64_t value : agent_transactions_[agent])
+        sum += value;
+    return sum;
+}
+
+std::vector<MemoryChannel::CategoryRow>
+MemoryChannel::byCategory() const
+{
+    std::vector<CategoryRow> rows;
+    rows.reserve(kNumCategories);
+    for (size_t i = 0; i < kNumCategories; ++i) {
+        const auto category = static_cast<Traffic>(i);
+        rows.push_back(CategoryRow{category, trafficName(category),
+                                   bytes_[i], transactions_[i]});
+    }
+    return rows;
+}
+
+void
+MemoryChannel::assertFullyAttributed() const
+{
+    // Every category must belong to exactly one named group. The
+    // static_assert pins the enum size so adding a category forces
+    // whoever adds it to place it in a group (or extend the groups)
+    // here and in the accessors above.
+    static_assert(kNumCategories == 8,
+                  "new Traffic category: add it to a grouped accessor "
+                  "(dataBytes/seqnumBytes/macBytes/updateBytes), to "
+                  "trafficName(), and update this assert");
+    const uint64_t grouped =
+        dataBytes() + seqnumBytes() + macBytes() + updateBytes();
+    panic_if(grouped != total_bytes_,
+             "memory channel traffic is not fully attributed: ",
+             total_bytes_ - grouped, " of ", total_bytes_,
+             " bytes belong to no category group");
+}
+
 void
 MemoryChannel::reset()
 {
@@ -132,6 +236,11 @@ MemoryChannel::reset()
     write_queue_.clear();
     bytes_.fill(0);
     transactions_.fill(0);
+    total_bytes_ = 0;
+    for (auto &table : agent_bytes_)
+        table.fill(0);
+    for (auto &table : agent_transactions_)
+        table.fill(0);
     if (dram_)
         dram_->reset();
 }
@@ -146,6 +255,8 @@ trafficName(Traffic category)
       case Traffic::SeqnumWriteback: return "seqnum_writeback";
       case Traffic::MacFetch: return "mac_fetch";
       case Traffic::MacWriteback: return "mac_writeback";
+      case Traffic::UpdateFill: return "update_fill";
+      case Traffic::UpdateWriteback: return "update_writeback";
       case Traffic::NumCategories: break;
     }
     return "unknown";

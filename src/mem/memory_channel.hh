@@ -2,15 +2,19 @@
  * @file
  * Timing model of the processor-memory channel plus write buffer.
  *
- * One shared channel carries demand line fills, dirty write-backs and
+ * One shared channel carries demand line fills, dirty write-backs,
  * the protection engines' metadata traffic (sequence-number fetches
- * and spills, MAC fetches). Reads are latency-critical and modelled
- * precisely; writes sit in a write buffer (paper Figure 2/4) and
- * drain into idle bus gaps, only impeding reads when the buffer is
- * saturated.
+ * and spills, MAC fetches) and, since the cycle-plane update work,
+ * the update engine's staging/verification streams. Reads are
+ * latency-critical and modelled precisely; writes sit in a write
+ * buffer (paper Figure 2/4) and drain into idle bus gaps, only
+ * impeding reads when the buffer is saturated.
  *
  * Traffic is accounted per category so Figure 9 (SNC-induced traffic
- * as a percentage of L2 traffic) can be reproduced exactly.
+ * as a percentage of L2 traffic) can be reproduced exactly, and per
+ * *agent* so a machine with more than one client of the channel —
+ * the core plus a background OTA installer — can attribute every
+ * byte to whoever moved it.
  */
 
 #ifndef SECPROC_MEM_MEMORY_CHANNEL_HH
@@ -21,6 +25,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mem/dram.hh"
 #include "util/stats.hh"
@@ -31,14 +36,26 @@ namespace secproc::mem
 /** What a channel transaction carries (for traffic attribution). */
 enum class Traffic
 {
-    DataFill,        ///< demand line read
-    DataWriteback,   ///< dirty line write
-    SeqnumFetch,     ///< SNC spill-table read (LRU query/update miss)
-    SeqnumWriteback, ///< SNC victim spill write
-    MacFetch,        ///< integrity metadata read (extension)
-    MacWriteback,    ///< integrity metadata write (extension)
+    DataFill,         ///< demand line read
+    DataWriteback,    ///< dirty line write
+    SeqnumFetch,      ///< SNC spill-table read (LRU query/update miss)
+    SeqnumWriteback,  ///< SNC victim spill write
+    MacFetch,         ///< integrity metadata read (extension)
+    MacWriteback,     ///< integrity metadata write (extension)
+    UpdateFill,       ///< staged-update read (verify/load streams)
+    UpdateWriteback,  ///< staging or re-encrypted image write
     NumCategories,
 };
+
+/**
+ * Identifies one registered client of the channel. The core is
+ * always agent 0; further agents (the update engine's install
+ * stream, future DMA masters) register at construction time.
+ */
+using AgentId = uint16_t;
+
+/** The implicit default client: the core-side cache hierarchy. */
+inline constexpr AgentId kCoreAgent = 0;
 
 /** Static timing parameters of the channel. */
 struct ChannelConfig
@@ -82,11 +99,28 @@ struct ChannelConfig
  * ahead of a read when the write buffer is full — the only case in
  * which writes delay the critical path, matching the paper's
  * assumption that "write operation is not on the critical path".
+ *
+ * Timing is agent-blind: every client contends for the same scalar
+ * horizon, exactly as multiple masters share one physical bus. Only
+ * the accounting is per-agent.
  */
 class MemoryChannel
 {
   public:
     explicit MemoryChannel(ChannelConfig config = {});
+
+    /**
+     * Register a named client. Agent 0 ("core") always exists; the
+     * returned id is passed to scheduleRead()/enqueueWrite() so the
+     * agent's traffic is attributed to it.
+     */
+    AgentId registerAgent(const std::string &name);
+
+    /** Registered agents (at least 1: the core). */
+    size_t agentCount() const { return agent_names_.size(); }
+
+    /** Display name of @p agent. */
+    const std::string &agentName(AgentId agent) const;
 
     /**
      * Schedule a latency-critical read.
@@ -96,17 +130,20 @@ class MemoryChannel
      * @param small True for metadata-sized transfers.
      * @param addr Target address; only consulted in DRAM mode
      *        (bank/row selection), ignored by the flat model.
+     * @param agent Registered client issuing the read.
      * @return Cycle the data is available on chip.
      */
     uint64_t scheduleRead(uint64_t request_cycle, Traffic category,
-                          bool small = false, uint64_t addr = 0);
+                          bool small = false, uint64_t addr = 0,
+                          AgentId agent = kCoreAgent);
 
     /**
      * Queue a write that becomes ready at @p ready_cycle (e.g. after
      * encryption completes in the write buffer).
      */
     void enqueueWrite(uint64_t ready_cycle, Traffic category,
-                      bool small = false, uint64_t addr = 0);
+                      bool small = false, uint64_t addr = 0,
+                      AgentId agent = kCoreAgent);
 
     /** Bytes moved in @p category so far. */
     uint64_t bytes(Traffic category) const;
@@ -120,10 +157,52 @@ class MemoryChannel
     /** Total bytes across the seqnum categories. */
     uint64_t seqnumBytes() const;
 
+    /** Total bytes across the MAC metadata categories. */
+    uint64_t macBytes() const;
+
+    /** Total bytes across the update categories. */
+    uint64_t updateBytes() const;
+
+    /** Bytes moved by every category together. */
+    uint64_t totalBytes() const { return total_bytes_; }
+
+    /** Bytes moved by @p agent in @p category. */
+    uint64_t agentBytes(AgentId agent, Traffic category) const;
+
+    /** Bytes moved by @p agent across all categories. */
+    uint64_t agentBytes(AgentId agent) const;
+
+    /** Transactions issued by @p agent across all categories. */
+    uint64_t agentTransactions(AgentId agent) const;
+
+    /**
+     * Every category with its name, bytes and transaction count —
+     * generically over the enum, so a newly added category can never
+     * be silently dropped from reports.
+     */
+    struct CategoryRow
+    {
+        Traffic category;
+        std::string name;
+        uint64_t bytes;
+        uint64_t transactions;
+    };
+    std::vector<CategoryRow> byCategory() const;
+
+    /**
+     * Panic unless every accounted byte is covered by one of the
+     * named category groups (data / seqnum / mac / update). Guards
+     * report code: adding a Traffic category without teaching the
+     * grouped accessors about it would otherwise silently drop its
+     * traffic from the per-category tables (and skew Figure 9 style
+     * ratios). Called from the stats paths; cheap.
+     */
+    void assertFullyAttributed() const;
+
     /** Cycles the bus has been occupied (utilization numerator). */
     uint64_t busyCycles() const { return busy_cycles_; }
 
-    /** Reset all counters and occupancy (new run). */
+    /** Reset all counters and occupancy (agents stay registered). */
     void reset();
 
     const ChannelConfig &config() const { return config_; }
@@ -149,8 +228,15 @@ class MemoryChannel
         static_cast<size_t>(Traffic::NumCategories);
     std::array<uint64_t, kNumCategories> bytes_{};
     std::array<uint64_t, kNumCategories> transactions_{};
+    uint64_t total_bytes_ = 0;
 
-    void account(Traffic category, bool small);
+    std::vector<std::string> agent_names_;
+    /** agent -> per-category byte / transaction tables. */
+    std::vector<std::array<uint64_t, kNumCategories>> agent_bytes_;
+    std::vector<std::array<uint64_t, kNumCategories>>
+        agent_transactions_;
+
+    void account(Traffic category, bool small, AgentId agent);
     uint32_t transferCycles(bool small) const;
     void drainWrites(uint64_t now, bool force_all);
 };

@@ -131,7 +131,7 @@ class InterruptGuard
   private:
     InterruptGuardConfig config_;
     const crypto::BlockCipher &cipher_;
-    crypto::CryptoLatencyModel engine_;
+    crypto::CryptoEngineModel engine_;
 
     /** Next interrupt's sequence number (mutating seed input). */
     uint64_t next_event_ = 1;

@@ -24,8 +24,10 @@ namespace secproc::secure
 {
 
 OtpEngine::OtpEngine(const ProtectionConfig &config,
-                     mem::MemoryChannel &channel, const KeyTable &keys)
-    : ProtectionEngine(config, channel, keys), snc_(config.snc)
+                     mem::MemoryChannel &channel, const KeyTable &keys,
+                     crypto::CryptoEngineModel *shared_crypto)
+    : ProtectionEngine(config, channel, keys, shared_crypto),
+      snc_(config.snc)
 {
     fatal_if(config.snc.l2_line_size != config.line_size,
              "SNC line size (", config.snc.l2_line_size,

@@ -14,9 +14,14 @@ namespace secproc::secure
 
 ProtectionEngine::ProtectionEngine(const ProtectionConfig &config,
                                    mem::MemoryChannel &channel,
-                                   const KeyTable &keys)
+                                   const KeyTable &keys,
+                                   crypto::CryptoEngineModel *shared_crypto)
     : config_(config), channel_(channel), keys_(keys),
-      crypto_engine_(config.crypto)
+      owned_crypto_(shared_crypto
+                        ? nullptr
+                        : std::make_unique<crypto::CryptoEngineModel>(
+                              config.crypto)),
+      crypto_engine_(shared_crypto ? *shared_crypto : *owned_crypto_)
 {
     fatal_if(!util::isPowerOfTwo(config_.line_size),
              "line size must be a power of two");
@@ -42,7 +47,11 @@ ProtectionEngine::setLineState(uint64_t line_va, LineCipherState state,
 void
 ProtectionEngine::reset()
 {
-    crypto_engine_.reset();
+    // Only an owned model is this engine's to wipe: a shared model
+    // carries machine-wide occupancy (other agents' reservations)
+    // that the machine owner resets, not one of its clients.
+    if (owned_crypto_)
+        owned_crypto_->reset();
     line_states_.clear();
     preset_seqnums_.clear();
     fast_fills_.reset();
@@ -125,15 +134,19 @@ ProtectionEngine::encryptLine(uint64_t line_va, mem::RegionKind kind,
 
 std::unique_ptr<ProtectionEngine>
 makeProtectionEngine(const ProtectionConfig &config,
-                     mem::MemoryChannel &channel, const KeyTable &keys)
+                     mem::MemoryChannel &channel, const KeyTable &keys,
+                     crypto::CryptoEngineModel *shared_crypto)
 {
     switch (config.model) {
       case SecurityModel::Baseline:
-        return std::make_unique<BaselineEngine>(config, channel, keys);
+        return std::make_unique<BaselineEngine>(config, channel, keys,
+                                                shared_crypto);
       case SecurityModel::Xom:
-        return std::make_unique<XomEngine>(config, channel, keys);
+        return std::make_unique<XomEngine>(config, channel, keys,
+                                           shared_crypto);
       case SecurityModel::OtpSnc:
-        return std::make_unique<OtpEngine>(config, channel, keys);
+        return std::make_unique<OtpEngine>(config, channel, keys,
+                                           shared_crypto);
     }
     panic("unknown security model");
 }

@@ -16,7 +16,7 @@
  *     security state — SNC lookups and installs, sequence-number
  *     increments, spill bookkeeping;
  *  2. schedule (scheduleFill / scheduleEvict): timing against the
- *     shared MemoryChannel and CryptoLatencyModel;
+ *     shared MemoryChannel and CryptoEngineModel;
  *  3. apply (applyFill / applyEvict): pure byte transforms for
  *     functional runs, parameterized only by the plan.
  * Callers may use any subset: benches run plan+schedule, functional
@@ -153,9 +153,15 @@ class ProtectionEngine
      * @param config Engine options.
      * @param channel Shared memory channel (timing + traffic).
      * @param keys Compartment key table (functional plane).
+     * @param shared_crypto The machine's crypto engine when it is
+     *        shared with other agents (the System owns one that an
+     *        OTA install also reserves against); nullptr makes the
+     *        protection engine own a private model, which times
+     *        identically as long as it is the only client.
      */
     ProtectionEngine(const ProtectionConfig &config,
-                     mem::MemoryChannel &channel, const KeyTable &keys);
+                     mem::MemoryChannel &channel, const KeyTable &keys,
+                     crypto::CryptoEngineModel *shared_crypto = nullptr);
     virtual ~ProtectionEngine() = default;
 
     ProtectionEngine(const ProtectionEngine &) = delete;
@@ -234,7 +240,11 @@ class ProtectionEngine
     void setLineState(uint64_t line_va, LineCipherState state,
                       uint32_t seqnum = 0);
 
-    /** Reset timing and per-line state (fresh run). */
+    /**
+     * Reset timing and per-line state (fresh run). A *shared*
+     * crypto engine is deliberately left untouched — it belongs to
+     * the machine, whose owner resets it alongside the channel.
+     */
     virtual void reset();
 
     /** Statistics registration. */
@@ -250,7 +260,7 @@ class ProtectionEngine
     const ProtectionConfig &config() const { return config_; }
 
     /** Access to the crypto engine model (occupancy inspection). */
-    const crypto::CryptoLatencyModel &cryptoEngine() const
+    const crypto::CryptoEngineModel &cryptoEngine() const
     {
         return crypto_engine_;
     }
@@ -259,7 +269,10 @@ class ProtectionEngine
     ProtectionConfig config_;
     mem::MemoryChannel &channel_;
     const KeyTable &keys_;
-    crypto::CryptoLatencyModel crypto_engine_;
+    /** Backing storage when no shared engine was supplied. */
+    std::unique_ptr<crypto::CryptoEngineModel> owned_crypto_;
+    /** The crypto engine all timing goes through (shared or owned). */
+    crypto::CryptoEngineModel &crypto_engine_;
     CompartmentId compartment_ = 1;
 
     /** line_va -> how its memory image is currently encrypted. */
@@ -294,7 +307,8 @@ class ProtectionEngine
 /** Instantiate the engine for @p config.model. */
 std::unique_ptr<ProtectionEngine>
 makeProtectionEngine(const ProtectionConfig &config,
-                     mem::MemoryChannel &channel, const KeyTable &keys);
+                     mem::MemoryChannel &channel, const KeyTable &keys,
+                     crypto::CryptoEngineModel *shared_crypto = nullptr);
 
 /** Human-readable model name. */
 std::string securityModelName(SecurityModel model);

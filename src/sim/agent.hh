@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Background machine agents.
+ *
+ * The core drives simulated time, but it is not the only client of
+ * the machine's shared resources: a background OTA install streams
+ * through the same memory channel and crypto engine while the
+ * foreground program runs. A BackgroundAgent is anything that wants
+ * to issue such self-paced work; the System pumps every attached
+ * agent as the core's cycle count advances, so agent transactions
+ * interleave deterministically with the core's.
+ */
+
+#ifndef SECPROC_SIM_AGENT_HH
+#define SECPROC_SIM_AGENT_HH
+
+#include <cstdint>
+
+namespace secproc::sim
+{
+
+/**
+ * A self-paced producer of memory-channel transactions and
+ * crypto-engine reservations.
+ */
+class BackgroundAgent
+{
+  public:
+    virtual ~BackgroundAgent() = default;
+
+    /**
+     * Issue all work whose start time has been reached. Called with
+     * a monotonically non-decreasing @p cycle; must be cheap when
+     * there is nothing to do.
+     */
+    virtual void advance(uint64_t cycle) = 0;
+
+    /** True once the agent has no further work to issue. */
+    virtual bool done() const = 0;
+};
+
+} // namespace secproc::sim
+
+#endif // SECPROC_SIM_AGENT_HH

@@ -37,9 +37,9 @@ System::System(const SystemConfig &config, Workload &workload)
 
 System::System(const SystemConfig &config, std::vector<TaskSpec> tasks)
     : config_(config), tasks_(std::move(tasks)),
-      channel_(config.channel), l1i_(config.l1i), l1d_(config.l1d),
-      l2_(config.l2), onchip_(config.l2.line_size),
-      core_(config.core, *this)
+      channel_(config.channel), crypto_engine_(config.protection.crypto),
+      l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
+      onchip_(config.l2.line_size), core_(config.core, *this)
 {
     fatal_if(config_.protection.line_size != config_.l2.line_size,
              "protection engine line size must match L2");
@@ -48,7 +48,7 @@ System::System(const SystemConfig &config, std::vector<TaskSpec> tasks)
         fatal_if(task.workload == nullptr, "task without a workload");
     installKeys();
     engine_ = secure::makeProtectionEngine(config_.protection, channel_,
-                                           keys_);
+                                           keys_, &crypto_engine_);
     engine_->setCompartment(tasks_.front().compartment);
     registerPlaintextRegions();
     preinitializeRegions();
@@ -401,11 +401,32 @@ System::functionalStore(uint64_t vaddr)
 }
 
 void
+System::attachAgent(BackgroundAgent *agent)
+{
+    fatal_if(agent == nullptr, "cannot attach a null agent");
+    agents_.push_back(agent);
+}
+
+void
+System::detachAgent(BackgroundAgent *agent)
+{
+    std::erase(agents_, agent);
+}
+
+void
 System::run(uint64_t instructions)
 {
     Workload &active = workload();
-    for (uint64_t i = 0; i < instructions; ++i)
+    if (agents_.empty()) {
+        for (uint64_t i = 0; i < instructions; ++i)
+            core_.step(active.next());
+        return;
+    }
+    for (uint64_t i = 0; i < instructions; ++i) {
         core_.step(active.next());
+        for (BackgroundAgent *agent : agents_)
+            agent->advance(core_.cycles());
+    }
 }
 
 void
@@ -462,8 +483,22 @@ System::dumpStats(std::ostream &os) const
     engine_->regStats(engine_group);
     engine_group.dump(os);
 
+    channel_.assertFullyAttributed();
     os << "channel.data_bytes " << channel_.dataBytes() << '\n';
     os << "channel.seqnum_bytes " << channel_.seqnumBytes() << '\n';
+    for (const auto &row : channel_.byCategory()) {
+        if (row.transactions == 0)
+            continue;
+        os << "channel." << row.name << "_bytes " << row.bytes << '\n';
+    }
+    for (mem::AgentId agent = 0; agent < channel_.agentCount();
+         ++agent) {
+        os << "channel.agent." << channel_.agentName(agent)
+           << "_bytes " << channel_.agentBytes(agent) << '\n';
+    }
+    os << "crypto.operations " << crypto_engine_.operations() << '\n';
+    os << "crypto.reserved_operations "
+       << crypto_engine_.reservedOperations() << '\n';
     os << "cycles " << core_.cycles() << '\n';
     os << "instructions " << core_.instructions() << '\n';
 }
@@ -473,7 +508,7 @@ paperConfig(secure::SecurityModel model)
 {
     SystemConfig config;
     config.protection.model = model;
-    config.protection.crypto.latency = 50;
+    config.protection.crypto.latency = crypto::kPaperCryptoLatency;
     config.protection.line_size = config.l2.line_size;
     config.protection.snc.l2_line_size = config.l2.line_size;
     config.protection.snc.capacity_bytes = 64 * 1024;

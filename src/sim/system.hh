@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "crypto/latency.hh"
 #include "mem/cache.hh"
 #include "mem/main_memory.hh"
 #include "mem/memory_channel.hh"
@@ -24,6 +25,7 @@
 #include "mem/virtual_memory.hh"
 #include "secure/engines.hh"
 #include "secure/protection_engine.hh"
+#include "sim/agent.hh"
 #include "sim/core.hh"
 #include "sim/workload.hh"
 
@@ -111,6 +113,17 @@ class System : public MemorySystem
     void run(uint64_t instructions);
 
     /**
+     * Attach a background agent (not owned; must outlive the runs it
+     * is attached for). The agent is advanced after every core step,
+     * so its channel transactions and crypto-engine reservations
+     * contend with the foreground workload deterministically.
+     */
+    void attachAgent(BackgroundAgent *agent);
+
+    /** Detach a previously attached agent (no-op if absent). */
+    void detachAgent(BackgroundAgent *agent);
+
+    /**
      * Context-switch to task @p idx (paper Section 4.3): selects its
      * compartment and applies the SNC protection policy. Counts a
      * switch even when idx is the active task.
@@ -146,6 +159,12 @@ class System : public MemorySystem
     /** Component access for tests and reports. @{ */
     const mem::Cache &l2() const { return l2_; }
     const mem::MemoryChannel &channel() const { return channel_; }
+    mem::MemoryChannel &channel() { return channel_; }
+    crypto::CryptoEngineModel &cryptoEngine() { return crypto_engine_; }
+    const crypto::CryptoEngineModel &cryptoEngine() const
+    {
+        return crypto_engine_;
+    }
     secure::ProtectionEngine &engine() { return *engine_; }
     const secure::ProtectionEngine &engine() const { return *engine_; }
     OooCore &core() { return core_; }
@@ -166,7 +185,11 @@ class System : public MemorySystem
     mem::VirtualMemory vm_;
     secure::KeyTable keys_;
     mem::MemoryChannel channel_;
+    /** The machine's one crypto engine, shared by every agent. */
+    crypto::CryptoEngineModel crypto_engine_;
     std::unique_ptr<secure::ProtectionEngine> engine_;
+    /** Attached background agents (not owned). */
+    std::vector<BackgroundAgent *> agents_;
     mem::Cache l1i_;
     mem::Cache l1d_;
     mem::Cache l2_;

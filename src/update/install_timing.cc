@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Install replay implementation.
+ */
+
+#include "update/install_timing.hh"
+
+#include "update/update_engine.hh"
+#include "util/logging.hh"
+
+namespace secproc::update
+{
+
+namespace
+{
+
+uint64_t
+ceilDiv(uint64_t value, uint64_t unit)
+{
+    return (value + unit - 1) / unit;
+}
+
+} // namespace
+
+InstallPlan
+InstallPlan::fromBundle(const UpdateBundle &bundle, uint32_t line_bytes)
+{
+    InstallPlan plan;
+    const uint64_t bundle_bytes = bundle.serialize().size();
+    plan.stage_lines =
+        ceilDiv(kSlotHeaderBytes + bundle_bytes, line_bytes);
+    plan.verify_lines = plan.stage_lines;
+    plan.load_lines = ceilDiv(bundle.image.totalBytes(), line_bytes);
+    return plan;
+}
+
+InstallPlan
+InstallPlan::fromImageBytes(uint64_t image_bytes, uint32_t line_bytes)
+{
+    InstallPlan plan;
+    // Manifest + signature framing is small next to the image; one
+    // line covers it for any realistic bundle.
+    plan.stage_lines = 1 + ceilDiv(image_bytes, line_bytes);
+    plan.verify_lines = plan.stage_lines;
+    plan.load_lines = ceilDiv(image_bytes, line_bytes);
+    return plan;
+}
+
+InstallTiming::InstallTiming(const InstallTimingConfig &config,
+                             mem::MemoryChannel &channel,
+                             crypto::CryptoEngineModel &engine)
+    : config_(config), channel_(channel), engine_(engine),
+      agent_(channel.registerAgent(config.agent_name))
+{
+    fatal_if(config_.line_bytes == 0, "install replay needs a line size");
+}
+
+void
+InstallTiming::start(const InstallPlan &plan, uint64_t cycle,
+                     bool repeat)
+{
+    fatal_if(plan.stage_lines == 0 && plan.load_lines == 0,
+             "install plan with nothing to move");
+    plan_ = plan;
+    repeat_ = repeat;
+    cursor_ = cycle;
+    install_start_ = cycle;
+    enterPhase(Phase::AdmissionRead);
+}
+
+uint64_t
+InstallTiming::lineAddr(uint64_t index) const
+{
+    return config_.staging_base + index * config_.line_bytes;
+}
+
+uint32_t
+InstallTiming::writePaceCycles() const
+{
+    // Streams of writes are paced at the bus transfer time of one
+    // line: the source (transport DMA, loader) can produce no faster
+    // than the channel can possibly drain.
+    const uint32_t pace = channel_.config().transfer_cycles;
+    return pace ? pace : 1;
+}
+
+InstallTiming::Phase
+InstallTiming::nextPhase(Phase phase)
+{
+    // The one place the install pipeline's order is written down.
+    switch (phase) {
+      case Phase::AdmissionRead: return Phase::AdmissionSig;
+      case Phase::AdmissionSig: return Phase::StageWrite;
+      case Phase::StageWrite: return Phase::ReverifyRead;
+      case Phase::ReverifyRead: return Phase::ReverifySig;
+      case Phase::ReverifySig: return Phase::LoadWrite;
+      case Phase::LoadWrite: return Phase::CapsuleUnwrap;
+      case Phase::CapsuleUnwrap: return Phase::Attest;
+      case Phase::Attest:
+      case Phase::Idle:
+        break;
+    }
+    panic("install phase has no successor");
+}
+
+uint64_t
+InstallTiming::phaseItems(Phase phase) const
+{
+    switch (phase) {
+      case Phase::AdmissionRead:
+      case Phase::ReverifyRead:
+        return plan_.verify_lines;
+      case Phase::StageWrite:
+        return plan_.stage_lines;
+      case Phase::LoadWrite:
+        return plan_.load_lines;
+      case Phase::AdmissionSig:
+      case Phase::ReverifySig:
+      case Phase::CapsuleUnwrap:
+        return config_.signature_engine_ops != 0 ? 1 : 0;
+      case Phase::Attest:
+        return plan_.attest && config_.attest_engine_ops != 0 ? 1 : 0;
+      case Phase::Idle:
+        break;
+    }
+    return 0;
+}
+
+void
+InstallTiming::completePhase()
+{
+    if (phase_ == Phase::Attest)
+        finishInstall();
+    else
+        enterPhase(nextPhase(phase_));
+}
+
+void
+InstallTiming::enterPhase(Phase phase)
+{
+    phase_ = phase;
+    phase_index_ = 0;
+    // Fall through phases the plan or config leaves empty, so
+    // issueNext() always has work.
+    if (phase_ != Phase::Idle && phaseItems(phase_) == 0)
+        completePhase();
+}
+
+void
+InstallTiming::finishInstall()
+{
+    ++installs_completed_;
+    last_install_cycles_ = cursor_ - install_start_;
+    if (repeat_) {
+        install_start_ = cursor_;
+        enterPhase(Phase::AdmissionRead);
+    } else {
+        phase_ = Phase::Idle;
+    }
+}
+
+void
+InstallTiming::issueNext()
+{
+    switch (phase_) {
+      case Phase::AdmissionRead:
+      case Phase::ReverifyRead: {
+        // Fetch one staged/transport line and digest it: the hash
+        // unit holds the engine for the whole line, it is not the
+        // pipelined pad path.
+        const uint64_t arrival = channel_.scheduleRead(
+            cursor_, mem::Traffic::UpdateFill, /*small=*/false,
+            lineAddr(phase_index_), agent_);
+        cursor_ = engine_.reserve(arrival);
+        if (++phase_index_ >= phaseItems(phase_))
+            completePhase();
+        return;
+      }
+      case Phase::AdmissionSig:
+      case Phase::ReverifySig:
+      case Phase::CapsuleUnwrap: {
+        cursor_ = engine_.reserve(cursor_,
+                                  config_.signature_engine_ops);
+        completePhase();
+        return;
+      }
+      case Phase::StageWrite:
+      case Phase::LoadWrite: {
+        channel_.enqueueWrite(cursor_, mem::Traffic::UpdateWriteback,
+                              /*small=*/false, lineAddr(phase_index_),
+                              agent_);
+        cursor_ += writePaceCycles();
+        if (++phase_index_ >= phaseItems(phase_))
+            completePhase();
+        return;
+      }
+      case Phase::Attest: {
+        cursor_ = engine_.reserve(cursor_, config_.attest_engine_ops);
+        completePhase();
+        return;
+      }
+      case Phase::Idle:
+        return;
+    }
+}
+
+void
+InstallTiming::advance(uint64_t cycle)
+{
+    while (phase_ != Phase::Idle && cursor_ <= cycle)
+        issueNext();
+}
+
+uint64_t
+InstallTiming::replay()
+{
+    fatal_if(repeat_, "replay() on a repeating install never finishes");
+    const uint64_t target = installs_completed_ + 1;
+    while (phase_ != Phase::Idle && installs_completed_ < target)
+        issueNext();
+    return cursor_;
+}
+
+} // namespace secproc::update

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Cycle-plane model of a secure software install.
+ *
+ * The UpdateEngine (update_engine.hh) is functional-only: verify(),
+ * stage() and activate() move and check real bytes but cost zero
+ * simulated cycles. This adapter replays the same flow against the
+ * machine's *timing* resources — the shared MemoryChannel and the
+ * shared CryptoEngineModel — so the paper-style question "what does
+ * a background OTA install do to foreground slowdown?" becomes
+ * answerable:
+ *
+ *  1. admission verify: every bundle line is fetched from the
+ *     transport buffer in untrusted memory (Traffic::UpdateFill) and
+ *     digested in the crypto engine (an exclusive whole-line
+ *     reservation — hashing is not the pipelined pad path);
+ *     signature checks reserve the engine for several line-times;
+ *  2. stage: the framed bundle streams into the inactive A/B slot
+ *     through the write buffer (Traffic::UpdateWriteback);
+ *  3. re-verification at activate: the staged bytes are read back
+ *     and digested again (the staging area is outside the security
+ *     boundary), plus another signature check;
+ *  4. load: the vendor-encrypted image streams to its home region
+ *     and the key capsule unwrap reserves the engine once more;
+ *  5. attestation quote (optional): one more signing reservation.
+ *
+ * The replay is self-paced — one transaction outstanding, the next
+ * issued when its predecessor completes — and is driven by
+ * System::run() through the BackgroundAgent interface, so install
+ * traffic interleaves deterministically with the foreground
+ * workload's fills and evictions.
+ */
+
+#ifndef SECPROC_UPDATE_INSTALL_TIMING_HH
+#define SECPROC_UPDATE_INSTALL_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/latency.hh"
+#include "mem/memory_channel.hh"
+#include "sim/agent.hh"
+#include "update/manifest.hh"
+
+namespace secproc::update
+{
+
+/**
+ * Resource demands of one install, in line-sized units. Derived from
+ * a real UpdateBundle or synthesized from an image size; the
+ * InstallTiming executor turns it into channel transactions and
+ * engine reservations.
+ */
+struct InstallPlan
+{
+    /** Framed bundle lines written into the staging slot. */
+    uint64_t stage_lines = 0;
+
+    /** Bundle lines read back and digested per verification pass. */
+    uint64_t verify_lines = 0;
+
+    /** Image lines streamed to their home region at load. */
+    uint64_t load_lines = 0;
+
+    /** Request an attestation quote after activation. */
+    bool attest = true;
+
+    /** The exact demands of installing @p bundle. */
+    static InstallPlan fromBundle(const UpdateBundle &bundle,
+                                  uint32_t line_bytes);
+
+    /** Synthetic plan for an image of @p image_bytes payload. */
+    static InstallPlan fromImageBytes(uint64_t image_bytes,
+                                      uint32_t line_bytes);
+};
+
+/** Knobs of the replay (engine costs of the non-streaming steps). */
+struct InstallTimingConfig
+{
+    /** L2 line size; one channel transaction per line. */
+    uint32_t line_bytes = 128;
+
+    /** Base address of the staging slot (DRAM bank selection). */
+    uint64_t staging_base = 0x4000'0000;
+
+    /**
+     * Crypto-engine reservation, in whole-line operation times, for
+     * one RSA signature verification (and for the key capsule
+     * unwrap). A dedicated big-number unit would shrink this; the
+     * paper's machine has only the one line engine.
+     */
+    uint32_t signature_engine_ops = 16;
+
+    /** Engine reservation for signing one attestation quote. */
+    uint32_t attest_engine_ops = 16;
+
+    /** Channel-agent display name. */
+    std::string agent_name = "updater";
+};
+
+/**
+ * Replays InstallPlans against a machine's shared channel and crypto
+ * engine as a self-paced background agent.
+ */
+class InstallTiming : public sim::BackgroundAgent
+{
+  public:
+    /**
+     * Registers a named channel agent for attribution.
+     *
+     * @param channel The machine's memory channel.
+     * @param engine The machine's shared crypto engine.
+     */
+    InstallTiming(const InstallTimingConfig &config,
+                  mem::MemoryChannel &channel,
+                  crypto::CryptoEngineModel &engine);
+
+    /**
+     * Begin replaying @p plan at @p cycle. With @p repeat, a new
+     * install of the same plan starts as soon as one completes
+     * (continuous OTA pressure; steady-state interference).
+     */
+    void start(const InstallPlan &plan, uint64_t cycle,
+               bool repeat = false);
+
+    // BackgroundAgent interface.
+    void advance(uint64_t cycle) override;
+    bool done() const override { return phase_ == Phase::Idle; }
+
+    /**
+     * Run the current install(s) to completion regardless of the
+     * core clock (idle-machine replay). @return the completion cycle
+     * of the install in flight. Must not be called on a repeating
+     * replay — it would never finish.
+     */
+    uint64_t replay();
+
+    /** Installs fully replayed so far. */
+    uint64_t installsCompleted() const { return installs_completed_; }
+
+    /** Duration of the most recently completed install. */
+    uint64_t lastInstallCycles() const { return last_install_cycles_; }
+
+    /** Channel agent id this replay's traffic is attributed to. */
+    mem::AgentId agent() const { return agent_; }
+
+  private:
+    enum class Phase
+    {
+        AdmissionRead,  ///< fetch + digest bundle lines (verify)
+        AdmissionSig,   ///< manifest signature check
+        StageWrite,     ///< stream framed bundle into the slot
+        ReverifyRead,   ///< fetch + digest staged lines (activate)
+        ReverifySig,    ///< staged manifest signature re-check
+        LoadWrite,      ///< stream image lines to their home region
+        CapsuleUnwrap,  ///< RSA key-capsule unwrap
+        Attest,         ///< attestation quote signature
+        Idle,
+    };
+
+    InstallTimingConfig config_;
+    mem::MemoryChannel &channel_;
+    crypto::CryptoEngineModel &engine_;
+    mem::AgentId agent_;
+
+    InstallPlan plan_;
+    bool repeat_ = false;
+    Phase phase_ = Phase::Idle;
+    uint64_t phase_index_ = 0; ///< lines issued in the current phase
+    uint64_t cursor_ = 0;      ///< completion cycle of the last action
+    uint64_t install_start_ = 0;
+    uint64_t installs_completed_ = 0;
+    uint64_t last_install_cycles_ = 0;
+
+    /** Issue the next transaction/reservation; advances cursor_. */
+    void issueNext();
+
+    /** Successor in the fixed install pipeline (sole ordering map). */
+    static Phase nextPhase(Phase phase);
+
+    /** How many issueNext() items the plan puts in @p phase. */
+    uint64_t phaseItems(Phase phase) const;
+
+    void enterPhase(Phase phase);
+    void completePhase();
+    void finishInstall();
+    uint64_t lineAddr(uint64_t index) const;
+    uint32_t writePaceCycles() const;
+};
+
+} // namespace secproc::update
+
+#endif // SECPROC_UPDATE_INSTALL_TIMING_HH

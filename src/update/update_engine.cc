@@ -15,9 +15,9 @@ namespace secproc::update
 namespace
 {
 
-/** Framing of a staged bundle in the slot: magic | u64 len | bytes. */
+/** Framing of a staged bundle in the slot: magic | u64 len | bytes
+ *  (header size is update_engine.hh's kSlotHeaderBytes). */
 constexpr uint32_t kSlotMagic = 0x53505354; // "SPST"
-constexpr uint64_t kSlotHeaderBytes = 12;
 
 std::vector<uint8_t>
 frameBundle(const std::vector<uint8_t> &bundle_bytes)

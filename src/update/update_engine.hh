@@ -91,6 +91,13 @@ struct InstallResult
     bool ok() const { return status == UpdateStatus::Ok; }
 };
 
+/**
+ * Bytes of framing (magic + length) ahead of a staged bundle in its
+ * slot. Shared with the cycle-plane InstallTiming so its line counts
+ * track the real staged footprint.
+ */
+inline constexpr uint64_t kSlotHeaderBytes = 12;
+
 /** Geometry of the A/B staging area in untrusted memory. */
 struct StagingConfig
 {

@@ -915,14 +915,16 @@ TEST(Rsa, MontgomeryContextIsCachedPerKey)
 
 TEST(CryptoLatency, FlatLatency)
 {
-    CryptoLatencyModel model({.latency = 50, .initiation_interval = 1});
+    CryptoEngineModel model({.latency = kPaperCryptoLatency,
+                             .initiation_interval = 1});
     EXPECT_EQ(model.schedule(100), 150u);
     EXPECT_EQ(model.latency(), 50u);
 }
 
 TEST(CryptoLatency, PipelinedBackToBack)
 {
-    CryptoLatencyModel model({.latency = 50, .initiation_interval = 1});
+    CryptoEngineModel model({.latency = kPaperCryptoLatency,
+                             .initiation_interval = 1});
     // Fully pipelined engine: requests in consecutive cycles complete
     // in consecutive cycles.
     EXPECT_EQ(model.schedule(10), 60u);
@@ -933,15 +935,38 @@ TEST(CryptoLatency, PipelinedBackToBack)
 
 TEST(CryptoLatency, NonPipelinedSerializes)
 {
-    CryptoLatencyModel model({.latency = 50, .initiation_interval = 50});
+    CryptoEngineModel model({.latency = kPaperCryptoLatency,
+                             .initiation_interval = 50});
     EXPECT_EQ(model.schedule(0), 50u);
     EXPECT_EQ(model.schedule(0), 100u);
     EXPECT_EQ(model.schedule(200), 250u);
 }
 
+TEST(CryptoLatency, ReserveOccupiesWholeOperation)
+{
+    CryptoEngineModel model({.latency = kPaperCryptoLatency,
+                             .initiation_interval = 1});
+    // A bulk reservation holds the engine for the full latency, not
+    // just an issue slot.
+    EXPECT_EQ(model.reserve(100), 150u);
+    EXPECT_EQ(model.busyUntil(), 150u);
+    // Pipelined work issued meanwhile queues behind the reservation.
+    EXPECT_EQ(model.schedule(120), 200u);
+    EXPECT_EQ(model.reservedOperations(), 1u);
+    EXPECT_EQ(model.operations(), 2u);
+}
+
+TEST(CryptoLatency, ReserveBatchesBackToBack)
+{
+    CryptoEngineModel model({.latency = 10, .initiation_interval = 1});
+    EXPECT_EQ(model.reserve(0, 4), 40u);
+    EXPECT_EQ(model.reserve(15, 2), 60u); // queues behind the first
+    EXPECT_EQ(model.reservedOperations(), 6u);
+}
+
 TEST(CryptoLatency, ResetClearsOccupancy)
 {
-    CryptoLatencyModel model({.latency = 10, .initiation_interval = 10});
+    CryptoEngineModel model({.latency = 10, .initiation_interval = 10});
     model.schedule(0);
     model.reset();
     EXPECT_EQ(model.schedule(0), 10u);

@@ -29,7 +29,7 @@ class InterruptGuardTest : public ::testing::Test
         InterruptGuardConfig config;
         config.mode = mode;
         config.num_registers = regs;
-        config.crypto.latency = 50;
+        config.crypto.latency = crypto::kPaperCryptoLatency;
         config.base_cost = 30;
         return InterruptGuard(config, cipher_);
     }

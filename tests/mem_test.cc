@@ -309,6 +309,75 @@ TEST(MemoryChannel, TrafficAttribution)
     EXPECT_EQ(channel.dataBytes(), 0u);
 }
 
+TEST(MemoryChannel, PerAgentAttribution)
+{
+    MemoryChannel channel(fastChannel());
+    EXPECT_EQ(channel.agentCount(), 1u);
+    EXPECT_EQ(channel.agentName(kCoreAgent), "core");
+
+    const AgentId updater = channel.registerAgent("updater");
+    EXPECT_EQ(channel.agentCount(), 2u);
+    EXPECT_EQ(channel.agentName(updater), "updater");
+
+    channel.scheduleRead(0, Traffic::DataFill); // core by default
+    channel.scheduleRead(0, Traffic::UpdateFill, false, 0, updater);
+    channel.enqueueWrite(0, Traffic::UpdateWriteback, false, 0,
+                         updater);
+
+    const uint32_t line = channel.config().line_bytes;
+    EXPECT_EQ(channel.agentBytes(kCoreAgent), line);
+    EXPECT_EQ(channel.agentBytes(updater), 2u * line);
+    EXPECT_EQ(channel.agentBytes(updater, Traffic::UpdateFill), line);
+    EXPECT_EQ(channel.agentTransactions(updater), 2u);
+    EXPECT_EQ(channel.updateBytes(), 2u * line);
+    // Update traffic never pollutes the Figure 9 accounting.
+    EXPECT_EQ(channel.dataBytes(), line);
+    EXPECT_EQ(channel.seqnumBytes(), 0u);
+
+    channel.reset();
+    EXPECT_EQ(channel.agentBytes(updater), 0u);
+    EXPECT_EQ(channel.agentCount(), 2u) << "agents survive reset";
+}
+
+TEST(MemoryChannel, AgentsShareOneBus)
+{
+    MemoryChannel channel(fastChannel());
+    const AgentId updater = channel.registerAgent("updater");
+    // The updater's transfer occupies the same scalar bus horizon,
+    // so the core's read queues behind it exactly as a second core
+    // read would.
+    channel.scheduleRead(0, Traffic::UpdateFill, false, 0, updater);
+    EXPECT_EQ(channel.scheduleRead(0, Traffic::DataFill), 116u);
+}
+
+TEST(MemoryChannel, EveryCategoryIsGroupedAndNamed)
+{
+    MemoryChannel channel(fastChannel());
+    const auto count = static_cast<size_t>(Traffic::NumCategories);
+    for (size_t i = 0; i < count; ++i)
+        channel.scheduleRead(0, static_cast<Traffic>(i));
+    // No category may be silently dropped from the grouped
+    // accessors; a mismatch panics with the missing byte count.
+    channel.assertFullyAttributed();
+    EXPECT_EQ(channel.totalBytes(),
+              count * channel.config().line_bytes);
+    const auto rows = channel.byCategory();
+    ASSERT_EQ(rows.size(), count);
+    for (const auto &row : rows) {
+        EXPECT_NE(row.name, "unknown");
+        EXPECT_EQ(row.transactions, 1u);
+    }
+}
+
+TEST(MemoryChannelDeath, UnknownAgentPanics)
+{
+    MemoryChannel channel(fastChannel());
+    EXPECT_DEATH_IF_SUPPORTED(
+        channel.scheduleRead(0, Traffic::DataFill, false, 0,
+                             AgentId{7}),
+        "unregistered channel agent");
+}
+
 // -------------------------------------------------------- virtual memory
 
 TEST(VirtualMemory, StableTranslation)

@@ -18,6 +18,7 @@
 #include <map>
 #include <tuple>
 
+#include "crypto/latency.hh"
 #include "mem/cache.hh"
 #include "mem/memory_channel.hh"
 #include "secure/engines.hh"
@@ -233,14 +234,16 @@ TEST_P(MachineOrdering, OtpInsensitiveToCryptoLatencyXomIsNot)
 
     auto xom50 = paperConfig(secure::SecurityModel::Xom);
     auto xom102 = paperConfig(secure::SecurityModel::Xom);
-    xom102.protection.crypto.latency = 102;
+    xom102.protection.crypto.latency =
+        crypto::kStrongCipherLatency;
     const uint64_t x50 = cyclesFor(bench, xom50);
     const uint64_t x102 = cyclesFor(bench, xom102);
     EXPECT_GE(x102, x50) << "longer crypto cannot speed XOM up";
 
     auto otp50 = paperConfig(secure::SecurityModel::OtpSnc);
     auto otp102 = paperConfig(secure::SecurityModel::OtpSnc);
-    otp102.protection.crypto.latency = 102;
+    otp102.protection.crypto.latency =
+        crypto::kStrongCipherLatency;
     const uint64_t o50 = cyclesFor(bench, otp50);
     const uint64_t o102 = cyclesFor(bench, otp102);
 

@@ -201,7 +201,8 @@ struct EngineHarness
 
     explicit EngineHarness(SecurityModel model,
                            bool allow_replacement = true,
-                           uint32_t crypto_latency = 50)
+                           uint32_t crypto_latency =
+                               secproc::crypto::kPaperCryptoLatency)
         : channel(ChannelConfig{})
     {
         keys.install(1, CipherKind::Des,

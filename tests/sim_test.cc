@@ -11,6 +11,7 @@
 #include <map>
 #include <set>
 
+#include "crypto/latency.hh"
 #include "sim/core.hh"
 #include "sim/profiles.hh"
 #include "sim/system.hh"
@@ -375,10 +376,12 @@ TEST(SystemOrdering, CryptoLatencyHurtsXomNotOtp)
     // OTP fast path absorbs it.
     auto xom_fast = quickConfig(secure::SecurityModel::Xom);
     auto xom_slow = xom_fast;
-    xom_slow.protection.crypto.latency = 102;
+    xom_slow.protection.crypto.latency =
+        crypto::kStrongCipherLatency;
     auto otp_fast = quickConfig(secure::SecurityModel::OtpSnc);
     auto otp_slow = otp_fast;
-    otp_slow.protection.crypto.latency = 102;
+    otp_slow.protection.crypto.latency =
+        crypto::kStrongCipherLatency;
 
     const uint64_t base = runCycles(
         "art", quickConfig(secure::SecurityModel::Baseline), 400000);

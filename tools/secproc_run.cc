@@ -21,6 +21,7 @@
 #include <map>
 #include <string>
 
+#include "crypto/latency.hh"
 #include "exp/runner.hh"
 #include "sim/profiles.hh"
 #include "util/logging.hh"
@@ -41,7 +42,7 @@ struct Options
     uint64_t snc_kb = 64;
     uint32_t snc_assoc = 0;
     bool snc_norepl = false;
-    uint32_t crypto_latency = 50;
+    uint32_t crypto_latency = crypto::kPaperCryptoLatency;
     uint64_t l2_kb = 256;
     uint32_t l2_assoc = 4;
     uint32_t mshrs = 8;
