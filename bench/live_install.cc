@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unified-plane install cost: one System run, both verdicts.
+ *
+ * Every cell runs a *real* secure install — signed bundle, lossy OTA
+ * transport, functional UpdateEngine — as a background agent of the
+ * foreground workload's machine, with the install self-throttling
+ * through the channel's foreground-priority arbiter. The measured
+ * value is the cycle verdict (percent foreground slowdown vs the
+ * same machine with nothing installing); the functional verdict
+ * (every completed install's slot bytes, manifest and rollback
+ * counter byte-identical to a pure functional install of the same
+ * bundle) rides along as the `functional_ok` extra, which must
+ * always be 1.
+ *
+ * `fixed_slowdown` reports the PR-4 fixed-pace replay of the same
+ * image on the same machine for comparison; `below_fixed` is 1 when
+ * self-throttling undercut it (the ROADMAP acceptance number).
+ */
+
+#include <algorithm>
+#include <future>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "crypto/latency.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
+#include "update/image_builder.hh"
+#include "update/install_timing.hh"
+#include "update/live_install.hh"
+#include "update/update_engine.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+constexpr uint64_t kStagingBase = 0x4000'0000;
+constexpr uint64_t kSlotSize = 8ull << 20;
+constexpr uint64_t kImageBase = 0x0800'0000;
+
+struct GridPoint
+{
+    const char *label;
+    uint64_t image_bytes;
+    uint32_t crypto_latency;
+};
+
+constexpr GridPoint kGrid[] = {
+    {"live-256KB-c50", 256ull << 10, crypto::kPaperCryptoLatency},
+    {"live-256KB-c102", 256ull << 10, crypto::kStrongCipherLatency},
+    {"live-2MB-c50", 2ull << 20, crypto::kPaperCryptoLatency},
+    {"live-2MB-c102", 2ull << 20, crypto::kStrongCipherLatency},
+};
+
+sim::SystemConfig
+machineConfig(uint32_t crypto_latency)
+{
+    sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.crypto.latency = crypto_latency;
+    return config;
+}
+
+/** A modest-bandwidth downlink with mild burst loss. */
+ota::TransportConfig
+downlink()
+{
+    ota::TransportConfig transport;
+    transport.chunk_bytes = 1024;
+    transport.cycles_per_chunk = 128;
+    transport.loss_rate = 0.05;
+    transport.burst_length = 2.0;
+    transport.retransmit_delay = 8192;
+    transport.seed = 0x0F0A;
+    return transport;
+}
+
+update::UpdateBundle
+makeBundle(update::ImageBuilder &vendor,
+           const crypto::RsaPublicKey &processor, util::Rng &rng,
+           uint32_t version, uint64_t image_bytes)
+{
+    xom::PlainProgram program;
+    program.title = "fw";
+    program.entry_point = kImageBase;
+    xom::PlainProgram::PlainSection text;
+    text.name = ".text";
+    text.vaddr = kImageBase;
+    text.bytes.resize(image_bytes, static_cast<uint8_t>(version));
+    program.sections = {text};
+
+    update::UpdateSpec spec;
+    spec.image_version = version;
+    spec.rollback_counter = version;
+    spec.cipher = secure::CipherKind::Des;
+    return vendor.build(program, spec, processor, rng);
+}
+
+/** Foreground-alone cycles, cached per (bench, latency, lengths). */
+sim::RunStats
+measureAlone(const std::string &bench, const sim::SystemConfig &config,
+             const exp::RunOptions &options)
+{
+    using Key = std::tuple<std::string, uint32_t, uint64_t, uint64_t>;
+    static std::mutex mutex;
+    static std::map<Key, std::shared_future<sim::RunStats>> cache;
+
+    const Key key{bench, config.protection.crypto.latency,
+                  options.warmup_instructions,
+                  options.measure_instructions};
+    std::promise<sim::RunStats> mine;
+    std::shared_future<sim::RunStats> result;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end()) {
+            result = it->second;
+        } else {
+            result = cache.emplace(key, mine.get_future().share())
+                         .first->second;
+            compute = true;
+        }
+    }
+    if (!compute)
+        return result.get();
+
+    const sim::WorkloadProfile profile = sim::benchmarkProfile(bench);
+    sim::SyntheticWorkload workload(profile, config.l2.line_size);
+    sim::System system(config, workload);
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    system.run(options.measure_instructions);
+    mine.set_value(system.stats());
+    return result.get();
+}
+
+/** PR-4 fixed-pace slowdown of the same image on the same machine. */
+double
+fixedPaceSlowdown(const std::string &bench, const GridPoint &point,
+                  const exp::RunOptions &options, uint64_t alone_cycles)
+{
+    const sim::SystemConfig config =
+        machineConfig(point.crypto_latency);
+    const sim::WorkloadProfile profile = sim::benchmarkProfile(bench);
+    sim::SyntheticWorkload workload(profile, config.l2.line_size);
+    sim::System system(config, workload);
+
+    update::InstallTimingConfig itc;
+    itc.line_bytes = config.l2.line_size;
+    update::InstallTiming timing(itc, system.channel(),
+                                 system.cryptoEngine());
+    timing.start(update::InstallPlan::fromImageBytes(
+                     point.image_bytes, config.l2.line_size),
+                 0, /*repeat=*/true);
+    system.attachAgent(&timing);
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    system.run(options.measure_instructions);
+    return exp::slowdownPct(alone_cycles, system.stats().cycles);
+}
+
+exp::RunFn
+makeCell(const GridPoint &point)
+{
+    return [point](const std::string &bench,
+                   const exp::RunOptions &options) {
+        const sim::SystemConfig config =
+            machineConfig(point.crypto_latency);
+        const sim::RunStats alone =
+            measureAlone(bench, config, options);
+
+        // The live machine: functional updater + unified-plane agent.
+        util::Rng rng(0x11E'0001 ^ point.image_bytes ^
+                      point.crypto_latency);
+        update::ImageBuilder vendor(crypto::rsaGenerate(512, rng));
+        const crypto::RsaKeyPair processor =
+            crypto::rsaGenerate(512, rng);
+        secure::KeyTable update_keys;
+        update::RollbackStore rollback(64);
+        update::UpdateEngine updater(
+            vendor.publicKey(), processor, update_keys, rollback,
+            update::StagingConfig{kStagingBase, kSlotSize});
+
+        const sim::WorkloadProfile profile =
+            sim::benchmarkProfile(bench);
+        sim::SyntheticWorkload workload(profile, config.l2.line_size);
+        sim::System system(config, workload);
+
+        update::LiveInstallConfig live_config;
+        live_config.line_bytes = config.l2.line_size;
+        live_config.pacing = update::InstallPacing::Arbiter;
+        live_config.transport = downlink();
+        update::LiveInstall live(live_config, system, updater, 1);
+        system.attachAgent(&live);
+
+        // Pure functional reference device for the differential
+        // verdict of every completed install.
+        secure::KeyTable ref_keys;
+        update::RollbackStore ref_rollback(64);
+        mem::MemoryChannel ref_channel(config.channel);
+        secure::ProtectionConfig ref_protection = config.protection;
+        ref_protection.line_size = config.l2.line_size;
+        auto ref_engine = secure::makeProtectionEngine(
+            ref_protection, ref_channel, ref_keys);
+        update::UpdateEngine reference(
+            vendor.publicKey(), processor, ref_keys, ref_rollback,
+            update::StagingConfig{kStagingBase, kSlotSize});
+        mem::MainMemory ref_memory;
+        mem::VirtualMemory ref_vm;
+
+        uint32_t version = 1;
+        bool functional_ok = true;
+        uint64_t completed = 0;
+        std::optional<update::UpdateBundle> current =
+            makeBundle(vendor, processor.pub, rng, version,
+                       point.image_bytes);
+        live.start(*current, 0);
+
+        // Steady-state install pressure: the moment an install
+        // lands, verify it against the reference device and start
+        // the next version.
+        auto pump = [&](uint64_t instructions) {
+            for (uint64_t ran = 0; ran < instructions;) {
+                const uint64_t step =
+                    std::min<uint64_t>(10'000, instructions - ran);
+                system.run(step);
+                ran += step;
+                if (!live.done())
+                    continue;
+                functional_ok &=
+                    live.phase() == update::LiveInstallPhase::Done;
+                if (!functional_ok)
+                    return;
+                const bool ref_ok =
+                    reference
+                        .install(*current, 1, ref_memory, ref_vm, 1,
+                                 *ref_engine)
+                        .ok();
+                // == kSlotHeaderBytes + serialized bundle size,
+                // without re-serializing the multi-MB image.
+                const uint64_t framed = live.stagedBytesWritten();
+                std::vector<uint8_t> want(framed);
+                std::vector<uint8_t> got(framed);
+                ref_memory.read(
+                    reference.slotBase(reference.activeSlot()),
+                    want.data(), want.size());
+                system.mainMemory().read(
+                    updater.slotBase(updater.activeSlot()),
+                    got.data(), got.size());
+                functional_ok &=
+                    ref_ok && want == got &&
+                    updater.activeManifest()->serialize() ==
+                        reference.activeManifest()->serialize() &&
+                    rollback.current("fw") ==
+                        ref_rollback.current("fw");
+                ++completed;
+                current = makeBundle(vendor, processor.pub, rng,
+                                     ++version, point.image_bytes);
+                live.start(*current, system.core().cycles());
+            }
+        };
+
+        pump(options.warmup_instructions);
+        system.beginMeasurement();
+        const uint64_t update_bytes_before =
+            system.channel().updateBytes();
+        pump(options.measure_instructions);
+
+        exp::CellOutput cell;
+        cell.stats = system.stats();
+        cell.measured =
+            exp::slowdownPct(alone.cycles, cell.stats.cycles);
+        const double fixed = fixedPaceSlowdown(bench, point, options,
+                                               alone.cycles);
+        cell.extras.emplace_back("functional_ok",
+                                 functional_ok ? 1.0 : 0.0);
+        cell.extras.emplace_back("installs_completed",
+                                 static_cast<double>(completed));
+        cell.extras.emplace_back("fixed_slowdown", fixed);
+        cell.extras.emplace_back(
+            "below_fixed", *cell.measured < fixed ? 1.0 : 0.0);
+        cell.extras.emplace_back(
+            "stall_mcycles",
+            static_cast<double>(
+                system.channel().agentStallCycles(live.agent())) /
+                1e6);
+        cell.extras.emplace_back(
+            "update_mbytes",
+            static_cast<double>(system.channel().updateBytes() -
+                                update_bytes_before) /
+                1e6);
+        cell.extras.emplace_back(
+            "chunks_lost",
+            static_cast<double>(live.transport().chunksLost()));
+        system.channel().assertFullyAttributed();
+        return cell;
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+
+    exp::ExperimentSpec spec;
+    spec.name = "live_install";
+    spec.title = "Unified-plane OTA installs "
+                 "(functional engine + arbiter self-throttling)";
+    spec.subtitle = "foreground slowdown in % vs the same machine "
+                    "with no install running";
+    spec.benchmarks = {"gcc", "mcf", "art"};
+    spec.options = cli.options;
+    for (const GridPoint &point : kGrid)
+        spec.addCustom(point.label, makeCell(point));
+
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
+    return 0;
+}

@@ -9,7 +9,8 @@
  * digesting, signature checks and the capsule unwrap. The grid
  * crosses install image size with crypto-engine latency (the 50-cycle
  * paper engine vs the 102-cycle stronger-cipher engine of Figure 10)
- * and reports the headline number: percent slowdown of the
+ * and with install pacing (fixed vs the foreground-priority channel
+ * arbiter) and reports the headline number: percent slowdown of the
  * foreground OTP workload while installs stream continuously in the
  * background, against the same machine with the channel and engine
  * to itself.
@@ -40,13 +41,32 @@ struct GridPoint
     const char *label;
     uint64_t image_bytes;
     uint32_t crypto_latency;
+    update::InstallPacing pacing;
 };
 
+/**
+ * The pacing axis: `fixed` is the PR-4 replay (the install takes
+ * bandwidth whenever its pipeline is ready); `arbiter` queues every
+ * transaction through the channel's foreground-priority arbiter, so
+ * the install self-throttles into idle bus time.
+ */
 constexpr GridPoint kGrid[] = {
-    {"install-256KB-c50", 256ull << 10, crypto::kPaperCryptoLatency},
-    {"install-256KB-c102", 256ull << 10, crypto::kStrongCipherLatency},
-    {"install-2MB-c50", 2ull << 20, crypto::kPaperCryptoLatency},
-    {"install-2MB-c102", 2ull << 20, crypto::kStrongCipherLatency},
+    {"install-256KB-c50", 256ull << 10, crypto::kPaperCryptoLatency,
+     update::InstallPacing::Fixed},
+    {"install-256KB-c102", 256ull << 10, crypto::kStrongCipherLatency,
+     update::InstallPacing::Fixed},
+    {"install-2MB-c50", 2ull << 20, crypto::kPaperCryptoLatency,
+     update::InstallPacing::Fixed},
+    {"install-2MB-c102", 2ull << 20, crypto::kStrongCipherLatency,
+     update::InstallPacing::Fixed},
+    {"install-256KB-c50-arbiter", 256ull << 10,
+     crypto::kPaperCryptoLatency, update::InstallPacing::Arbiter},
+    {"install-256KB-c102-arbiter", 256ull << 10,
+     crypto::kStrongCipherLatency, update::InstallPacing::Arbiter},
+    {"install-2MB-c50-arbiter", 2ull << 20,
+     crypto::kPaperCryptoLatency, update::InstallPacing::Arbiter},
+    {"install-2MB-c102-arbiter", 2ull << 20,
+     crypto::kStrongCipherLatency, update::InstallPacing::Arbiter},
 };
 
 sim::SystemConfig
@@ -120,6 +140,7 @@ makeCell(const GridPoint &point)
         crypto::CryptoEngineModel idle_engine(config.protection.crypto);
         update::InstallTimingConfig itc;
         itc.line_bytes = config.l2.line_size;
+        itc.pacing = point.pacing;
         update::InstallTiming idle_replay(itc, idle_channel,
                                           idle_engine);
         idle_replay.start(plan, 0);
@@ -161,6 +182,13 @@ makeCell(const GridPoint &point)
             static_cast<double>(system.channel().updateBytes() -
                                 update_bytes_before) /
                 1e6);
+        if (point.pacing == update::InstallPacing::Arbiter) {
+            cell.extras.emplace_back(
+                "stall_mcycles",
+                static_cast<double>(system.channel().agentStallCycles(
+                    timing.agent())) /
+                    1e6);
+        }
         return cell;
     };
 }

@@ -5,6 +5,8 @@
 
 #include "mem/memory_channel.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace secproc::mem
@@ -20,6 +22,10 @@ MemoryChannel::MemoryChannel(ChannelConfig config)
     agent_names_.emplace_back("core");
     agent_bytes_.emplace_back();
     agent_transactions_.emplace_back();
+    bg_done_.emplace_back();
+    bg_pending_.push_back(false);
+    bg_stall_cycles_.push_back(0);
+    bg_max_stall_.push_back(0);
 }
 
 AgentId
@@ -29,6 +35,10 @@ MemoryChannel::registerAgent(const std::string &name)
     agent_names_.push_back(name);
     agent_bytes_.emplace_back();
     agent_transactions_.emplace_back();
+    bg_done_.emplace_back();
+    bg_pending_.push_back(false);
+    bg_stall_cycles_.push_back(0);
+    bg_max_stall_.push_back(0);
     return static_cast<AgentId>(agent_names_.size() - 1);
 }
 
@@ -89,11 +99,116 @@ MemoryChannel::drainWrites(uint64_t now, bool force_all)
     }
 }
 
+void
+MemoryChannel::grantBackground(uint64_t now)
+{
+    // Pending foreground writes own idle gaps first: they were
+    // issued earlier and the write buffer must not be starved into
+    // force-drains (which would charge the foreground more than the
+    // arbiter's bounded intrusion).
+    drainWrites(now, /*force_all=*/false);
+    // Queue order is grant order: the arbiter is fair among
+    // background agents, priority only exists between foreground and
+    // background. A request is granted when its transfer fits
+    // entirely into bus time the foreground has provably left idle
+    // (start + cycles <= now: every foreground transaction up to
+    // `now` has already claimed its slot in busy_until_), or when it
+    // has starved past the bound — then it takes the next slot ahead
+    // of future foreground traffic, a bounded intrusion of one
+    // transfer time.
+    while (!bg_queue_.empty()) {
+        const BgRequest &req = bg_queue_.front();
+        const uint32_t cycles = transferCycles(req.small);
+        const uint64_t start =
+            std::max(busy_until_, req.request_cycle);
+        const bool fits_idle = start + cycles <= now;
+        const bool starving =
+            now >= req.request_cycle + config_.bg_starvation_bound;
+        if (!fits_idle && !starving)
+            break;
+        busy_until_ = start + cycles;
+        busy_cycles_ += cycles;
+        account(req.category, req.small, req.agent);
+        uint64_t completion;
+        if (req.write) {
+            completion = start + cycles;
+            if (dram_)
+                dram_->access(start, req.addr);
+        } else {
+            completion = dram_ ? dram_->access(start, req.addr)
+                               : start + config_.access_latency;
+        }
+        const uint64_t wait = start - req.request_cycle;
+        bg_stall_cycles_[req.agent] += wait;
+        bg_max_stall_[req.agent] =
+            std::max(bg_max_stall_[req.agent], wait);
+        bg_done_[req.agent] = completion;
+        bg_pending_[req.agent] = false;
+        ++bg_grants_;
+        bg_forced_ += !fits_idle;
+        bg_queue_.pop_front();
+    }
+}
+
+void
+MemoryChannel::requestBackground(uint64_t request_cycle,
+                                 Traffic category, bool write,
+                                 bool small, uint64_t addr,
+                                 AgentId agent)
+{
+    panic_if(agent == kCoreAgent,
+             "the core does not arbitrate against itself: use "
+             "scheduleRead/enqueueWrite");
+    panic_if(agent >= agent_names_.size(),
+             "background request from unregistered channel agent ",
+             agent);
+    panic_if(bg_pending_[agent] || bg_done_[agent].has_value(),
+             "channel agent ", agent, " (", agent_names_[agent],
+             ") already has an outstanding background request");
+    bg_pending_[agent] = true;
+    bg_queue_.push_back(BgRequest{request_cycle, category, write,
+                                  small, addr, agent});
+}
+
+std::optional<uint64_t>
+MemoryChannel::pollBackground(AgentId agent, uint64_t now)
+{
+    panic_if(agent >= agent_names_.size(),
+             "background poll from unregistered channel agent ",
+             agent);
+    grantBackground(now);
+    if (!bg_done_[agent].has_value())
+        return std::nullopt;
+    const uint64_t completion = *bg_done_[agent];
+    bg_done_[agent].reset();
+    return completion;
+}
+
+uint64_t
+MemoryChannel::agentStallCycles(AgentId agent) const
+{
+    panic_if(agent >= bg_stall_cycles_.size(),
+             "unknown channel agent ", agent);
+    return bg_stall_cycles_[agent];
+}
+
+uint64_t
+MemoryChannel::agentMaxStallCycles(AgentId agent) const
+{
+    panic_if(agent >= bg_max_stall_.size(), "unknown channel agent ",
+             agent);
+    return bg_max_stall_[agent];
+}
+
 uint64_t
 MemoryChannel::scheduleRead(uint64_t request_cycle, Traffic category,
                             bool small, uint64_t addr, AgentId agent)
 {
     drainWrites(request_cycle, /*force_all=*/false);
+    // Starved background work jumps ahead of this read; anything
+    // that fits into the idle gap the foreground left costs it
+    // nothing.
+    grantBackground(request_cycle);
     // If the buffer is saturated the read waits for forced drains;
     // this is the only way writes touch the critical path.
     if (write_queue_.size() >= config_.write_buffer_entries) {
@@ -234,6 +349,14 @@ MemoryChannel::reset()
     busy_until_ = 0;
     busy_cycles_ = 0;
     write_queue_.clear();
+    bg_queue_.clear();
+    for (auto &done : bg_done_)
+        done.reset();
+    std::fill(bg_pending_.begin(), bg_pending_.end(), false);
+    std::fill(bg_stall_cycles_.begin(), bg_stall_cycles_.end(), 0);
+    std::fill(bg_max_stall_.begin(), bg_max_stall_.end(), 0);
+    bg_grants_ = 0;
+    bg_forced_ = 0;
     bytes_.fill(0);
     transactions_.fill(0);
     total_bytes_ = 0;

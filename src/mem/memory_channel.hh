@@ -15,6 +15,14 @@
  * *agent* so a machine with more than one client of the channel —
  * the core plus a background OTA installer — can attribute every
  * byte to whoever moved it.
+ *
+ * Background agents may additionally go through a foreground-priority
+ * arbiter (requestBackground / pollBackground): their transactions
+ * queue until they fit into genuinely idle bus time, so the core
+ * keeps the channel to itself, with a starvation bound that
+ * force-grants a queued transaction ahead of foreground traffic once
+ * it has waited too long. Per-agent stall accounting records what
+ * the arbitration cost each background client.
  */
 
 #ifndef SECPROC_MEM_MEMORY_CHANNEL_HH
@@ -24,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,6 +86,15 @@ struct ChannelConfig
 
     /** Bytes accounted per metadata transaction. */
     uint32_t small_bytes = 8;
+
+    /**
+     * Arbiter starvation bound: a background transaction queued via
+     * requestBackground() is force-granted ahead of foreground
+     * traffic once it has waited this many cycles without finding an
+     * idle bus gap. Smaller bounds trade foreground latency for
+     * background progress.
+     */
+    uint32_t bg_starvation_bound = 2048;
 
     /**
      * Model the device as banked DRAM instead of a flat
@@ -145,6 +163,54 @@ class MemoryChannel
                       bool small = false, uint64_t addr = 0,
                       AgentId agent = kCoreAgent);
 
+    // ------------------------------------ foreground-priority arbiter
+
+    /**
+     * Queue one background transaction through the arbiter. It is
+     * granted bus time only once it fits into an idle gap the
+     * foreground left behind — or once it has waited
+     * bg_starvation_bound cycles, at which point it is granted ahead
+     * of foreground traffic (bounded intrusion: one transfer time).
+     *
+     * At most one request may be outstanding per agent, and the
+     * core (agent 0) must not use this path: its reads keep absolute
+     * priority through scheduleRead().
+     *
+     * @param request_cycle Cycle the transaction becomes ready.
+     * @param write True for a write (no access latency in the
+     *        completion; occupies the bus only).
+     */
+    void requestBackground(uint64_t request_cycle, Traffic category,
+                           bool write, bool small, uint64_t addr,
+                           AgentId agent);
+
+    /**
+     * Poll @p agent's queued transaction at time @p now. Grants any
+     * queued background work that fits into bus idle time up to
+     * @p now (or is past its starvation bound) in queue order, then
+     * reports: the completion cycle of @p agent's transaction — data
+     * arrival for reads, last bus cycle for writes — once granted
+     * (clearing the slot for the next request), or std::nullopt
+     * while it is still queued.
+     */
+    std::optional<uint64_t> pollBackground(AgentId agent,
+                                           uint64_t now);
+
+    /** Background transactions still queued in the arbiter. */
+    size_t backgroundQueued() const { return bg_queue_.size(); }
+
+    /** Background transactions granted so far. */
+    uint64_t backgroundGrants() const { return bg_grants_; }
+
+    /** Grants forced by the starvation bound (ahead of foreground). */
+    uint64_t backgroundForcedGrants() const { return bg_forced_; }
+
+    /** Total cycles @p agent's granted transactions spent queued. */
+    uint64_t agentStallCycles(AgentId agent) const;
+
+    /** Largest single queue wait @p agent has seen. */
+    uint64_t agentMaxStallCycles(AgentId agent) const;
+
     /** Bytes moved in @p category so far. */
     uint64_t bytes(Traffic category) const;
 
@@ -202,7 +268,15 @@ class MemoryChannel
     /** Cycles the bus has been occupied (utilization numerator). */
     uint64_t busyCycles() const { return busy_cycles_; }
 
-    /** Reset all counters and occupancy (agents stay registered). */
+    /** First cycle the bus is free of everything issued so far. */
+    uint64_t busyUntil() const { return busy_until_; }
+
+    /**
+     * Reset all counters, occupancy, the write buffer and the
+     * arbiter (queued background transactions and ungathered grants
+     * are dropped — a machine reset leaves no in-flight work).
+     * Agents stay registered.
+     */
     void reset();
 
     const ChannelConfig &config() const { return config_; }
@@ -218,11 +292,31 @@ class MemoryChannel
         uint64_t addr;
     };
 
+    /** One transaction queued in the background arbiter. */
+    struct BgRequest
+    {
+        uint64_t request_cycle;
+        Traffic category;
+        bool write;
+        bool small;
+        uint64_t addr;
+        AgentId agent;
+    };
+
     ChannelConfig config_;
     std::unique_ptr<DramModel> dram_;
     uint64_t busy_until_ = 0;
     uint64_t busy_cycles_ = 0;
     std::deque<PendingWrite> write_queue_;
+
+    std::deque<BgRequest> bg_queue_;
+    /** agent -> completion cycle of its granted, ungathered txn. */
+    std::vector<std::optional<uint64_t>> bg_done_;
+    std::vector<bool> bg_pending_;
+    std::vector<uint64_t> bg_stall_cycles_;
+    std::vector<uint64_t> bg_max_stall_;
+    uint64_t bg_grants_ = 0;
+    uint64_t bg_forced_ = 0;
 
     static constexpr size_t kNumCategories =
         static_cast<size_t>(Traffic::NumCategories);
@@ -239,6 +333,7 @@ class MemoryChannel
     void account(Traffic category, bool small, AgentId agent);
     uint32_t transferCycles(bool small) const;
     void drainWrites(uint64_t now, bool force_all);
+    void grantBackground(uint64_t now);
 };
 
 /** Human-readable category name. */

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * OTA transport implementation.
+ */
+
+#include "ota/transport.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace secproc::ota
+{
+
+Transport::Transport(const TransportConfig &config)
+    : config_(config)
+{
+    fatal_if(config_.chunk_bytes == 0, "transport needs a chunk size");
+    fatal_if(config_.cycles_per_chunk == 0,
+             "transport needs a bandwidth cap");
+    fatal_if(config_.loss_rate < 0.0 || config_.loss_rate >= 1.0,
+             "chunk loss rate must be in [0, 1)");
+    fatal_if(config_.burst_length < 1.0,
+             "a loss burst drops at least one chunk");
+}
+
+void
+Transport::send(std::vector<uint8_t> payload, uint64_t cycle)
+{
+    payload_ = std::move(payload);
+    schedule_.clear();
+    next_ = 0;
+    chunks_sent_ = 0;
+    chunks_lost_ = 0;
+    chunks_reordered_ = 0;
+    passes_ = 0;
+
+    util::Rng rng(config_.seed);
+
+    // The work list for the current pass: chunk offsets still
+    // undelivered. The first pass covers the whole payload in offset
+    // order; every later pass retransmits the previous pass's drop
+    // set one NACK round trip later.
+    std::vector<uint64_t> todo;
+    for (uint64_t off = 0; off < payload_.size();
+         off += config_.chunk_bytes)
+        todo.push_back(off);
+
+    uint64_t clock = cycle;
+    uint64_t burst_remaining = 0;
+    // A stuck loss process cannot happen (loss_rate < 1 and burst
+    // lengths are finite), but bound the passes anyway so a future
+    // config change fails loudly instead of spinning.
+    constexpr uint64_t kMaxPasses = 10'000;
+    while (!todo.empty()) {
+        fatal_if(++passes_ > kMaxPasses,
+                 "transport retransmitted the same payload ",
+                 kMaxPasses, " times; loss model is stuck");
+        std::vector<uint64_t> lost;
+        for (const uint64_t off : todo) {
+            clock += config_.cycles_per_chunk;
+            ++chunks_sent_;
+            if (burst_remaining == 0 && rng.chance(config_.loss_rate)) {
+                // Gilbert-ish burst: geometric number of extra
+                // losses after the one that opened the burst.
+                burst_remaining =
+                    1 + rng.nextGeometric(1.0 / config_.burst_length);
+            }
+            if (burst_remaining > 0) {
+                --burst_remaining;
+                ++chunks_lost_;
+                lost.push_back(off);
+                continue;
+            }
+            uint64_t arrival = clock;
+            if (config_.reorder_rate > 0.0 &&
+                rng.chance(config_.reorder_rate)) {
+                const uint64_t jitter =
+                    1 + rng.nextRange(std::max(
+                            config_.reorder_window, 1u));
+                arrival += jitter * config_.cycles_per_chunk;
+                ++chunks_reordered_;
+            }
+            const uint32_t length = static_cast<uint32_t>(
+                std::min<uint64_t>(config_.chunk_bytes,
+                                   payload_.size() - off));
+            schedule_.push_back(Arrival{off, length, arrival});
+        }
+        todo = std::move(lost);
+        clock += config_.retransmit_delay;
+        burst_remaining = 0; // a new pass starts with a clear channel
+    }
+
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const Arrival &a, const Arrival &b) {
+                         return a.cycle < b.cycle;
+                     });
+}
+
+std::vector<Transport::Chunk>
+Transport::poll(uint64_t cycle)
+{
+    std::vector<Chunk> out;
+    while (next_ < schedule_.size() &&
+           schedule_[next_].cycle <= cycle) {
+        const Arrival &arrival = schedule_[next_];
+        Chunk chunk;
+        chunk.offset = arrival.offset;
+        chunk.arrival_cycle = arrival.cycle;
+        chunk.bytes.assign(
+            payload_.begin() + static_cast<ptrdiff_t>(arrival.offset),
+            payload_.begin() +
+                static_cast<ptrdiff_t>(arrival.offset + arrival.length));
+        out.push_back(std::move(chunk));
+        ++next_;
+    }
+    return out;
+}
+
+uint64_t
+Transport::completionCycle() const
+{
+    panic_if(schedule_.empty(), "no stream was sent");
+    return schedule_.back().cycle;
+}
+
+} // namespace secproc::ota

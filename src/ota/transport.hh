@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Over-the-air transport model: how an update bundle actually
+ * reaches the device.
+ *
+ * The update planes so far assumed the whole bundle sits in the
+ * transport buffer before the install begins. Real OTA downlinks
+ * deliver a *chunk stream*: bandwidth-capped, with bursty loss
+ * (radio fades, lossy links) and reordering (multi-path, retries),
+ * and lost chunks only reappear after a NACK round trip. The
+ * Transport precomputes a deterministic arrival schedule from a
+ * seeded RNG, so every experiment replays bit-identically: chunks
+ * are transmitted in offset order at the bandwidth cap, a
+ * Gilbert-style two-state process drops bursts of them, survivors
+ * may be jittered out of order, and the drop set is retransmitted
+ * (subject to the same loss process) one NACK round trip after the
+ * pass that lost it — until every payload byte has arrived.
+ *
+ * Consumers poll(cycle) for newly arrived chunks; the LiveInstall
+ * agent step-locks its admission verify against this stream, so an
+ * install can make no progress on bytes the network has not
+ * delivered yet.
+ */
+
+#ifndef SECPROC_OTA_TRANSPORT_HH
+#define SECPROC_OTA_TRANSPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace secproc::ota
+{
+
+/** Knobs of the OTA downlink. */
+struct TransportConfig
+{
+    /** Payload bytes per chunk (the link MTU). */
+    uint32_t chunk_bytes = 1024;
+
+    /** Cycles between successive chunk transmissions (bandwidth
+     *  cap; chunk_bytes / cycles_per_chunk is the link rate). */
+    uint32_t cycles_per_chunk = 2048;
+
+    /** Probability a transmission enters a loss burst. */
+    double loss_rate = 0.0;
+
+    /** Mean chunks lost per burst (geometric burst length >= 1). */
+    double burst_length = 4.0;
+
+    /** Probability a delivered chunk is jittered out of order. */
+    double reorder_rate = 0.0;
+
+    /** Max chunk slots a jittered chunk is delayed by. */
+    uint32_t reorder_window = 4;
+
+    /** Cycles from end of a pass to its retransmissions (NACK RTT). */
+    uint64_t retransmit_delay = 16384;
+
+    /** Loss/reorder RNG seed; same seed, same arrival schedule. */
+    uint64_t seed = 0x07A'7EA5;
+};
+
+/**
+ * One deterministic lossy downlink carrying one payload.
+ */
+class Transport
+{
+  public:
+    /** A delivered piece of the payload. */
+    struct Chunk
+    {
+        uint64_t offset;       ///< payload offset of the first byte
+        uint64_t arrival_cycle;
+        std::vector<uint8_t> bytes;
+    };
+
+    explicit Transport(const TransportConfig &config);
+
+    /**
+     * Begin streaming @p payload at @p cycle. Computes the full
+     * arrival schedule (transmissions, losses, retransmissions)
+     * up front; resets any previous stream.
+     */
+    void send(std::vector<uint8_t> payload, uint64_t cycle);
+
+    /**
+     * Chunks that have arrived by @p cycle and have not been
+     * collected yet, in arrival order. @p cycle must not decrease
+     * between calls.
+     */
+    std::vector<Chunk> poll(uint64_t cycle);
+
+    /** True once every payload byte has an arrival scheduled and
+     *  collected via poll(). */
+    bool complete() const { return next_ == schedule_.size(); }
+
+    /** Cycle the last chunk of the stream arrives. */
+    uint64_t completionCycle() const;
+
+    /** Payload size of the current stream. */
+    uint64_t payloadBytes() const { return payload_.size(); }
+
+    /** Statistics over the current stream. @{ */
+    uint64_t chunksSent() const { return chunks_sent_; }
+    uint64_t chunksLost() const { return chunks_lost_; }
+    uint64_t chunksReordered() const { return chunks_reordered_; }
+    uint64_t retransmitPasses() const
+    {
+        return passes_ == 0 ? 0 : passes_ - 1;
+    }
+    /** @} */
+
+    const TransportConfig &config() const { return config_; }
+
+  private:
+    /** Scheduled arrival of one payload range. */
+    struct Arrival
+    {
+        uint64_t offset;
+        uint32_t length;
+        uint64_t cycle;
+    };
+
+    TransportConfig config_;
+    std::vector<uint8_t> payload_;
+    std::vector<Arrival> schedule_; ///< sorted by arrival cycle
+    size_t next_ = 0;               ///< first uncollected arrival
+    uint64_t chunks_sent_ = 0;
+    uint64_t chunks_lost_ = 0;
+    uint64_t chunks_reordered_ = 0;
+    uint64_t passes_ = 0;
+};
+
+} // namespace secproc::ota
+
+#endif // SECPROC_OTA_TRANSPORT_HH

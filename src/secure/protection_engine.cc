@@ -49,7 +49,9 @@ ProtectionEngine::reset()
 {
     // Only an owned model is this engine's to wipe: a shared model
     // carries machine-wide occupancy (other agents' reservations)
-    // that the machine owner resets, not one of its clients.
+    // that the machine owner resets, not one of its clients —
+    // System::reset() is that owner path, and it also clears the
+    // channel's arbiter queues and the agents' in-flight work.
     if (owned_crypto_)
         owned_crypto_->reset();
     line_states_.clear();

@@ -230,6 +230,20 @@ class ProtectionEngine
     void setCompartment(CompartmentId id) { compartment_ = id; }
     CompartmentId compartment() const { return compartment_; }
 
+    /**
+     * Context-switch hook (paper Section 4.3): the machine is about
+     * to run a different task at @p cycle. @p flush asks the engine
+     * to purge per-task security state that must not leak across the
+     * switch (the OTP engine spills its SNC). @return entries
+     * spilled, 0 when the engine keeps no such state.
+     */
+    virtual size_t onContextSwitch(uint64_t cycle, bool flush)
+    {
+        (void)cycle;
+        (void)flush;
+        return 0;
+    }
+
     /** Cipher state of a line as the engine believes it. */
     LineCipherState lineState(uint64_t line_va) const;
 
@@ -243,7 +257,9 @@ class ProtectionEngine
     /**
      * Reset timing and per-line state (fresh run). A *shared*
      * crypto engine is deliberately left untouched — it belongs to
-     * the machine, whose owner resets it alongside the channel.
+     * the machine, and System::reset() is the path that resets it
+     * alongside the channel (arbiter queues included) and every
+     * background agent's in-flight reservations.
      */
     virtual void reset();
 

@@ -37,6 +37,15 @@ class BackgroundAgent
 
     /** True once the agent has no further work to issue. */
     virtual bool done() const = 0;
+
+    /**
+     * Drop all in-flight work (machine reset / power cycle). Called
+     * by System::reset() after the shared channel and crypto engine
+     * have been reset, so any transaction the agent still had queued
+     * in the channel's arbiter is already gone; the agent must
+     * forget it ever issued it.
+     */
+    virtual void reset() {}
 };
 
 } // namespace secproc::sim

@@ -96,12 +96,8 @@ System::switchToTask(size_t idx, SncSwitchPolicy policy)
 {
     fatal_if(idx >= tasks_.size(), "no task ", idx);
     ++context_switches_;
-    if (policy == SncSwitchPolicy::Flush) {
-        if (auto *otp =
-                dynamic_cast<secure::OtpEngine *>(engine_.get())) {
-            switch_spills_ += otp->flushSnc(core_.cycles());
-        }
-    }
+    switch_spills_ += engine_->onContextSwitch(
+        core_.cycles(), policy == SncSwitchPolicy::Flush);
     active_task_ = idx;
     engine_->setCompartment(tasks_[idx].compartment);
 }
@@ -411,6 +407,25 @@ void
 System::detachAgent(BackgroundAgent *agent)
 {
     std::erase(agents_, agent);
+}
+
+void
+System::reset()
+{
+    // Shared resources first, then the agents: an agent's request
+    // still queued in the channel's arbiter is dropped by the
+    // channel reset, so by the time BackgroundAgent::reset() runs
+    // there is nothing left for the agent to be waiting on. The
+    // shared crypto engine is the machine's to reset (the protection
+    // engine deliberately leaves it alone — see
+    // ProtectionEngine::reset), and the MSHR ledger belongs to the
+    // run being abandoned. Security state (line states, SNC, keys)
+    // and cache contents survive: they are the device, not the run.
+    channel_.reset();
+    crypto_engine_.reset();
+    outstanding_.clear();
+    for (BackgroundAgent *agent : agents_)
+        agent->reset();
 }
 
 void

@@ -124,6 +124,18 @@ class System : public MemorySystem
     void detachAgent(BackgroundAgent *agent);
 
     /**
+     * Machine reset (power cycle mid-run): quiesce the shared timing
+     * resources and every attached agent's in-flight work — the
+     * memory channel (write buffer, arbiter queues, counters), the
+     * shared crypto engine's occupancy, the MSHR ledger, and each
+     * BackgroundAgent (a half-finished install is abandoned; its
+     * functional side effects, like a partially written staging
+     * slot, stay in memory exactly as a real power cut would leave
+     * them). Security state and cache contents are untouched.
+     */
+    void reset();
+
+    /**
      * Context-switch to task @p idx (paper Section 4.3): selects its
      * compartment and applies the SNC protection policy. Counts a
      * switch even when idx is the active task.

@@ -5,6 +5,8 @@
 
 #include "update/install_timing.hh"
 
+#include <algorithm>
+
 #include "update/update_engine.hh"
 #include "util/logging.hh"
 
@@ -21,6 +23,16 @@ ceilDiv(uint64_t value, uint64_t unit)
 }
 
 } // namespace
+
+const char *
+installPacingName(InstallPacing pacing)
+{
+    switch (pacing) {
+      case InstallPacing::Fixed: return "fixed";
+      case InstallPacing::Arbiter: return "arbiter";
+    }
+    panic("unknown install pacing");
+}
 
 InstallPlan
 InstallPlan::fromBundle(const UpdateBundle &bundle, uint32_t line_bytes)
@@ -61,11 +73,25 @@ InstallTiming::start(const InstallPlan &plan, uint64_t cycle,
 {
     fatal_if(plan.stage_lines == 0 && plan.load_lines == 0,
              "install plan with nothing to move");
+    fatal_if(waiting_, "start() with a channel request in flight "
+             "(reset() first)");
     plan_ = plan;
     repeat_ = repeat;
     cursor_ = cycle;
     install_start_ = cycle;
     enterPhase(Phase::AdmissionRead);
+}
+
+void
+InstallTiming::reset()
+{
+    // Drop the in-flight install. The caller owns the channel and
+    // must reset it alongside (System::reset does): a request still
+    // queued in the arbiter would otherwise be granted to nobody.
+    phase_ = Phase::Idle;
+    phase_index_ = 0;
+    waiting_ = false;
+    repeat_ = false;
 }
 
 uint64_t
@@ -165,6 +191,15 @@ InstallTiming::issueNext()
     switch (phase_) {
       case Phase::AdmissionRead:
       case Phase::ReverifyRead: {
+        if (config_.pacing == InstallPacing::Arbiter) {
+            channel_.requestBackground(cursor_,
+                                       mem::Traffic::UpdateFill,
+                                       /*write=*/false,
+                                       /*small=*/false,
+                                       lineAddr(phase_index_), agent_);
+            waiting_ = true;
+            return;
+        }
         // Fetch one staged/transport line and digest it: the hash
         // unit holds the engine for the whole line, it is not the
         // pipelined pad path.
@@ -186,6 +221,15 @@ InstallTiming::issueNext()
       }
       case Phase::StageWrite:
       case Phase::LoadWrite: {
+        if (config_.pacing == InstallPacing::Arbiter) {
+            channel_.requestBackground(cursor_,
+                                       mem::Traffic::UpdateWriteback,
+                                       /*write=*/true,
+                                       /*small=*/false,
+                                       lineAddr(phase_index_), agent_);
+            waiting_ = true;
+            return;
+        }
         channel_.enqueueWrite(cursor_, mem::Traffic::UpdateWriteback,
                               /*small=*/false, lineAddr(phase_index_),
                               agent_);
@@ -205,10 +249,42 @@ InstallTiming::issueNext()
 }
 
 void
+InstallTiming::completeGrant(uint64_t completion)
+{
+    switch (phase_) {
+      case Phase::AdmissionRead:
+      case Phase::ReverifyRead:
+        // The granted line arrived; the digest holds the engine for
+        // the whole line time, exactly as in fixed pacing.
+        cursor_ = engine_.reserve(completion);
+        break;
+      case Phase::StageWrite:
+      case Phase::LoadWrite:
+        cursor_ = completion;
+        break;
+      default:
+        panic("arbiter grant in a non-channel install phase");
+    }
+    if (++phase_index_ >= phaseItems(phase_))
+        completePhase();
+}
+
+void
 InstallTiming::advance(uint64_t cycle)
 {
-    while (phase_ != Phase::Idle && cursor_ <= cycle)
+    while (phase_ != Phase::Idle) {
+        if (waiting_) {
+            const auto done = channel_.pollBackground(agent_, cycle);
+            if (!done.has_value())
+                return;
+            waiting_ = false;
+            completeGrant(*done);
+            continue;
+        }
+        if (cursor_ > cycle)
+            return;
         issueNext();
+    }
 }
 
 uint64_t
@@ -216,8 +292,23 @@ InstallTiming::replay()
 {
     fatal_if(repeat_, "replay() on a repeating install never finishes");
     const uint64_t target = installs_completed_ + 1;
-    while (phase_ != Phase::Idle && installs_completed_ < target)
+    while (phase_ != Phase::Idle && installs_completed_ < target) {
+        if (waiting_) {
+            // Idle machine: the next idle gap is right after the
+            // current bus horizon, so a poll just past it always
+            // grants.
+            const uint64_t horizon =
+                std::max(cursor_, channel_.busyUntil()) +
+                channel_.config().transfer_cycles + 1;
+            const auto done = channel_.pollBackground(agent_, horizon);
+            panic_if(!done.has_value(),
+                     "idle-machine replay failed to grant");
+            waiting_ = false;
+            completeGrant(*done);
+            continue;
+        }
         issueNext();
+    }
     return cursor_;
 }
 

@@ -74,11 +74,38 @@ struct InstallPlan
                                       uint32_t line_bytes);
 };
 
+/**
+ * How install transactions reach the shared channel.
+ */
+enum class InstallPacing
+{
+    /**
+     * Issue immediately against the bus horizon; write streams are
+     * paced at the bus transfer time (the PR-4 model: the install
+     * takes bandwidth whenever its own pipeline is ready).
+     */
+    Fixed,
+
+    /**
+     * Queue every transaction through the channel's
+     * foreground-priority arbiter and only proceed on grant: the
+     * install self-throttles into bus idle time, bounded below by
+     * the channel's starvation bound.
+     */
+    Arbiter,
+};
+
+/** Short name for bench labels ("fixed" / "arbiter"). */
+const char *installPacingName(InstallPacing pacing);
+
 /** Knobs of the replay (engine costs of the non-streaming steps). */
 struct InstallTimingConfig
 {
     /** L2 line size; one channel transaction per line. */
     uint32_t line_bytes = 128;
+
+    /** How transactions contend with the foreground. */
+    InstallPacing pacing = InstallPacing::Fixed;
 
     /** Base address of the staging slot (DRAM bank selection). */
     uint64_t staging_base = 0x4000'0000;
@@ -126,6 +153,7 @@ class InstallTiming : public sim::BackgroundAgent
     // BackgroundAgent interface.
     void advance(uint64_t cycle) override;
     bool done() const override { return phase_ == Phase::Idle; }
+    void reset() override;
 
     /**
      * Run the current install(s) to completion regardless of the
@@ -171,9 +199,15 @@ class InstallTiming : public sim::BackgroundAgent
     uint64_t install_start_ = 0;
     uint64_t installs_completed_ = 0;
     uint64_t last_install_cycles_ = 0;
+    /** Arbiter pacing: a channel request is in flight. */
+    bool waiting_ = false;
 
     /** Issue the next transaction/reservation; advances cursor_. */
     void issueNext();
+
+    /** Arbiter pacing: fold a granted transaction's completion into
+     *  the pipeline (reads chain into an engine reservation). */
+    void completeGrant(uint64_t completion);
 
     /** Successor in the fixed install pipeline (sole ordering map). */
     static Phase nextPhase(Phase phase);

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Unified-plane install implementation.
+ */
+
+#include "update/live_install.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace secproc::update
+{
+
+const char *
+liveInstallPhaseName(LiveInstallPhase phase)
+{
+    switch (phase) {
+      case LiveInstallPhase::Idle: return "idle";
+      case LiveInstallPhase::Admission: return "admission";
+      case LiveInstallPhase::Stage: return "stage";
+      case LiveInstallPhase::Reverify: return "reverify";
+      case LiveInstallPhase::Load: return "load";
+      case LiveInstallPhase::Attest: return "attest";
+      case LiveInstallPhase::Done: return "done";
+      case LiveInstallPhase::Failed: return "failed";
+    }
+    panic("unknown live install phase");
+}
+
+LiveInstall::LiveInstall(const LiveInstallConfig &config,
+                         sim::System &system, UpdateEngine &updater,
+                         secure::CompartmentId compartment)
+    : config_(config), system_(system), updater_(updater),
+      compartment_(compartment), transport_(config.transport),
+      agent_(system.channel().registerAgent(config.agent_name)),
+      dma_agent_(system.channel().registerAgent(config.dma_agent_name))
+{
+    fatal_if(config_.line_bytes == 0, "live install needs a line size");
+}
+
+void
+LiveInstall::start(const UpdateBundle &bundle, uint64_t cycle)
+{
+    fatal_if(!done(), "an install is already in flight");
+    fatal_if(waiting_, "start() with a channel request in flight "
+             "(reset() first)");
+
+    framed_ = frameBundleBytes(bundle.serialize());
+    // The stream must not land on top of the A/B slots: a silent
+    // overlap would corrupt staged bytes mid-install. Checked here,
+    // where the buffer's real extent is known.
+    const uint64_t transport_end =
+        config_.transport_base + framed_.size();
+    const uint64_t staging_end =
+        updater_.slotBase(1) + updater_.staging().slot_size;
+    fatal_if(config_.transport_base < staging_end &&
+                 transport_end > updater_.staging().base,
+             "transport buffer [", config_.transport_base, ", ",
+             transport_end, ") overlaps the A/B staging area");
+    // Same line counts InstallPlan::fromBundle derives, but from the
+    // framed bytes already in hand — no second multi-MB serialize.
+    const auto ceil_lines = [this](uint64_t bytes) {
+        return (bytes + config_.line_bytes - 1) / config_.line_bytes;
+    };
+    plan_ = InstallPlan{};
+    plan_.stage_lines = ceil_lines(framed_.size());
+    plan_.verify_lines = plan_.stage_lines;
+    plan_.load_lines = ceil_lines(bundle.image.totalBytes());
+    plan_.attest = config_.attest;
+    slot_ = updater_.stagingSlot();
+
+    line_missing_.assign(plan_.verify_lines, 0);
+    line_ready_.assign(plan_.verify_lines, 0);
+    for (uint64_t i = 0; i < plan_.verify_lines; ++i) {
+        const uint64_t begin = i * config_.line_bytes;
+        line_missing_[i] = static_cast<uint32_t>(
+            std::min<uint64_t>(config_.line_bytes,
+                               framed_.size() - begin));
+    }
+
+    transport_.send(framed_, cycle);
+
+    phase_ = LiveInstallPhase::Admission;
+    phase_index_ = 0;
+    cursor_ = cycle;
+    started_at_ = cycle;
+    finished_at_ = cycle;
+    activated_at_ = 0;
+    staged_bytes_ = 0;
+    admission_.reset();
+    result_.reset();
+    bundle_.reset();
+}
+
+void
+LiveInstall::reset()
+{
+    phase_ = LiveInstallPhase::Idle;
+    phase_index_ = 0;
+    waiting_ = false;
+}
+
+void
+LiveInstall::pumpTransport(uint64_t cycle)
+{
+    for (ota::Transport::Chunk &chunk : transport_.poll(cycle)) {
+        // Real bytes land in the untrusted transport buffer the
+        // moment the link delivers them...
+        system_.mainMemory().write(
+            config_.transport_base + chunk.offset, chunk.bytes.data(),
+            chunk.bytes.size());
+        // Step-lock bookkeeping: how much of each framed line is
+        // still missing, and when it became complete. The DMA
+        // engine's write for a line is charged exactly once — when
+        // its last byte lands — so chunk sizes that straddle line
+        // boundaries do not double-count bus traffic. The writes are
+        // write-buffered: off the critical path until the buffer
+        // saturates, like any other master's.
+        const uint64_t first = chunk.offset / config_.line_bytes;
+        const uint64_t last =
+            (chunk.offset + chunk.bytes.size() - 1) / config_.line_bytes;
+        for (uint64_t line = first; line <= last; ++line) {
+            const uint64_t line_begin = line * config_.line_bytes;
+            const uint64_t line_end =
+                std::min<uint64_t>(line_begin + config_.line_bytes,
+                                   framed_.size());
+            const uint64_t begin =
+                std::max<uint64_t>(line_begin, chunk.offset);
+            const uint64_t end = std::min<uint64_t>(
+                line_end, chunk.offset + chunk.bytes.size());
+            if (end <= begin)
+                continue;
+            const auto covered = static_cast<uint32_t>(end - begin);
+            panic_if(line_missing_[line] < covered,
+                     "transport delivered the same bytes twice");
+            line_missing_[line] -= covered;
+            line_ready_[line] =
+                std::max(line_ready_[line], chunk.arrival_cycle);
+            if (line_missing_[line] == 0) {
+                system_.channel().enqueueWrite(
+                    line_ready_[line], mem::Traffic::UpdateWriteback,
+                    /*small=*/false, config_.transport_base + line_begin,
+                    dma_agent_);
+            }
+        }
+    }
+}
+
+uint64_t
+LiveInstall::phaseItems(LiveInstallPhase phase) const
+{
+    switch (phase) {
+      case LiveInstallPhase::Admission:
+      case LiveInstallPhase::Reverify:
+        return plan_.verify_lines;
+      case LiveInstallPhase::Stage:
+        return plan_.stage_lines;
+      case LiveInstallPhase::Load:
+        return plan_.load_lines;
+      case LiveInstallPhase::Attest:
+        return plan_.attest && config_.attest_engine_ops != 0 ? 1 : 0;
+      default:
+        return 0;
+    }
+}
+
+uint64_t
+LiveInstall::lineAddr(LiveInstallPhase phase, uint64_t index) const
+{
+    switch (phase) {
+      case LiveInstallPhase::Admission:
+        return config_.transport_base + index * config_.line_bytes;
+      case LiveInstallPhase::Stage:
+      case LiveInstallPhase::Reverify:
+        return updater_.slotBase(slot_) + index * config_.line_bytes;
+      case LiveInstallPhase::Load: {
+        // The image streams to its home region; its entry point
+        // anchors the address for bank selection purposes.
+        const uint64_t base = bundle_.has_value()
+                                  ? util::alignDown(
+                                        bundle_->manifest.entry_point,
+                                        config_.line_bytes)
+                                  : 0;
+        return base + index * config_.line_bytes;
+      }
+      default:
+        panic("no line address in phase ", liveInstallPhaseName(phase));
+    }
+}
+
+void
+LiveInstall::functionalStageLine(uint64_t index)
+{
+    const uint64_t begin = index * config_.line_bytes;
+    if (begin >= framed_.size())
+        return;
+    const uint64_t len =
+        std::min<uint64_t>(config_.line_bytes, framed_.size() - begin);
+    system_.mainMemory().write(updater_.slotBase(slot_) + begin,
+                               framed_.data() + begin, len);
+    staged_bytes_ += len;
+}
+
+void
+LiveInstall::renderAdmission()
+{
+    // The functional verdict is rendered over what the *network
+    // actually delivered* into untrusted memory, not over the bundle
+    // the caller handed to start(): parse the transport buffer back.
+    std::vector<uint8_t> framed(framed_.size());
+    system_.mainMemory().read(config_.transport_base, framed.data(),
+                              framed.size());
+    const auto bundle_bytes = unframeBundleBytes(framed);
+    if (!bundle_bytes.has_value()) {
+        admission_ = VerifyResult{UpdateStatus::MalformedBundle,
+                                  "transport stream framing damaged"};
+        return;
+    }
+    auto parsed = UpdateBundle::deserialize(*bundle_bytes);
+    if (!parsed.has_value()) {
+        admission_ = VerifyResult{UpdateStatus::MalformedBundle,
+                                  "transport stream does not parse"};
+        return;
+    }
+    admission_ = updater_.verify(*parsed);
+    if (admission_->ok())
+        bundle_ = std::move(parsed);
+}
+
+void
+LiveInstall::finish(LiveInstallPhase terminal)
+{
+    phase_ = terminal;
+    finished_at_ = cursor_;
+}
+
+void
+LiveInstall::completePhase()
+{
+    auto &engine = system_.cryptoEngine();
+    switch (phase_) {
+      case LiveInstallPhase::Admission: {
+        // Manifest signature check, then the functional verdict.
+        cursor_ = engine.reserve(cursor_, config_.signature_engine_ops);
+        renderAdmission();
+        if (!admission_->ok()) {
+            result_ = InstallResult{admission_->status,
+                                    admission_->detail, compartment_, 0,
+                                    updater_.activeSlot()};
+            finish(LiveInstallPhase::Failed);
+            return;
+        }
+        phase_ = LiveInstallPhase::Stage;
+        phase_index_ = 0;
+        return;
+      }
+      case LiveInstallPhase::Stage: {
+        // Every framed byte is in the slot; commit the functional
+        // staged-pending state (stage() re-verifies, as the
+        // functional plane always does, and rewrites the same
+        // bytes).
+        const VerifyResult staged =
+            updater_.stage(*bundle_, system_.mainMemory());
+        if (!staged.ok()) {
+            result_ = InstallResult{staged.status, staged.detail,
+                                    compartment_, 0,
+                                    updater_.activeSlot()};
+            finish(LiveInstallPhase::Failed);
+            return;
+        }
+        phase_ = LiveInstallPhase::Reverify;
+        phase_index_ = 0;
+        return;
+      }
+      case LiveInstallPhase::Reverify: {
+        // Staged-manifest signature re-check.
+        cursor_ = engine.reserve(cursor_, config_.signature_engine_ops);
+        phase_ = LiveInstallPhase::Load;
+        phase_index_ = 0;
+        return;
+      }
+      case LiveInstallPhase::Load: {
+        // Key capsule unwrap, then the atomic functional commit:
+        // this is the one cycle the new image becomes active.
+        cursor_ = engine.reserve(cursor_, config_.signature_engine_ops);
+        result_ = updater_.activate(compartment_, system_.mainMemory(),
+                                    system_.virtualMemory(),
+                                    config_.asid, system_.engine());
+        if (!result_->ok()) {
+            finish(LiveInstallPhase::Failed);
+            return;
+        }
+        activated_at_ = cursor_;
+        if (phaseItems(LiveInstallPhase::Attest) == 0) {
+            finish(LiveInstallPhase::Done);
+            return;
+        }
+        phase_ = LiveInstallPhase::Attest;
+        phase_index_ = 0;
+        return;
+      }
+      case LiveInstallPhase::Attest:
+        finish(LiveInstallPhase::Done);
+        return;
+      default:
+        panic("completePhase in phase ", liveInstallPhaseName(phase_));
+    }
+}
+
+bool
+LiveInstall::issueNext()
+{
+    auto &channel = system_.channel();
+    auto &engine = system_.cryptoEngine();
+    switch (phase_) {
+      case LiveInstallPhase::Admission:
+      case LiveInstallPhase::Reverify: {
+        // Admission step-locks against the network: a line cannot be
+        // fetched before the transport delivered its last byte.
+        // Re-verification reads the slot the machine wrote itself.
+        uint64_t ready = cursor_;
+        if (phase_ == LiveInstallPhase::Admission) {
+            if (line_missing_[phase_index_] != 0)
+                return false;
+            ready = std::max(cursor_, line_ready_[phase_index_]);
+        }
+        if (config_.pacing == InstallPacing::Arbiter) {
+            channel.requestBackground(ready, mem::Traffic::UpdateFill,
+                                      /*write=*/false, /*small=*/false,
+                                      lineAddr(phase_, phase_index_),
+                                      agent_);
+            waiting_ = true;
+            return true;
+        }
+        const uint64_t arrival = channel.scheduleRead(
+            ready, mem::Traffic::UpdateFill, /*small=*/false,
+            lineAddr(phase_, phase_index_), agent_);
+        cursor_ = engine.reserve(arrival);
+        if (++phase_index_ >= phaseItems(phase_))
+            completePhase();
+        return true;
+      }
+      case LiveInstallPhase::Stage:
+      case LiveInstallPhase::Load: {
+        if (config_.pacing == InstallPacing::Arbiter) {
+            channel.requestBackground(
+                cursor_, mem::Traffic::UpdateWriteback, /*write=*/true,
+                /*small=*/false, lineAddr(phase_, phase_index_),
+                agent_);
+            waiting_ = true;
+            return true;
+        }
+        channel.enqueueWrite(cursor_, mem::Traffic::UpdateWriteback,
+                             /*small=*/false,
+                             lineAddr(phase_, phase_index_), agent_);
+        if (phase_ == LiveInstallPhase::Stage)
+            functionalStageLine(phase_index_);
+        const uint32_t pace = channel.config().transfer_cycles;
+        cursor_ += pace ? pace : 1;
+        if (++phase_index_ >= phaseItems(phase_))
+            completePhase();
+        return true;
+      }
+      case LiveInstallPhase::Attest: {
+        cursor_ = engine.reserve(cursor_, config_.attest_engine_ops);
+        completePhase();
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+void
+LiveInstall::completeGrant(uint64_t completion)
+{
+    switch (phase_) {
+      case LiveInstallPhase::Admission:
+      case LiveInstallPhase::Reverify:
+        // The line arrived; digest it (exclusive whole-line engine
+        // reservation, not the pipelined pad path).
+        cursor_ = system_.cryptoEngine().reserve(completion);
+        break;
+      case LiveInstallPhase::Stage:
+        // The granted write moves the real bytes: a power cut now
+        // leaves exactly the lines written so far in the slot.
+        functionalStageLine(phase_index_);
+        cursor_ = completion;
+        break;
+      case LiveInstallPhase::Load:
+        cursor_ = completion;
+        break;
+      default:
+        panic("arbiter grant in phase ", liveInstallPhaseName(phase_));
+    }
+    if (++phase_index_ >= phaseItems(phase_))
+        completePhase();
+}
+
+void
+LiveInstall::advance(uint64_t cycle)
+{
+    if (done())
+        return;
+    pumpTransport(cycle);
+    while (!done()) {
+        if (waiting_) {
+            const auto granted =
+                system_.channel().pollBackground(agent_, cycle);
+            if (!granted.has_value())
+                return;
+            waiting_ = false;
+            completeGrant(*granted);
+            continue;
+        }
+        if (cursor_ > cycle)
+            return;
+        if (!issueNext())
+            return; // blocked on transport delivery
+    }
+}
+
+uint64_t
+LiveInstall::replay()
+{
+    fatal_if(phase_ == LiveInstallPhase::Idle, "nothing to replay");
+    const mem::ChannelConfig &channel_config =
+        system_.channel().config();
+    uint64_t now = cursor_;
+    while (!done()) {
+        advance(now);
+        if (done())
+            break;
+        // Idle machine: jump the clock to whatever unblocks us — the
+        // next arbiter grant window, or the next transport arrival.
+        uint64_t next = std::max(now, cursor_);
+        if (waiting_) {
+            next = std::max(next, system_.channel().busyUntil()) +
+                   channel_config.transfer_cycles + 1;
+        } else {
+            next += config_.transport.cycles_per_chunk;
+        }
+        panic_if(next <= now, "idle replay is stuck at cycle ", now,
+                 " in phase ", liveInstallPhaseName(phase_));
+        now = next;
+    }
+    return finished_at_;
+}
+
+} // namespace secproc::update

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unified-plane secure install: one agent, real bytes AND real
+ * cycles.
+ *
+ * The functional UpdateEngine proves *correctness* (verify → stage →
+ * re-verify → activate over real bytes, zero cycles) and
+ * InstallTiming replays *cycles* (channel transactions and engine
+ * reservations, no bytes). LiveInstall fuses them: a
+ * sim::BackgroundAgent that drives the functional state machine
+ * step-locked to cycle-plane demand, so a single System::run()
+ * advances both planes together and the A/B slot contents are
+ * checkable at any cycle:
+ *
+ *  1. transport: the framed bundle arrives as a lossy chunk stream
+ *     (ota::Transport — bandwidth cap, burst loss, reordering,
+ *     retransmits). Each arrived chunk lands its real bytes in the
+ *     untrusted transport buffer and is accounted as DMA write
+ *     traffic on the channel;
+ *  2. admission: each transport-buffer line is fetched (through the
+ *     channel, arbiter- or fixed-paced) and digested (an exclusive
+ *     engine reservation) — a line cannot be read before the network
+ *     delivered it. When the last line is digested, the bundle is
+ *     parsed *from the transport buffer bytes* and
+ *     UpdateEngine::verify() renders the functional admission
+ *     verdict; a refusal ends the install with no state change;
+ *  3. stage: the framed bundle streams into the inactive A/B slot —
+ *     each granted write moves that line's real bytes, so a power
+ *     cut mid-stage leaves a genuinely torn slot for activation to
+ *     refuse. At completion UpdateEngine::stage() commits the
+ *     staged-pending state (re-verifying, as the functional plane
+ *     always does);
+ *  4. re-verify + load + capsule unwrap: the staged lines are read
+ *     back and digested, the image streams to its home region, the
+ *     key capsule unwrap reserves the engine; then
+ *     UpdateEngine::activate() atomically flips the slot, commits
+ *     the rollback counter and loads the image — the single cycle
+ *     at which the new image becomes the active one;
+ *  5. attestation quote (timing only): one more signing reservation.
+ *
+ * Self-pacing: with InstallPacing::Arbiter every channel transaction
+ * queues in the MemoryChannel's foreground-priority arbiter, so the
+ * install throttles itself into bus idle time instead of taxing the
+ * foreground at a fixed rate.
+ */
+
+#ifndef SECPROC_UPDATE_LIVE_INSTALL_HH
+#define SECPROC_UPDATE_LIVE_INSTALL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ota/transport.hh"
+#include "sim/system.hh"
+#include "update/install_timing.hh"
+#include "update/manifest.hh"
+#include "update/update_engine.hh"
+
+namespace secproc::update
+{
+
+/** Knobs of a live install. */
+struct LiveInstallConfig
+{
+    /** L2 line size; one channel transaction per line. */
+    uint32_t line_bytes = 128;
+
+    /** How channel transactions contend with the foreground. */
+    InstallPacing pacing = InstallPacing::Arbiter;
+
+    /** Untrusted buffer the OTA stream lands in (disjoint from the
+     *  A/B staging area). */
+    uint64_t transport_base = 0x6000'0000;
+
+    /** Engine reservation (line ops) per signature check / unwrap. */
+    uint32_t signature_engine_ops = 16;
+
+    /** Engine reservation for the attestation quote (timing only). */
+    uint32_t attest_engine_ops = 16;
+
+    /** Issue the attestation reservation after activation. */
+    bool attest = true;
+
+    /** Downlink model for the inbound bundle. */
+    ota::TransportConfig transport;
+
+    /** Channel-agent name for the install's own transactions. */
+    std::string agent_name = "live_installer";
+
+    /** Channel-agent name for the transport DMA's writes. */
+    std::string dma_agent_name = "ota_dma";
+
+    /** ASID the activated image is loaded under. */
+    mem::Asid asid = 1;
+};
+
+/** Where a live install currently stands. */
+enum class LiveInstallPhase
+{
+    Idle,          ///< nothing started or a previous install finished
+    Admission,     ///< transport + per-line fetch/digest + verify
+    Stage,         ///< framed bundle streaming into the A/B slot
+    Reverify,      ///< staged lines re-read and re-digested
+    Load,          ///< image streaming to its home region
+    Attest,        ///< attestation quote reservation
+    Done,          ///< activated; result() holds the outcome
+    Failed,        ///< refused (admission/stage/activate); see result
+};
+
+/** Short phase name for logs and reports. */
+const char *liveInstallPhaseName(LiveInstallPhase phase);
+
+/**
+ * Drives one functional UpdateEngine install step-locked to the
+ * cycle plane of a System. Not owned by the System: attach with
+ * System::attachAgent and keep it alive across the runs it paces.
+ */
+class LiveInstall : public sim::BackgroundAgent
+{
+  public:
+    /**
+     * @param system The machine whose channel, crypto engine, memory
+     *        and protection engine the install runs against.
+     * @param updater The functional update engine (its staging
+     *        geometry addresses the slot writes).
+     * @param compartment Compartment the image activates into.
+     */
+    LiveInstall(const LiveInstallConfig &config, sim::System &system,
+                UpdateEngine &updater,
+                secure::CompartmentId compartment);
+
+    /**
+     * Begin installing @p bundle at @p cycle: the framed bundle
+     * starts streaming through the transport model immediately.
+     */
+    void start(const UpdateBundle &bundle, uint64_t cycle);
+
+    // BackgroundAgent interface.
+    void advance(uint64_t cycle) override;
+    bool done() const override
+    {
+        return phase_ == LiveInstallPhase::Idle ||
+               phase_ == LiveInstallPhase::Done ||
+               phase_ == LiveInstallPhase::Failed;
+    }
+
+    /**
+     * Power cut / machine reset: abandon the install in flight.
+     * Functional side effects up to this cycle (delivered transport
+     * bytes, partially staged slot, or — past the activation point —
+     * the committed new image) stay exactly as they are; no further
+     * work is issued. Pair with System::reset(), which drops the
+     * channel-side queued request and calls this hook.
+     */
+    void reset() override;
+
+    /** Run the install to completion on an otherwise idle machine.
+     *  @return the cycle the install finished (or failed). */
+    uint64_t replay();
+
+    /** Current phase. */
+    LiveInstallPhase phase() const { return phase_; }
+
+    /** Functional admission verdict, once rendered. */
+    const std::optional<VerifyResult> &admission() const
+    {
+        return admission_;
+    }
+
+    /** Functional activation outcome, once rendered. */
+    const std::optional<InstallResult> &result() const
+    {
+        return result_;
+    }
+
+    /** Cycle activate() committed the new image (Done only). */
+    uint64_t activatedAt() const { return activated_at_; }
+
+    /** Cycles from start() to Done/Failed. */
+    uint64_t installCycles() const { return finished_at_ - started_at_; }
+
+    /** Framed-bundle bytes functionally written to the slot so far. */
+    uint64_t stagedBytesWritten() const { return staged_bytes_; }
+
+    /** Transport stream statistics. */
+    const ota::Transport &transport() const { return transport_; }
+
+    /** Channel agent the install's own traffic is attributed to. */
+    mem::AgentId agent() const { return agent_; }
+
+    /** Channel agent the transport DMA's writes are attributed to. */
+    mem::AgentId dmaAgent() const { return dma_agent_; }
+
+  private:
+    LiveInstallConfig config_;
+    sim::System &system_;
+    UpdateEngine &updater_;
+    secure::CompartmentId compartment_;
+    ota::Transport transport_;
+    mem::AgentId agent_;
+    mem::AgentId dma_agent_;
+
+    LiveInstallPhase phase_ = LiveInstallPhase::Idle;
+    uint64_t phase_index_ = 0; ///< lines issued in the current phase
+    uint64_t cursor_ = 0;      ///< completion cycle of the last action
+    bool waiting_ = false;     ///< a channel request is in flight
+
+    std::vector<uint8_t> framed_;  ///< magic | len | bundle bytes
+    InstallPlan plan_;             ///< line counts derived from framed_
+    uint32_t slot_ = 0;            ///< slot this install stages into
+    /** Undelivered bytes per framed line (transport step-lock). */
+    std::vector<uint32_t> line_missing_;
+    /** Cycle each framed line became fully delivered. */
+    std::vector<uint64_t> line_ready_;
+    /** Parsed from the transport buffer at admission. */
+    std::optional<UpdateBundle> bundle_;
+    uint64_t staged_bytes_ = 0;
+
+    std::optional<VerifyResult> admission_;
+    std::optional<InstallResult> result_;
+    uint64_t started_at_ = 0;
+    uint64_t finished_at_ = 0;
+    uint64_t activated_at_ = 0;
+
+    /** Pump transport arrivals up to @p cycle into memory. */
+    void pumpTransport(uint64_t cycle);
+
+    /** Issue the next transaction/reservation if its inputs are
+     *  ready; false when blocked on transport delivery. */
+    bool issueNext();
+
+    /** Fold a granted channel transaction back into the pipeline. */
+    void completeGrant(uint64_t completion);
+
+    /** Per-phase functional commit once its last item drains. */
+    void completePhase();
+
+    void finish(LiveInstallPhase terminal);
+    uint64_t phaseItems(LiveInstallPhase phase) const;
+    uint64_t lineAddr(LiveInstallPhase phase, uint64_t index) const;
+    void functionalStageLine(uint64_t index);
+    void renderAdmission();
+};
+
+} // namespace secproc::update
+
+#endif // SECPROC_UPDATE_LIVE_INSTALL_HH

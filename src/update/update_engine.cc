@@ -19,8 +19,10 @@ namespace
  *  (header size is update_engine.hh's kSlotHeaderBytes). */
 constexpr uint32_t kSlotMagic = 0x53505354; // "SPST"
 
+} // namespace
+
 std::vector<uint8_t>
-frameBundle(const std::vector<uint8_t> &bundle_bytes)
+frameBundleBytes(const std::vector<uint8_t> &bundle_bytes)
 {
     std::vector<uint8_t> out;
     out.reserve(kSlotHeaderBytes + bundle_bytes.size());
@@ -30,7 +32,21 @@ frameBundle(const std::vector<uint8_t> &bundle_bytes)
     return out;
 }
 
-} // namespace
+std::optional<std::vector<uint8_t>>
+unframeBundleBytes(const std::vector<uint8_t> &framed)
+{
+    if (framed.size() < kSlotHeaderBytes)
+        return std::nullopt;
+    util::ByteReader reader(framed);
+    const uint32_t magic = reader.u32();
+    const uint64_t len = reader.u64();
+    if (magic != kSlotMagic || len == 0 ||
+        len > framed.size() - kSlotHeaderBytes)
+        return std::nullopt;
+    return std::vector<uint8_t>(
+        framed.begin() + kSlotHeaderBytes,
+        framed.begin() + static_cast<ptrdiff_t>(kSlotHeaderBytes + len));
+}
 
 const char *
 updateStatusName(UpdateStatus status)
@@ -190,7 +206,8 @@ UpdateEngine::stage(const UpdateBundle &bundle, mem::MainMemory &memory)
 
     // verify() already gated the size; this only guards the framing
     // arithmetic itself.
-    const std::vector<uint8_t> framed = frameBundle(bundle.serialize());
+    const std::vector<uint8_t> framed =
+        frameBundleBytes(bundle.serialize());
     panic_if(framed.size() > staging_.slot_size,
              "verified bundle does not fit its slot");
     memory.write(slotBase(stagingSlot()), framed.data(), framed.size());

@@ -98,6 +98,21 @@ struct InstallResult
  */
 inline constexpr uint64_t kSlotHeaderBytes = 12;
 
+/**
+ * Frame serialized bundle bytes the way a staging slot stores them
+ * (and the OTA downlink streams them): magic | u64 length | bytes.
+ */
+std::vector<uint8_t>
+frameBundleBytes(const std::vector<uint8_t> &bundle_bytes);
+
+/**
+ * Undo frameBundleBytes on bytes read back from untrusted memory.
+ * @return the bundle bytes, or std::nullopt when the framing is
+ * damaged (torn write, corruption).
+ */
+std::optional<std::vector<uint8_t>>
+unframeBundleBytes(const std::vector<uint8_t> &framed);
+
 /** Geometry of the A/B staging area in untrusted memory. */
 struct StagingConfig
 {
@@ -166,6 +181,18 @@ class UpdateEngine
     /** Active slot index; meaningful once something installed. */
     uint32_t activeSlot() const { return active_slot_; }
 
+    /** A/B staging geometry (cycle-plane agents address by it). */
+    const StagingConfig &staging() const { return staging_; }
+
+    /** Physical base of @p slot in the staging area. */
+    uint64_t slotBase(uint32_t slot) const
+    {
+        return staging_.base + slot * staging_.slot_size;
+    }
+
+    /** True while a staged update awaits activation. */
+    bool stagedPending() const { return staged_pending_; }
+
     /** Manifest of the most recently activated image, if any. */
     const std::optional<UpdateManifest> &activeManifest() const
     {
@@ -221,11 +248,6 @@ class UpdateEngine
     /** compartment -> manifest of the image it runs. */
     std::unordered_map<secure::CompartmentId, UpdateManifest>
         installed_;
-
-    uint64_t slotBase(uint32_t slot) const
-    {
-        return staging_.base + slot * staging_.slot_size;
-    }
 };
 
 } // namespace secproc::update

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Concurrent-update race matrix (ROADMAP scenario item).
+ *
+ * A live install races everything the machine does: context switches
+ * flush the SNC and swap compartments mid-stream, and power can die
+ * at any cycle of the install. The A/B invariant must hold at every
+ * interleaving: after a cut the device is in {previous image active,
+ * new image active} — never a torn state — and a clean re-stage
+ * always recovers.
+ *
+ * Expressed as an ExperimentSpec so the sweep parallelizes through
+ * the standard Runner: variants are (scenario x transport pattern) —
+ * power cuts at N evenly spaced install cycles under lossless /
+ * burst-loss / reordering downlinks, and context-switch storms under
+ * the same links — benchmarks are cipher kinds, and each cell's
+ * measured value is the percentage of trials that landed in an
+ * allowed state. Anything under 100 is a torn image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/latency.hh"
+#include "exp/runner.hh"
+#include "ota/transport.hh"
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "update/image_builder.hh"
+#include "update/live_install.hh"
+#include "update/update_engine.hh"
+
+namespace
+{
+
+using namespace secproc;
+using namespace secproc::update;
+
+constexpr uint32_t kLine = 128;
+constexpr uint64_t kStagingBase = 0x4000'0000;
+constexpr uint64_t kSlotSize = 1ull << 20;
+constexpr uint64_t kImageBase = 0x0800'0000;
+constexpr uint64_t kImageBytes = 8ull << 10;
+/** Evenly spaced injection points per cell. */
+constexpr int kInjectionPoints = 6;
+
+secure::CipherKind
+cipherFor(const std::string &bench)
+{
+    return bench == "aes128" ? secure::CipherKind::Aes128
+                             : secure::CipherKind::Des;
+}
+
+enum class Scenario
+{
+    PowerCut,
+    ContextSwitch,
+};
+
+struct KeyRing
+{
+    util::Rng rng;
+    ImageBuilder vendor;
+    crypto::RsaKeyPair processor;
+
+    explicit KeyRing(uint64_t seed)
+        : rng(seed), vendor(crypto::rsaGenerate(512, rng)),
+          processor(crypto::rsaGenerate(512, rng))
+    {}
+};
+
+UpdateBundle
+makeBundle(KeyRing &ring, uint32_t version, secure::CipherKind cipher)
+{
+    xom::PlainProgram program;
+    program.title = "fw";
+    program.entry_point = kImageBase;
+    xom::PlainProgram::PlainSection text;
+    text.name = ".text";
+    text.vaddr = kImageBase;
+    text.bytes.resize(kImageBytes, static_cast<uint8_t>(version));
+    program.sections = {text};
+
+    UpdateSpec spec;
+    spec.image_version = version;
+    spec.rollback_counter = version;
+    spec.cipher = cipher;
+    return ring.vendor.build(program, spec, ring.processor.pub,
+                             ring.rng);
+}
+
+/** A compact second task so context switches have somewhere to go. */
+sim::WorkloadProfile
+sideProfile()
+{
+    sim::WorkloadProfile profile;
+    profile.name = "side";
+    profile.mem_frac = 0.35;
+    profile.code_footprint = 4 * 1024;
+    profile.rng_seed = 0xFACE;
+    profile.va_offset = 1ull << 40;
+    sim::DataRegion hot;
+    hot.behavior = sim::RegionBehavior::Hot;
+    hot.footprint = 64 * 1024;
+    hot.weight = 0.7;
+    hot.store_frac = 0.4;
+    profile.regions = {hot};
+    return profile;
+}
+
+/** One machine with a live install racing the given scenario. */
+struct RaceRig
+{
+    sim::SystemConfig config;
+    sim::WorkloadProfile fg_profile;
+    sim::WorkloadProfile side_profile;
+    std::unique_ptr<sim::SyntheticWorkload> foreground;
+    std::unique_ptr<sim::SyntheticWorkload> side;
+    std::unique_ptr<sim::System> system;
+    secure::KeyTable update_keys;
+    RollbackStore rollback{64};
+    std::unique_ptr<UpdateEngine> updater;
+    std::unique_ptr<LiveInstall> live;
+
+    RaceRig(KeyRing &ring, const ota::TransportConfig &transport,
+            bool two_tasks)
+        : config(sim::paperConfig(secure::SecurityModel::OtpSnc)),
+          fg_profile(sim::benchmarkProfile("gcc")),
+          side_profile(sideProfile())
+    {
+        foreground = std::make_unique<sim::SyntheticWorkload>(
+            fg_profile, config.l2.line_size);
+        std::vector<sim::TaskSpec> tasks{{foreground.get(), 1}};
+        if (two_tasks) {
+            side = std::make_unique<sim::SyntheticWorkload>(
+                side_profile, config.l2.line_size);
+            tasks.push_back({side.get(), 2});
+        }
+        system = std::make_unique<sim::System>(config, tasks);
+        updater = std::make_unique<UpdateEngine>(
+            ring.vendor.publicKey(), ring.processor, update_keys,
+            rollback, StagingConfig{kStagingBase, kSlotSize});
+
+        LiveInstallConfig live_config;
+        live_config.line_bytes = kLine;
+        live_config.pacing = InstallPacing::Arbiter;
+        live_config.transport = transport;
+        live = std::make_unique<LiveInstall>(live_config, *system,
+                                             *updater, 1);
+        system->attachAgent(live.get());
+    }
+
+    bool
+    installFunctionally(const UpdateBundle &bundle)
+    {
+        return updater
+            ->install(bundle, 1, system->mainMemory(),
+                      system->virtualMemory(), 1, system->engine())
+            .ok();
+    }
+
+    uint32_t
+    activeVersion() const
+    {
+        const UpdateManifest *manifest =
+            updater->compartmentManifest(1);
+        return manifest == nullptr ? 0 : manifest->image_version;
+    }
+
+    /** Active slot bytes must be exactly the framed active bundle. */
+    bool
+    activeSlotIntact(const std::vector<uint8_t> &framed) const
+    {
+        std::vector<uint8_t> got(framed.size());
+        system->mainMemory().read(
+            updater->slotBase(updater->activeSlot()), got.data(),
+            got.size());
+        return got == framed;
+    }
+};
+
+/** How long this cell's undisturbed install takes, start to Done. */
+uint64_t
+dryRunInstallCycles(KeyRing &ring, const UpdateBundle &v1,
+                    const UpdateBundle &v2,
+                    const ota::TransportConfig &transport)
+{
+    RaceRig rig(ring, transport, /*two_tasks=*/false);
+    if (!rig.installFunctionally(v1))
+        return 0;
+    rig.live->start(v2, 0);
+    for (int i = 0; i < 2000 && !rig.live->done(); ++i)
+        rig.system->run(2'000);
+    if (rig.live->phase() != LiveInstallPhase::Done)
+        return 0;
+    return rig.live->installCycles();
+}
+
+/**
+ * One power-cut trial: cut at @p cut_cycle, then check the A/B
+ * invariant and that a fresh install recovers the device.
+ */
+bool
+powerCutTrial(KeyRing &ring, const UpdateBundle &v1,
+              const UpdateBundle &v2,
+              const std::vector<uint8_t> &framed_v1,
+              const std::vector<uint8_t> &framed_v2,
+              const ota::TransportConfig &transport,
+              uint64_t cut_cycle, secure::CipherKind cipher)
+{
+    RaceRig rig(ring, transport, /*two_tasks=*/false);
+    if (!rig.installFunctionally(v1))
+        return false;
+    rig.live->start(v2, rig.system->core().cycles());
+    while (!rig.live->done() &&
+           rig.system->core().cycles() < cut_cycle)
+        rig.system->run(200);
+
+    // Power dies here: in-flight timing work vanishes, memory and
+    // the device's persistent update state stay as they are.
+    rig.system->reset();
+    if (rig.system->channel().backgroundQueued() != 0)
+        return false;
+
+    // Reboot: whatever the cut left behind, the device must be on
+    // v1 or v2 — and the active slot must hold exactly the framed
+    // bytes of whichever version it claims.
+    uint32_t version = rig.activeVersion();
+    if (version != 1 && version != 2)
+        return false;
+    if (rig.rollback.current("fw") != version)
+        return false;
+
+    // The boot path tries to take any staged update live; a torn
+    // slot must be refused, a fully staged one may activate.
+    const InstallResult resumed = rig.updater->activate(
+        1, rig.system->mainMemory(), rig.system->virtualMemory(), 1,
+        rig.system->engine());
+    version = rig.activeVersion();
+    if (resumed.ok() && version != 2)
+        return false;
+    if (!resumed.ok() && version != 1 && version != 2)
+        return false;
+    if (!rig.activeSlotIntact(version == 2 ? framed_v2 : framed_v1))
+        return false;
+
+    // Recovery: a clean re-stage of the next version always lands.
+    const UpdateBundle v3 = makeBundle(ring, 3, cipher);
+    if (!rig.installFunctionally(v3))
+        return false;
+    return rig.activeVersion() == 3;
+}
+
+/**
+ * One context-switch trial: storm switches at the injection points
+ * while the install runs to completion; both planes must still
+ * agree.
+ */
+bool
+contextSwitchTrial(KeyRing &ring, const UpdateBundle &v1,
+                   const UpdateBundle &v2,
+                   const std::vector<uint8_t> &framed_v2,
+                   const ota::TransportConfig &transport,
+                   uint64_t install_cycles)
+{
+    RaceRig rig(ring, transport, /*two_tasks=*/true);
+    if (!rig.installFunctionally(v1))
+        return false;
+    rig.live->start(v2, rig.system->core().cycles());
+
+    uint64_t switches_done = 0;
+    const uint64_t start = rig.system->core().cycles();
+    for (int i = 0; i < 4000 && !rig.live->done(); ++i) {
+        rig.system->run(500);
+        const uint64_t elapsed = rig.system->core().cycles() - start;
+        const uint64_t due = std::min<uint64_t>(
+            kInjectionPoints,
+            (kInjectionPoints + 1) * elapsed /
+                std::max<uint64_t>(install_cycles, 1));
+        while (switches_done < due) {
+            // Alternate tasks and policies: Flush exercises the SNC
+            // spill path while the installer holds channel grants.
+            rig.system->switchToTask(
+                (switches_done + 1) % rig.system->taskCount(),
+                switches_done % 2 == 0 ? sim::SncSwitchPolicy::Flush
+                                       : sim::SncSwitchPolicy::Tag);
+            ++switches_done;
+        }
+    }
+
+    if (rig.live->phase() != LiveInstallPhase::Done)
+        return false;
+    if (switches_done == 0)
+        return false;
+    if (rig.activeVersion() != 2 || rig.rollback.current("fw") != 2)
+        return false;
+    return rig.activeSlotIntact(framed_v2);
+}
+
+struct Pattern
+{
+    const char *label;
+    Scenario scenario;
+    ota::TransportConfig transport;
+};
+
+std::vector<Pattern>
+patterns()
+{
+    ota::TransportConfig lossless;
+    lossless.chunk_bytes = 1024;
+    lossless.cycles_per_chunk = 256;
+
+    ota::TransportConfig burst = lossless;
+    burst.loss_rate = 0.15;
+    burst.burst_length = 3.0;
+    burst.retransmit_delay = 4096;
+    burst.seed = 0xB0B;
+
+    ota::TransportConfig reorder = lossless;
+    reorder.reorder_rate = 0.30;
+    reorder.reorder_window = 6;
+    reorder.loss_rate = 0.05;
+    reorder.seed = 0x0DD;
+
+    return {
+        {"powercut-lossless", Scenario::PowerCut, lossless},
+        {"powercut-burst", Scenario::PowerCut, burst},
+        {"powercut-reorder", Scenario::PowerCut, reorder},
+        {"ctxswitch-lossless", Scenario::ContextSwitch, lossless},
+        {"ctxswitch-burst", Scenario::ContextSwitch, burst},
+    };
+}
+
+exp::CellOutput
+raceCell(const Pattern &pattern, const std::string &bench,
+         uint64_t key_seed)
+{
+    KeyRing ring(key_seed);
+    const secure::CipherKind cipher = cipherFor(bench);
+    const UpdateBundle v1 = makeBundle(ring, 1, cipher);
+    const UpdateBundle v2 = makeBundle(ring, 2, cipher);
+    const std::vector<uint8_t> framed_v1 =
+        frameBundleBytes(v1.serialize());
+    const std::vector<uint8_t> framed_v2 =
+        frameBundleBytes(v2.serialize());
+
+    exp::CellOutput cell;
+    const uint64_t install_cycles =
+        dryRunInstallCycles(ring, v1, v2, pattern.transport);
+    cell.extras.emplace_back("install_cycles",
+                             static_cast<double>(install_cycles));
+    if (install_cycles == 0) {
+        cell.measured = 0.0;
+        return cell;
+    }
+
+    uint64_t trials = 0;
+    uint64_t survived = 0;
+    if (pattern.scenario == Scenario::PowerCut) {
+        for (int k = 0; k < kInjectionPoints; ++k) {
+            const uint64_t cut =
+                install_cycles * (k + 1) / (kInjectionPoints + 1);
+            ++trials;
+            survived += powerCutTrial(ring, v1, v2, framed_v1,
+                                      framed_v2, pattern.transport,
+                                      cut, cipher);
+        }
+    } else {
+        ++trials;
+        survived += contextSwitchTrial(ring, v1, v2, framed_v2,
+                                       pattern.transport,
+                                       install_cycles);
+    }
+
+    cell.extras.emplace_back("trials", static_cast<double>(trials));
+    cell.measured = 100.0 * static_cast<double>(survived) /
+                    static_cast<double>(trials);
+    return cell;
+}
+
+TEST(LiveInstallRaceMatrix, AlwaysLandsInAnAllowedState)
+{
+    exp::ExperimentSpec spec;
+    spec.name = "live_install_race_matrix";
+    spec.title = "Concurrent-update race matrix";
+    spec.subtitle = "% of interleavings in {previous, new} (must "
+                    "be 100)";
+    spec.benchmarks = {"des", "aes128"};
+    uint64_t seed = 0x0ACE;
+    for (const Pattern &pattern : patterns()) {
+        const uint64_t key_seed = ++seed;
+        spec.addCustom(pattern.label,
+                       [pattern, key_seed](const std::string &bench,
+                                           const exp::RunOptions &) {
+                           return raceCell(pattern, bench, key_seed);
+                       });
+    }
+
+    exp::RunnerOptions runner;
+    runner.threads = 2;
+    const exp::Report report = exp::Runner(runner).run(spec);
+
+    size_t checked = 0;
+    for (const exp::CellResult &cell : report.cells()) {
+        ASSERT_TRUE(cell.measured.has_value());
+        EXPECT_DOUBLE_EQ(*cell.measured, 100.0)
+            << cell.variant << "/" << cell.bench
+            << " reached a torn or unrecoverable state";
+        ++checked;
+    }
+    EXPECT_EQ(checked, 10u);
+}
+
+} // namespace

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Unified-plane install tests.
+ *
+ * The tentpole property: one System run advances real bytes and real
+ * cycles together, and the two planes can never disagree — for every
+ * (image size x cipher x engine latency) cell, LiveInstall's final
+ * slot bytes, active manifest and rollback counter are byte-identical
+ * to a pure functional UpdateEngine run of the same bundle. On the
+ * cycle side, the arbiter-paced install must cost the foreground
+ * strictly less than the PR-4 fixed pacing at both engine latencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/latency.hh"
+#include "exp/runner.hh"
+#include "ota/transport.hh"
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "update/image_builder.hh"
+#include "update/install_timing.hh"
+#include "update/live_install.hh"
+#include "update/update_engine.hh"
+
+namespace
+{
+
+using namespace secproc;
+using namespace secproc::update;
+
+constexpr uint32_t kLine = 128;
+constexpr uint64_t kStagingBase = 0x4000'0000;
+constexpr uint64_t kSlotSize = 1ull << 20;
+/** Installed image lives far above every workload footprint, so
+ *  activation's line-state registration cannot perturb the
+ *  foreground's fill timing. */
+constexpr uint64_t kImageBase = 0x0800'0000;
+
+secure::CipherKind
+cipherFor(const std::string &bench)
+{
+    return bench == "aes128" ? secure::CipherKind::Aes128
+                             : secure::CipherKind::Des;
+}
+
+/** Vendor + processor key material, shared by both planes' rigs. */
+struct KeyRing
+{
+    util::Rng rng;
+    ImageBuilder vendor;
+    crypto::RsaKeyPair processor;
+
+    explicit KeyRing(uint64_t seed)
+        : rng(seed), vendor(crypto::rsaGenerate(512, rng)),
+          processor(crypto::rsaGenerate(512, rng))
+    {}
+};
+
+UpdateBundle
+makeBundle(KeyRing &keys, uint32_t version, uint64_t image_bytes,
+           secure::CipherKind cipher)
+{
+    xom::PlainProgram program;
+    program.title = "fw";
+    program.entry_point = kImageBase;
+    xom::PlainProgram::PlainSection text;
+    text.name = ".text";
+    text.vaddr = kImageBase;
+    text.bytes.resize(image_bytes, static_cast<uint8_t>(version));
+    program.sections = {text};
+
+    UpdateSpec spec;
+    spec.image_version = version;
+    spec.rollback_counter = version;
+    spec.cipher = cipher;
+    return keys.vendor.build(program, spec, keys.processor.pub,
+                             keys.rng);
+}
+
+/** The pure-functional reference device (zero simulated cycles). */
+struct FunctionalRig
+{
+    secure::KeyTable keys;
+    mem::MemoryChannel channel;
+    std::unique_ptr<secure::ProtectionEngine> engine;
+    mem::MainMemory memory;
+    mem::VirtualMemory vm;
+    RollbackStore rollback{64};
+    std::unique_ptr<UpdateEngine> updater;
+
+    explicit FunctionalRig(KeyRing &ring)
+    {
+        secure::ProtectionConfig config;
+        config.line_size = kLine;
+        config.snc.l2_line_size = kLine;
+        engine = secure::makeProtectionEngine(config, channel, keys);
+        updater = std::make_unique<UpdateEngine>(
+            ring.vendor.publicKey(), ring.processor, keys, rollback,
+            StagingConfig{kStagingBase, kSlotSize});
+    }
+};
+
+/** A full machine with a LiveInstall agent attached. */
+struct LiveRig
+{
+    sim::SystemConfig config;
+    sim::WorkloadProfile profile;
+    std::unique_ptr<sim::SyntheticWorkload> workload;
+    std::unique_ptr<sim::System> system;
+    secure::KeyTable update_keys;
+    RollbackStore rollback{64};
+    std::unique_ptr<UpdateEngine> updater;
+    std::unique_ptr<LiveInstall> live;
+
+    LiveRig(KeyRing &ring, uint32_t crypto_latency,
+            const LiveInstallConfig &live_config)
+        : config(sim::paperConfig(secure::SecurityModel::OtpSnc)),
+          profile(sim::benchmarkProfile("gcc"))
+    {
+        config.protection.crypto.latency = crypto_latency;
+        workload = std::make_unique<sim::SyntheticWorkload>(
+            profile, config.l2.line_size);
+        system = std::make_unique<sim::System>(config, *workload);
+        updater = std::make_unique<UpdateEngine>(
+            ring.vendor.publicKey(), ring.processor, update_keys,
+            rollback, StagingConfig{kStagingBase, kSlotSize});
+        live = std::make_unique<LiveInstall>(live_config, *system,
+                                             *updater, 1);
+        system->attachAgent(live.get());
+    }
+
+    /** Run until the install lands (or a generous cap trips). */
+    bool
+    runToCompletion()
+    {
+        for (int chunk = 0; chunk < 600 && !live->done(); ++chunk)
+            system->run(25'000);
+        return live->done();
+    }
+};
+
+LiveInstallConfig
+liveConfig(ota::TransportConfig transport,
+           InstallPacing pacing = InstallPacing::Arbiter)
+{
+    LiveInstallConfig config;
+    config.line_bytes = kLine;
+    config.pacing = pacing;
+    config.transport = transport;
+    return config;
+}
+
+ota::TransportConfig
+lossyTransport()
+{
+    ota::TransportConfig transport;
+    transport.chunk_bytes = 1024;
+    transport.cycles_per_chunk = 256;
+    transport.loss_rate = 0.10;
+    transport.burst_length = 2.0;
+    transport.reorder_rate = 0.15;
+    transport.retransmit_delay = 4096;
+    transport.seed = 0xD15C;
+    return transport;
+}
+
+ota::TransportConfig
+fastTransport()
+{
+    ota::TransportConfig transport;
+    transport.chunk_bytes = 1024;
+    transport.cycles_per_chunk = 64;
+    return transport;
+}
+
+// -------------------------------------------------------- differential
+
+/**
+ * One differential cell: a live (timed, lossy-transport,
+ * arbiter-paced) install and a pure functional install of the same
+ * bundle must land byte-identical device state.
+ */
+exp::CellOutput
+differentialCell(uint64_t image_bytes, uint32_t crypto_latency,
+                 const std::string &bench, uint64_t key_seed)
+{
+    KeyRing ring(key_seed);
+    const secure::CipherKind cipher = cipherFor(bench);
+    const UpdateBundle bundle =
+        makeBundle(ring, 2, image_bytes, cipher);
+
+    // Pure functional reference: install v1 then v2.
+    FunctionalRig reference(ring);
+    exp::CellOutput cell;
+    cell.measured = 0.0;
+    if (!reference.updater
+             ->install(makeBundle(ring, 1, image_bytes, cipher), 1,
+                       reference.memory, reference.vm, 1,
+                       *reference.engine)
+             .ok())
+        return cell;
+    if (!reference.updater
+             ->install(bundle, 1, reference.memory, reference.vm, 1,
+                       *reference.engine)
+             .ok())
+        return cell;
+
+    // Live machine: same v1 baseline functionally, then v2 through
+    // the unified plane while the foreground runs.
+    LiveRig rig(ring, crypto_latency, liveConfig(lossyTransport()));
+    if (!rig.updater
+             ->install(makeBundle(ring, 1, image_bytes, cipher), 1,
+                       rig.system->mainMemory(),
+                       rig.system->virtualMemory(), 1,
+                       rig.system->engine())
+             .ok())
+        return cell;
+    rig.live->start(bundle, rig.system->core().cycles());
+    if (!rig.runToCompletion())
+        return cell;
+    cell.extras.emplace_back(
+        "install_ok",
+        rig.live->phase() == LiveInstallPhase::Done ? 1.0 : 0.0);
+    cell.extras.emplace_back(
+        "retransmit_passes",
+        static_cast<double>(rig.live->transport().retransmitPasses()));
+    if (rig.live->phase() != LiveInstallPhase::Done)
+        return cell;
+
+    // The planes can never disagree: slot bytes, manifest, counter.
+    const uint64_t framed_size =
+        kSlotHeaderBytes + bundle.serialize().size();
+    const uint32_t slot = reference.updater->activeSlot();
+    if (rig.updater->activeSlot() != slot)
+        return cell;
+    std::vector<uint8_t> want(framed_size);
+    std::vector<uint8_t> got(framed_size);
+    reference.memory.read(reference.updater->slotBase(slot),
+                          want.data(), want.size());
+    rig.system->mainMemory().read(rig.updater->slotBase(slot),
+                                  got.data(), got.size());
+    const bool bytes_match = want == got;
+    const bool manifest_match =
+        rig.updater->activeManifest().has_value() &&
+        reference.updater->activeManifest().has_value() &&
+        rig.updater->activeManifest()->serialize() ==
+            reference.updater->activeManifest()->serialize();
+    const bool counter_match =
+        rig.rollback.current("fw") ==
+        reference.rollback.current("fw");
+    cell.extras.emplace_back("bytes_match", bytes_match ? 1.0 : 0.0);
+    cell.extras.emplace_back("manifest_match",
+                             manifest_match ? 1.0 : 0.0);
+    cell.extras.emplace_back("counter_match",
+                             counter_match ? 1.0 : 0.0);
+    cell.measured =
+        bytes_match && manifest_match && counter_match ? 100.0 : 0.0;
+    return cell;
+}
+
+TEST(LiveInstallDifferential, PlanesNeverDisagree)
+{
+    struct Variant
+    {
+        const char *label;
+        uint64_t image_bytes;
+        uint32_t crypto_latency;
+    };
+    const Variant variants[] = {
+        {"8KB-c50", 8ull << 10, crypto::kPaperCryptoLatency},
+        {"8KB-c102", 8ull << 10, crypto::kStrongCipherLatency},
+        {"32KB-c50", 32ull << 10, crypto::kPaperCryptoLatency},
+        {"32KB-c102", 32ull << 10, crypto::kStrongCipherLatency},
+    };
+
+    exp::ExperimentSpec spec;
+    spec.name = "live_install_differential";
+    spec.title = "Unified-plane vs pure-functional installs";
+    spec.subtitle = "% of device state identical (must be 100)";
+    spec.benchmarks = {"des", "aes128"};
+    uint64_t seed = 0x11FE;
+    for (const Variant &variant : variants) {
+        const uint64_t key_seed = seed++;
+        spec.addCustom(
+            variant.label,
+            [variant, key_seed](const std::string &bench,
+                                const exp::RunOptions &) {
+                return differentialCell(variant.image_bytes,
+                                        variant.crypto_latency, bench,
+                                        key_seed);
+            });
+    }
+
+    exp::RunnerOptions runner;
+    runner.threads = 2;
+    const exp::Report report = exp::Runner(runner).run(spec);
+    size_t checked = 0;
+    for (const exp::CellResult &cell : report.cells()) {
+        ASSERT_TRUE(cell.measured.has_value());
+        EXPECT_DOUBLE_EQ(*cell.measured, 100.0)
+            << cell.variant << "/" << cell.bench
+            << ": the functional and cycle planes disagree";
+        ++checked;
+    }
+    EXPECT_EQ(checked, 8u);
+}
+
+// ------------------------------------------------- unified verdicts
+
+TEST(LiveInstall, OneRunRendersBothVerdicts)
+{
+    KeyRing ring(0x77AA);
+    const UpdateBundle bundle =
+        makeBundle(ring, 1, 16ull << 10, secure::CipherKind::Des);
+
+    // Baseline: the same machine with nothing installing.
+    sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::OtpSnc);
+    sim::SyntheticWorkload alone_workload(
+        sim::benchmarkProfile("gcc"), config.l2.line_size);
+    sim::System alone(config, alone_workload);
+    alone.run(400'000);
+
+    LiveRig rig(ring, crypto::kPaperCryptoLatency,
+                liveConfig(lossyTransport()));
+    rig.live->start(bundle, 0);
+    rig.system->run(400'000);
+
+    // Functional verdict from the very same run...
+    ASSERT_EQ(rig.live->phase(), LiveInstallPhase::Done)
+        << "install did not land within the run";
+    ASSERT_TRUE(rig.live->result().has_value());
+    EXPECT_TRUE(rig.live->result()->ok());
+    EXPECT_TRUE(rig.live->admission()->ok());
+    EXPECT_EQ(rig.rollback.current("fw"), 1u);
+    EXPECT_GT(rig.live->activatedAt(), 0u);
+    EXPECT_EQ(rig.live->stagedBytesWritten(),
+              kSlotHeaderBytes + bundle.serialize().size());
+
+    // ...and the cycle verdict: the install cost the foreground
+    // cycles, attributed to the installer's channel agents.
+    EXPECT_GT(rig.system->core().cycles(), alone.core().cycles());
+    EXPECT_GT(rig.system->channel().agentBytes(rig.live->agent()), 0u);
+    EXPECT_GT(rig.system->channel().agentBytes(rig.live->dmaAgent()),
+              0u);
+    EXPECT_GT(rig.system->channel().agentStallCycles(
+                  rig.live->agent()),
+              0u)
+        << "an arbiter-paced install must have queued behind the "
+           "foreground at least once";
+    rig.system->channel().assertFullyAttributed();
+}
+
+/** Foreground cycles for a 400k-instruction gcc run under a given
+ *  install regime. */
+uint64_t
+foregroundCycles(uint32_t crypto_latency, const char *mode)
+{
+    sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.crypto.latency = crypto_latency;
+    sim::SyntheticWorkload workload(sim::benchmarkProfile("gcc"),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+
+    // Fixed pacing: the PR-4 InstallTiming replay, repeating 256KB
+    // installs for the whole run.
+    InstallTimingConfig itc;
+    itc.line_bytes = config.l2.line_size;
+    InstallTiming fixed(itc, system.channel(), system.cryptoEngine());
+
+    // Self-throttled: the unified-plane agent, same 256KB image.
+    KeyRing ring(0x5EED);
+    secure::KeyTable update_keys;
+    RollbackStore rollback(64);
+    UpdateEngine updater(ring.vendor.publicKey(), ring.processor,
+                         update_keys, rollback,
+                         StagingConfig{kStagingBase, kSlotSize});
+    LiveInstall live(liveConfig(fastTransport()), system, updater, 1);
+
+    const uint64_t image_bytes = 256ull << 10;
+    const bool live_mode = std::string(mode) == "live";
+    uint32_t version = 1;
+    if (std::string(mode) == "fixed") {
+        fixed.start(InstallPlan::fromImageBytes(
+                        image_bytes, config.l2.line_size),
+                    0, /*repeat=*/true);
+        system.attachAgent(&fixed);
+    } else if (live_mode) {
+        live.start(makeBundle(ring, version++, image_bytes,
+                              secure::CipherKind::Des),
+                   0);
+        system.attachAgent(&live);
+    }
+
+    // Continuous pressure on both sides: the fixed replay repeats by
+    // itself; the live agent is restarted with the next version the
+    // moment an install lands, so the comparison is steady-state
+    // against steady-state.
+    auto run = [&](uint64_t instructions) {
+        for (uint64_t ran = 0; ran < instructions; ran += 10'000) {
+            system.run(10'000);
+            if (live_mode && live.done()) {
+                EXPECT_EQ(live.phase(), LiveInstallPhase::Done);
+                live.start(makeBundle(ring, version++, image_bytes,
+                                      secure::CipherKind::Des),
+                           system.core().cycles());
+            }
+        }
+    };
+    run(100'000);
+    system.beginMeasurement();
+    run(400'000);
+    return system.stats().cycles;
+}
+
+TEST(LiveInstall, ArbiterThrottlesBelowFixedPace)
+{
+    // The acceptance criterion: at both engine latencies, the
+    // self-throttled 256KB install costs the foreground strictly
+    // less than PR 4's fixed pacing.
+    for (const uint32_t latency :
+         {crypto::kPaperCryptoLatency, crypto::kStrongCipherLatency}) {
+        const uint64_t alone = foregroundCycles(latency, "none");
+        const uint64_t fixed = foregroundCycles(latency, "fixed");
+        const uint64_t live = foregroundCycles(latency, "live");
+        const double fixed_slowdown =
+            100.0 * (static_cast<double>(fixed) /
+                         static_cast<double>(alone) -
+                     1.0);
+        const double live_slowdown =
+            100.0 * (static_cast<double>(live) /
+                         static_cast<double>(alone) -
+                     1.0);
+        EXPECT_GT(fixed_slowdown, 0.0) << "c" << latency;
+        EXPECT_GE(live_slowdown, 0.0) << "c" << latency;
+        EXPECT_LT(live_slowdown, fixed_slowdown)
+            << "c" << latency
+            << ": the arbiter-paced install must undercut fixed "
+               "pacing";
+    }
+}
+
+TEST(LiveInstall, SystemResetDropsInFlightWork)
+{
+    KeyRing ring(0xABCD);
+    const UpdateBundle bundle =
+        makeBundle(ring, 1, 32ull << 10, secure::CipherKind::Des);
+    LiveRig rig(ring, crypto::kPaperCryptoLatency,
+                liveConfig(fastTransport()));
+    rig.live->start(bundle, 0);
+
+    // Run until the slot is partially written: 500-instruction steps
+    // cannot cover the whole stage stream's bus time, so the cut
+    // lands mid-stage with a genuinely torn slot.
+    while (rig.live->stagedBytesWritten() == 0 &&
+           rig.system->core().cycles() < 2'000'000)
+        rig.system->run(500);
+    ASSERT_FALSE(rig.live->done());
+    ASSERT_EQ(rig.live->phase(), LiveInstallPhase::Stage);
+    ASSERT_LT(rig.live->stagedBytesWritten(),
+              kSlotHeaderBytes + bundle.serialize().size())
+        << "the cut must leave a torn slot";
+
+    rig.system->reset();
+    EXPECT_TRUE(rig.live->done()) << "reset abandons the install";
+    EXPECT_EQ(rig.system->channel().backgroundQueued(), 0u);
+    EXPECT_EQ(rig.system->channel().busyUntil(), 0u);
+    EXPECT_EQ(rig.system->cryptoEngine().busyUntil(), 0u);
+    rig.system->channel().assertFullyAttributed();
+
+    // The device recovers: a clean functional re-install of the
+    // same bundle (nothing was committed) succeeds.
+    EXPECT_FALSE(rig.updater->stagedPending());
+    EXPECT_TRUE(rig.updater
+                    ->install(bundle, 1, rig.system->mainMemory(),
+                              rig.system->virtualMemory(), 1,
+                              rig.system->engine())
+                    .ok());
+
+    // And the agent can start a fresh install afterwards.
+    rig.live->start(makeBundle(ring, 2, 8ull << 10,
+                               secure::CipherKind::Des),
+                    rig.system->core().cycles());
+    EXPECT_TRUE(rig.runToCompletion());
+    EXPECT_EQ(rig.live->phase(), LiveInstallPhase::Done);
+}
+
+} // namespace
