@@ -27,6 +27,8 @@
 
 #include "crypto/latency.hh"
 #include "exp/cli.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/profiles.hh"
 #include "update/image_builder.hh"
 #include "update/install_timing.hh"
@@ -302,12 +304,75 @@ makeCell(const GridPoint &point)
     };
 }
 
+/**
+ * --trace-out mode: run ONE complete traced install (gcc foreground,
+ * 256KB image, paper crypto latency) instead of the grid, write the
+ * Chrome/Perfetto trace, and dump the full metrics snapshot. One
+ * exemplar keeps the CI smoke step fast; the grid's perf numbers
+ * come from untraced runs only.
+ */
+int
+runTracedExemplar(const exp::BenchCli &cli)
+{
+    const GridPoint &point = kGrid[0]; // live-256KB-c50
+    const std::string bench = "gcc";
+    const sim::SystemConfig config =
+        machineConfig(point.crypto_latency);
+
+    util::Rng rng(0x11E'0001 ^ point.image_bytes ^
+                  point.crypto_latency);
+    update::ImageBuilder vendor(crypto::rsaGenerate(512, rng));
+    const crypto::RsaKeyPair processor = crypto::rsaGenerate(512, rng);
+    secure::KeyTable update_keys;
+    update::RollbackStore rollback(64);
+    update::UpdateEngine updater(
+        vendor.publicKey(), processor, update_keys, rollback,
+        update::StagingConfig{kStagingBase, kSlotSize});
+
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+
+    update::LiveInstallConfig live_config;
+    live_config.line_bytes = config.l2.line_size;
+    live_config.pacing = update::InstallPacing::Arbiter;
+    live_config.transport = downlink();
+    update::LiveInstall live(live_config, system, updater, 1);
+
+    obs::TraceSink trace;
+    system.setTraceSink(&trace);
+    system.attachAgent(&live);
+
+    const update::UpdateBundle bundle =
+        makeBundle(vendor, processor.pub, rng, 1, point.image_bytes);
+    live.start(bundle, 0);
+    while (!live.done())
+        system.run(10'000);
+
+    trace.writeChromeJson(cli.trace_out);
+    const bool ok = live.phase() == update::LiveInstallPhase::Done;
+    std::cout << "traced exemplar: " << bench << " / " << point.label
+              << ", install " << (ok ? "done" : "FAILED")
+              << " @ cycle " << system.core().cycles() << "\n"
+              << "trace: " << trace.eventCount() << " events on "
+              << trace.trackCount() << " tracks -> '" << cli.trace_out
+              << "'\n\n-- metrics snapshot --\n";
+
+    obs::MetricsRegistry registry;
+    system.registerMetrics(registry);
+    live.registerMetrics(registry);
+    registry.snapshot().dump(std::cout);
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+    if (!cli.trace_out.empty())
+        return runTracedExemplar(cli);
 
     exp::ExperimentSpec spec;
     spec.name = "live_install";

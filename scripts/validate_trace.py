@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON export (and optionally a flat
+metrics snapshot) produced by the observability plane.
+
+Checks the structural invariants Perfetto / chrome://tracing rely on:
+
+* the document is an object with a ``traceEvents`` array;
+* every event has ``name``, ``ph``, ``pid`` and an integer ``ts``
+  (metadata rows excepted for ``ts``), with ``ph`` limited to the
+  phases the exporter emits (``M``, ``X``, ``i``);
+* duration events (``X``) carry a non-negative integer ``dur``;
+* instant events (``i``) carry a scope ``s``;
+* there is a ``process_name`` metadata row and at least one named
+  track (a ``thread_name`` metadata row), and every non-metadata
+  event's ``tid`` belongs to a named track;
+* at least one non-metadata event exists (an empty trace from a
+  traced run means the wiring is broken).
+
+With ``--metrics FILE``, also checks the file is one flat JSON object
+mapping dotted metric names to numbers.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ALLOWED_PHASES = {"M", "X", "i"}
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def validate_trace(path: Path, errors: list) -> None:
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"{path}: cannot parse: {exc}")
+        return
+
+    if not isinstance(doc, dict):
+        fail(errors, f"{path}: top level is not an object")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, f"{path}: no traceEvents array")
+        return
+
+    named_tracks = set()
+    has_process_name = False
+    payload_events = 0
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                fail(errors, f"{where}: missing '{key}'")
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail(errors, f"{where}: unexpected phase {ph!r}")
+            continue
+        if ph == "M":
+            if event.get("name") == "process_name":
+                has_process_name = True
+            elif event.get("name") == "thread_name":
+                if not isinstance(event.get("tid"), int):
+                    fail(errors, f"{where}: thread_name without tid")
+                elif not event.get("args", {}).get("name"):
+                    fail(errors, f"{where}: unnamed track")
+                else:
+                    named_tracks.add(event["tid"])
+            continue
+
+        payload_events += 1
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            fail(errors, f"{where}: bad ts {ts!r}")
+        if not isinstance(event.get("tid"), int):
+            fail(errors, f"{where}: missing tid")
+        elif event["tid"] not in named_tracks:
+            fail(errors,
+                 f"{where}: tid {event['tid']} has no thread_name row")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                fail(errors, f"{where}: duration with bad dur {dur!r}")
+        if ph == "i" and "s" not in event:
+            fail(errors, f"{where}: instant without scope 's'")
+
+    if not has_process_name:
+        fail(errors, f"{path}: no process_name metadata row")
+    if not named_tracks:
+        fail(errors, f"{path}: no named tracks")
+    if payload_events == 0:
+        fail(errors, f"{path}: no duration/instant events")
+    if not errors:
+        print(f"{path}: OK — {payload_events} events on "
+              f"{len(named_tracks)} tracks")
+
+
+def validate_metrics(path: Path, errors: list) -> None:
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"{path}: cannot parse: {exc}")
+        return
+    if not isinstance(doc, dict) or not doc:
+        fail(errors, f"{path}: not a non-empty flat object")
+        return
+    for name, value in doc.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(errors, f"{path}: metric {name!r} is not a number")
+    if not errors:
+        print(f"{path}: OK — {len(doc)} metrics")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("trace", type=Path,
+                        help="Chrome trace-event JSON file")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        help="flat metrics snapshot JSON to validate")
+    args = parser.parse_args()
+
+    errors: list = []
+    validate_trace(args.trace, errors)
+    if args.metrics is not None:
+        validate_metrics(args.metrics, errors)
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@
 
 #include <cstdint>
 
+#include "obs/trace.hh"
+
 namespace secproc::crypto
 {
 
@@ -106,6 +108,10 @@ class CryptoEngineModel
         busy_until_ = start + static_cast<uint64_t>(ops) * cfg_.latency;
         operations_ += ops;
         reserved_ops_ += ops;
+        if (trace_ != nullptr) {
+            trace_->duration(trace_track_, "reserve", start,
+                             busy_until_, {{"ops", ops}});
+        }
         return busy_until_;
     }
 
@@ -121,6 +127,22 @@ class CryptoEngineModel
     /** Operations issued through exclusive reservations. */
     uint64_t reservedOperations() const { return reserved_ops_; }
 
+    /**
+     * Trace exclusive reservations onto @p sink (nullptr detaches).
+     * The pipelined schedule() path is deliberately not traced: it
+     * is the per-line hot path, and bulk reservations are what a
+     * timeline viewer needs to see. Emitting never touches
+     * occupancy state, so traced and untraced runs are
+     * bit-identical.
+     */
+    void
+    setTraceSink(obs::TraceSink *sink)
+    {
+        trace_ = sink;
+        if (sink != nullptr)
+            trace_track_ = sink->track("crypto");
+    }
+
     /** Forget all occupancy state (new simulation run). */
     void
     reset()
@@ -135,6 +157,8 @@ class CryptoEngineModel
     uint64_t busy_until_ = 0;
     uint64_t operations_ = 0;
     uint64_t reserved_ops_ = 0;
+    obs::TraceSink *trace_ = nullptr;
+    obs::TrackId trace_track_ = 0;
 };
 
 } // namespace secproc::crypto

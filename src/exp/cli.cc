@@ -20,6 +20,8 @@ parseBenchCli(int argc, char **argv)
     BenchCli cli;
     cli.runner = RunnerOptions::fromEnvironment();
     cli.options = RunOptions::fromEnvironment();
+    if (const char *path = std::getenv("SECPROC_TRACE"))
+        cli.trace_out = path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -37,7 +39,11 @@ parseBenchCli(int argc, char **argv)
                 << "  --warmup=N    warm-up instructions per cell "
                    "(also SECPROC_WARMUP)\n"
                 << "  --measure=N   measured instructions per cell "
-                   "(also SECPROC_MEASURE)\n";
+                   "(also SECPROC_MEASURE)\n"
+                << "  --trace-out=PATH  write a Chrome/Perfetto "
+                   "trace (also SECPROC_TRACE; benches that\n"
+                << "                support it run one traced "
+                   "exemplar instead of the grid)\n";
             std::exit(0);
         } else if (starts("--threads=")) {
             cli.runner.threads = static_cast<unsigned>(
@@ -56,6 +62,10 @@ parseBenchCli(int argc, char **argv)
         } else if (starts("--measure=")) {
             cli.options.measure_instructions =
                 util::parseU64(arg.substr(10), "--measure");
+        } else if (starts("--trace-out=")) {
+            cli.trace_out = arg.substr(12);
+            fatal_if(cli.trace_out.empty(),
+                     "--trace-out= needs a path");
         } else {
             fatal("unknown option '", arg, "' (try --help)");
         }

@@ -42,6 +42,30 @@ struct CellResult
     std::optional<double> measured;
 };
 
+/**
+ * Wall-clock profile of one Runner::run. Describes how fast the
+ * harness executed, never what it measured — every key is exempt
+ * from the baseline perf gate (scripts/check_bench_regression.py
+ * reads only cell["measured"]).
+ */
+struct RunProfile
+{
+    /** Wall-clock seconds for the whole grid. */
+    double wall_seconds = 0.0;
+
+    /** Grid cells executed. */
+    uint64_t cells = 0;
+
+    /** cells / wall_seconds (0 when the clock read 0). */
+    double cells_per_second = 0.0;
+
+    /** Simulated cycles summed over every cell's measured window. */
+    uint64_t sim_cycles = 0;
+
+    /** sim_cycles / wall_seconds (0 when the clock read 0). */
+    double sim_cycles_per_second = 0.0;
+};
+
 /** How printTable() renders the measured/paper values. */
 enum class TableUnit
 {
@@ -99,8 +123,11 @@ class Report
     const RunOptions &options() const { return options_; }
     unsigned threads() const { return threads_; }
 
+    const RunProfile &profile() const { return profile_; }
+
     /** Runner hooks. @{ */
     void setCells(std::vector<CellResult> cells);
+    void setProfile(const RunProfile &profile) { profile_ = profile; }
     /** @} */
 
   private:
@@ -125,6 +152,7 @@ class Report
     unsigned threads_ = 1;
     uint64_t seed_ = 0;
     std::vector<CellResult> cells_;
+    RunProfile profile_;
 };
 
 } // namespace secproc::exp

@@ -7,6 +7,7 @@
 #include "exp/runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <thread>
@@ -91,6 +92,8 @@ Runner::run(const ExperimentSpec &spec) const
         for (size_t b = 0; b < benches.size(); ++b)
             grid.push_back({v, b});
 
+    const auto wall_start = std::chrono::steady_clock::now();
+
     std::vector<CellResult> results(grid.size());
     forEach(grid.size(), [&](size_t i) {
         const Cell &cell = grid[i];
@@ -146,8 +149,25 @@ Runner::run(const ExperimentSpec &spec) const
             slowdownPct(it->second->stats.cycles, result.stats.cycles);
     }
 
+    RunProfile profile;
+    profile.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    profile.cells = results.size();
+    for (const CellResult &result : results)
+        profile.sim_cycles += result.stats.cycles;
+    if (profile.wall_seconds > 0.0) {
+        profile.cells_per_second =
+            static_cast<double>(profile.cells) / profile.wall_seconds;
+        profile.sim_cycles_per_second =
+            static_cast<double>(profile.sim_cycles) /
+            profile.wall_seconds;
+    }
+
     Report report(spec, threads_);
     report.setCells(std::move(results));
+    report.setProfile(profile);
     return report;
 }
 

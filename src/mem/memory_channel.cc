@@ -39,7 +39,20 @@ MemoryChannel::registerAgent(const std::string &name)
     bg_pending_.push_back(false);
     bg_stall_cycles_.push_back(0);
     bg_max_stall_.push_back(0);
+    if (trace_ != nullptr)
+        agent_tracks_.push_back(trace_->track("channel." + name));
     return static_cast<AgentId>(agent_names_.size() - 1);
+}
+
+void
+MemoryChannel::setTraceSink(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    agent_tracks_.clear();
+    if (sink == nullptr)
+        return;
+    for (const std::string &name : agent_names_)
+        agent_tracks_.push_back(sink->track("channel." + name));
 }
 
 const std::string &
@@ -146,6 +159,14 @@ MemoryChannel::grantBackground(uint64_t now)
         bg_pending_[req.agent] = false;
         ++bg_grants_;
         bg_forced_ += !fits_idle;
+        if (trace_ != nullptr) {
+            const obs::TrackId track = agent_tracks_[req.agent];
+            trace_->duration(track, trafficName(req.category),
+                             req.request_cycle, completion,
+                             {{"wait", wait}});
+            if (!fits_idle)
+                trace_->instant(track, "force_grant", start);
+        }
         bg_queue_.pop_front();
     }
 }
@@ -229,9 +250,14 @@ MemoryChannel::scheduleRead(uint64_t request_cycle, Traffic category,
     busy_until_ = start + cycles;
     busy_cycles_ += cycles;
     account(category, small, agent);
-    if (dram_)
-        return dram_->access(start, addr);
-    return start + config_.access_latency;
+    const uint64_t done = dram_ ? dram_->access(start, addr)
+                                : start + config_.access_latency;
+    // Non-core reads only: the core's demand stream is the hot path.
+    if (trace_ != nullptr && agent != kCoreAgent) {
+        trace_->duration(agent_tracks_[agent],
+                         "read." + trafficName(category), start, done);
+    }
+    return done;
 }
 
 void
@@ -239,6 +265,10 @@ MemoryChannel::enqueueWrite(uint64_t ready_cycle, Traffic category,
                             bool small, uint64_t addr, AgentId agent)
 {
     account(category, small, agent);
+    if (trace_ != nullptr && agent != kCoreAgent) {
+        trace_->instant(agent_tracks_[agent],
+                        "write." + trafficName(category), ready_cycle);
+    }
     write_queue_.push_back(PendingWrite{ready_cycle, small, addr});
     // Keep the queue bounded even if no read ever arrives again.
     if (write_queue_.size() > 4 * config_.write_buffer_entries)

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "mem/dram.hh"
+#include "obs/trace.hh"
 #include "util/stats.hh"
 
 namespace secproc::mem
@@ -272,10 +273,22 @@ class MemoryChannel
     uint64_t busyUntil() const { return busy_until_; }
 
     /**
+     * Trace channel activity onto @p sink (nullptr detaches). Each
+     * registered agent gets its own "channel.<agent>" track; agents
+     * registered later join automatically. The core's demand traffic
+     * is deliberately not traced (it is the per-access hot path and
+     * would dwarf every other track); arbiter grants, background
+     * reads/writes and starvation force-grants are. Emitting never
+     * touches timing state, so traced and untraced runs are
+     * bit-identical.
+     */
+    void setTraceSink(obs::TraceSink *sink);
+
+    /**
      * Reset all counters, occupancy, the write buffer and the
      * arbiter (queued background transactions and ungathered grants
      * are dropped — a machine reset leaves no in-flight work).
-     * Agents stay registered.
+     * Agents stay registered, as does any attached trace sink.
      */
     void reset();
 
@@ -329,6 +342,10 @@ class MemoryChannel
     std::vector<std::array<uint64_t, kNumCategories>> agent_bytes_;
     std::vector<std::array<uint64_t, kNumCategories>>
         agent_transactions_;
+
+    obs::TraceSink *trace_ = nullptr;
+    /** agent -> trace track, parallel to agent_names_ when tracing. */
+    std::vector<obs::TrackId> agent_tracks_;
 
     void account(Traffic category, bool small, AgentId agent);
     uint32_t transferCycles(bool small) const;

@@ -70,6 +70,10 @@ Transport::send(std::vector<uint8_t> payload, uint64_t cycle)
             if (burst_remaining > 0) {
                 --burst_remaining;
                 ++chunks_lost_;
+                if (trace_ != nullptr) {
+                    trace_->instant(trace_track_, "chunk_lost", clock,
+                                    {{"offset", off}});
+                }
                 lost.push_back(off);
                 continue;
             }
@@ -88,6 +92,10 @@ Transport::send(std::vector<uint8_t> payload, uint64_t cycle)
             schedule_.push_back(Arrival{off, length, arrival});
         }
         todo = std::move(lost);
+        if (trace_ != nullptr && !todo.empty()) {
+            trace_->instant(trace_track_, "retransmit_pass", clock,
+                            {{"chunks", todo.size()}});
+        }
         clock += config_.retransmit_delay;
         burst_remaining = 0; // a new pass starts with a clear channel
     }
@@ -112,10 +120,22 @@ Transport::poll(uint64_t cycle)
             payload_.begin() + static_cast<ptrdiff_t>(arrival.offset),
             payload_.begin() +
                 static_cast<ptrdiff_t>(arrival.offset + arrival.length));
+        if (trace_ != nullptr) {
+            trace_->instant(trace_track_, "chunk", arrival.cycle,
+                            {{"offset", arrival.offset}});
+        }
         out.push_back(std::move(chunk));
         ++next_;
     }
     return out;
+}
+
+void
+Transport::setTraceSink(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    if (sink != nullptr)
+        trace_track_ = sink->track("ota");
 }
 
 uint64_t

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hh"
+
 namespace secproc::ota
 {
 
@@ -113,6 +115,15 @@ class Transport
 
     const TransportConfig &config() const { return config_; }
 
+    /**
+     * Trace the downlink onto @p sink (nullptr detaches): an "ota"
+     * track carries one instant per chunk arrival (collected via
+     * poll), per loss, and per retransmission pass. The arrival
+     * schedule itself is computed identically with or without a
+     * sink attached.
+     */
+    void setTraceSink(obs::TraceSink *sink);
+
   private:
     /** Scheduled arrival of one payload range. */
     struct Arrival
@@ -130,6 +141,8 @@ class Transport
     uint64_t chunks_lost_ = 0;
     uint64_t chunks_reordered_ = 0;
     uint64_t passes_ = 0;
+    obs::TraceSink *trace_ = nullptr;
+    obs::TrackId trace_track_ = 0;
 };
 
 } // namespace secproc::ota

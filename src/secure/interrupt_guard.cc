@@ -40,10 +40,19 @@ InterruptGuard::imageBytes() const
     return (raw + bs - 1) / bs * bs;
 }
 
+void
+InterruptGuard::setTrace(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    if (sink != nullptr)
+        trace_track_ = sink->track("interrupt_guard");
+}
+
 uint64_t
 InterruptGuard::scheduleSave(uint64_t cycle)
 {
     ++events_;
+    trace_cycle_ = cycle;
     switch (config_.mode) {
       case RegisterSaveMode::Direct:
         // Serial: the OS cannot run until the register block has
@@ -64,6 +73,7 @@ InterruptGuard::scheduleSave(uint64_t cycle)
 uint64_t
 InterruptGuard::scheduleRestore(uint64_t cycle)
 {
+    trace_cycle_ = cycle;
     switch (config_.mode) {
       case RegisterSaveMode::Direct:
         return engine_.schedule(cycle + config_.base_cost);
@@ -103,8 +113,15 @@ InterruptGuard::restore(const RegisterSave &saved)
     // Replay detection: only the most recent save may resume. A
     // malicious OS handing back an older (authentic) save is exactly
     // the replay attack of Section 2.2.
-    if (saved.event_id != last_saved_event_ ||
-        computeMac(saved.event_id, saved.image) != saved.mac) {
+    const bool pass =
+        saved.event_id == last_saved_event_ &&
+        computeMac(saved.event_id, saved.image) == saved.mac;
+    if (trace_ != nullptr) {
+        trace_->instant(trace_track_, "decision.interrupt_guard",
+                        trace_cycle_,
+                        {{"event", saved.event_id}, {"pass", pass}});
+    }
+    if (!pass) {
         ++detections_;
         return std::nullopt;
     }

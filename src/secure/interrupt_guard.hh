@@ -34,6 +34,7 @@
 
 #include "crypto/block_cipher.hh"
 #include "crypto/latency.hh"
+#include "obs/trace.hh"
 #include "util/stats.hh"
 
 namespace secproc::secure
@@ -128,6 +129,15 @@ class InterruptGuard
 
     void regStats(util::StatGroup &group) const;
 
+    /**
+     * Trace restore verdicts onto @p sink (nullptr detaches): the
+     * "interrupt_guard" track carries one pass/fail instant per
+     * restore, stamped with the cycle of the most recent
+     * scheduleSave/scheduleRestore (0 when the functional path runs
+     * without the timing one).
+     */
+    void setTrace(obs::TraceSink *sink);
+
   private:
     InterruptGuardConfig config_;
     const crypto::BlockCipher &cipher_;
@@ -144,6 +154,11 @@ class InterruptGuard
 
     util::Counter events_;
     util::Counter detections_;
+
+    obs::TraceSink *trace_ = nullptr;
+    obs::TrackId trace_track_ = 0;
+    /** Cycle of the most recent timing-path call (trace stamp). */
+    uint64_t trace_cycle_ = 0;
 
     /** Pad/encryption seed for @p event_id (never address-derived). */
     uint64_t seed(uint64_t event_id) const;

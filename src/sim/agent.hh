@@ -16,6 +16,11 @@
 
 #include <cstdint>
 
+namespace secproc::obs
+{
+class TraceSink;
+}
+
 namespace secproc::sim
 {
 
@@ -46,6 +51,14 @@ class BackgroundAgent
      * forget it ever issued it.
      */
     virtual void reset() {}
+
+    /**
+     * Attach (or with nullptr detach) a trace sink. Called by
+     * System::setTraceSink() so agents can emit timeline events;
+     * agents without a timeline ignore it. Emitting events must
+     * never perturb timing state.
+     */
+    virtual void setTraceSink(obs::TraceSink *) {}
 };
 
 } // namespace secproc::sim

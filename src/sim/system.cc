@@ -52,6 +52,7 @@ System::System(const SystemConfig &config, std::vector<TaskSpec> tasks)
     engine_->setCompartment(tasks_.front().compartment);
     registerPlaintextRegions();
     preinitializeRegions();
+    registerMetrics(metrics_);
 }
 
 Workload &
@@ -100,6 +101,10 @@ System::switchToTask(size_t idx, SncSwitchPolicy policy)
         core_.cycles(), policy == SncSwitchPolicy::Flush);
     active_task_ = idx;
     engine_->setCompartment(tasks_[idx].compartment);
+    if (trace_ != nullptr) {
+        trace_->instant(trace_track_, "context_switch", core_.cycles(),
+                        {{"task", idx}});
+    }
 }
 
 void
@@ -400,7 +405,21 @@ void
 System::attachAgent(BackgroundAgent *agent)
 {
     fatal_if(agent == nullptr, "cannot attach a null agent");
+    if (trace_ != nullptr)
+        agent->setTraceSink(trace_);
     agents_.push_back(agent);
+}
+
+void
+System::setTraceSink(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    if (sink != nullptr)
+        trace_track_ = sink->track("system");
+    channel_.setTraceSink(sink);
+    crypto_engine_.setTraceSink(sink);
+    for (BackgroundAgent *agent : agents_)
+        agent->setTraceSink(sink);
 }
 
 void
@@ -426,6 +445,8 @@ System::reset()
     outstanding_.clear();
     for (BackgroundAgent *agent : agents_)
         agent->reset();
+    if (trace_ != nullptr)
+        trace_->instant(trace_track_, "machine_reset", core_.cycles());
 }
 
 void
@@ -447,75 +468,157 @@ System::run(uint64_t instructions)
 void
 System::beginMeasurement()
 {
-    base_cycles_ = core_.cycles();
-    base_instructions_ = core_.instructions();
-    base_l2_misses_ = l2_.misses();
-    base_l2_accesses_ = l2_.hits() + l2_.misses();
-    base_data_bytes_ = channel_.dataBytes();
-    base_seqnum_bytes_ = channel_.seqnumBytes();
+    measure_base_ = metrics_.snapshot();
+    // Mark the window on the timeline; also guarantees a traced run
+    // is never event-free (core demand traffic is untraced by
+    // design, so a quiet foreground-only run would otherwise be).
+    if (trace_ != nullptr)
+        trace_->instant(trace_track_, "measure_begin", core_.cycles());
 }
 
 RunStats
 System::stats() const
 {
+    // Counters delta against the beginMeasurement() snapshot; before
+    // it measure_base_ is empty and delta() subtracts zero, so the
+    // window is the whole run — the same semantics the hand-kept
+    // base_* fields used to have.
+    const obs::MetricsSnapshot now = metrics_.snapshot();
+    const obs::MetricsSnapshot window = now.delta(measure_base_);
     RunStats stats;
-    stats.instructions = core_.instructions() - base_instructions_;
-    stats.cycles = core_.cycles() - base_cycles_;
-    stats.l2_misses = l2_.misses() - base_l2_misses_;
-    stats.l2_accesses =
-        l2_.hits() + l2_.misses() - base_l2_accesses_;
+    stats.instructions = window.u64("core.instructions");
+    stats.cycles = window.u64("core.cycles");
+    stats.l2_misses = window.u64("l2.misses");
+    stats.l2_accesses = window.u64("l2.accesses");
     stats.ipc = stats.cycles == 0
                     ? 0.0
                     : static_cast<double>(stats.instructions) /
                           static_cast<double>(stats.cycles);
-    stats.data_bytes = channel_.dataBytes() - base_data_bytes_;
-    stats.seqnum_bytes = channel_.seqnumBytes() - base_seqnum_bytes_;
-    stats.fast_fills = engine_->fastFills();
-    stats.slow_fills = engine_->slowFills();
-    if (const auto *otp =
-            dynamic_cast<const secure::OtpEngine *>(engine_.get())) {
-        stats.snc_query_misses = otp->snc().queryMisses();
-    }
+    stats.data_bytes = window.u64("channel.data_bytes");
+    stats.seqnum_bytes = window.u64("channel.seqnum_bytes");
+    // Fill and SNC counts report whole-run absolutes, not window
+    // deltas (Figure 5/9 consumers want totals).
+    stats.fast_fills = now.u64("engine.fast_fills");
+    stats.slow_fills = now.u64("engine.slow_fills");
+    stats.snc_query_misses = now.u64("snc.query_misses");
     return stats;
+}
+
+void
+System::registerMetrics(obs::MetricsRegistry &reg) const
+{
+    // Component StatGroups, bridged under their existing prefixes.
+    util::StatGroup l1i_group("l1i"), l1d_group("l1d"), l2_group("l2");
+    l1i_.regStats(l1i_group);
+    l1d_.regStats(l1d_group);
+    l2_.regStats(l2_group);
+    reg.group(l1i_group);
+    reg.group(l1d_group);
+    reg.group(l2_group);
+
+    util::StatGroup core_group("core");
+    core_.regStats(core_group);
+    reg.group(core_group);
+
+    util::StatGroup engine_group(engine_->name());
+    engine_->regStats(engine_group);
+    reg.group(engine_group);
+
+    // Canonical anchors the measurement window is defined over. The
+    // core's StatGroup registers event mixes, not cycles, so these
+    // cannot collide with the bridged names above.
+    const OooCore *core = &core_;
+    reg.counterFn("core.cycles", [core] { return core->cycles(); });
+    reg.counterFn("core.instructions",
+                  [core] { return core->instructions(); });
+    const mem::Cache *l2 = &l2_;
+    reg.counterFn("l2.accesses",
+                  [l2] { return l2->hits() + l2->misses(); });
+
+    // Channel traffic: grouped, per category, per agent.
+    const mem::MemoryChannel *ch = &channel_;
+    reg.counterFn("channel.data_bytes",
+                  [ch] { return ch->dataBytes(); });
+    reg.counterFn("channel.seqnum_bytes",
+                  [ch] { return ch->seqnumBytes(); });
+    reg.counterFn("channel.mac_bytes", [ch] { return ch->macBytes(); });
+    reg.counterFn("channel.update_bytes",
+                  [ch] { return ch->updateBytes(); });
+    reg.counterFn("channel.total_bytes",
+                  [ch] { return ch->totalBytes(); });
+    reg.counterFn("channel.busy_cycles",
+                  [ch] { return ch->busyCycles(); });
+    for (size_t i = 0;
+         i < static_cast<size_t>(mem::Traffic::NumCategories); ++i) {
+        const auto category = static_cast<mem::Traffic>(i);
+        const std::string name = mem::trafficName(category);
+        reg.counterFn("channel." + name + "_bytes",
+                      [ch, category] { return ch->bytes(category); });
+        reg.counterFn("channel." + name + "_transactions",
+                      [ch, category] {
+                          return ch->transactions(category);
+                      });
+    }
+    for (size_t i = 0; i < channel_.agentCount(); ++i) {
+        const auto agent = static_cast<mem::AgentId>(i);
+        const std::string prefix =
+            "channel.agent." + channel_.agentName(agent);
+        reg.counterFn(prefix + ".bytes",
+                      [ch, agent] { return ch->agentBytes(agent); });
+        reg.counterFn(prefix + ".transactions", [ch, agent] {
+            return ch->agentTransactions(agent);
+        });
+        reg.counterFn(prefix + ".stall_cycles", [ch, agent] {
+            return ch->agentStallCycles(agent);
+        });
+        reg.gaugeFn(prefix + ".max_stall_cycles", [ch, agent] {
+            return static_cast<double>(ch->agentMaxStallCycles(agent));
+        });
+    }
+    reg.counterFn("channel.bg.grants",
+                  [ch] { return ch->backgroundGrants(); });
+    reg.counterFn("channel.bg.forced_grants",
+                  [ch] { return ch->backgroundForcedGrants(); });
+
+    // Shared crypto engine occupancy.
+    const crypto::CryptoEngineModel *crypto = &crypto_engine_;
+    reg.counterFn("crypto.operations",
+                  [crypto] { return crypto->operations(); });
+    reg.counterFn("crypto.reserved_operations",
+                  [crypto] { return crypto->reservedOperations(); });
+    reg.gaugeFn("crypto.busy_until", [crypto] {
+        return static_cast<double>(crypto->busyUntil());
+    });
+
+    // Model-independent protection-engine anchors (the bridged group
+    // above is prefixed with the model's own name).
+    const secure::ProtectionEngine *eng = engine_.get();
+    reg.counterFn("engine.fast_fills",
+                  [eng] { return eng->fastFills(); });
+    reg.counterFn("engine.slow_fills",
+                  [eng] { return eng->slowFills(); });
+    reg.counterFn("snc.query_misses", [eng]() -> uint64_t {
+        const auto *otp =
+            dynamic_cast<const secure::OtpEngine *>(eng);
+        return otp == nullptr ? 0 : otp->snc().queryMisses();
+    });
+
+    reg.counterFn("sys.context_switches",
+                  [this] { return context_switches_; });
+    reg.counterFn("sys.switch_flush_spills",
+                  [this] { return switch_spills_; });
 }
 
 void
 System::dumpStats(std::ostream &os) const
 {
-    util::StatGroup l1i_group("l1i"), l1d_group("l1d"), l2_group("l2");
-    l1i_.regStats(l1i_group);
-    l1d_.regStats(l1d_group);
-    l2_.regStats(l2_group);
-    l1i_group.dump(os);
-    l1d_group.dump(os);
-    l2_group.dump(os);
-
-    util::StatGroup core_group("core");
-    core_.regStats(core_group);
-    core_group.dump(os);
-
-    util::StatGroup engine_group(engine_->name());
-    engine_->regStats(engine_group);
-    engine_group.dump(os);
-
     channel_.assertFullyAttributed();
-    os << "channel.data_bytes " << channel_.dataBytes() << '\n';
-    os << "channel.seqnum_bytes " << channel_.seqnumBytes() << '\n';
-    for (const auto &row : channel_.byCategory()) {
-        if (row.transactions == 0)
-            continue;
-        os << "channel." << row.name << "_bytes " << row.bytes << '\n';
-    }
-    for (mem::AgentId agent = 0; agent < channel_.agentCount();
-         ++agent) {
-        os << "channel.agent." << channel_.agentName(agent)
-           << "_bytes " << channel_.agentBytes(agent) << '\n';
-    }
-    os << "crypto.operations " << crypto_engine_.operations() << '\n';
-    os << "crypto.reserved_operations "
-       << crypto_engine_.reservedOperations() << '\n';
-    os << "cycles " << core_.cycles() << '\n';
-    os << "instructions " << core_.instructions() << '\n';
+    // A fresh registry, not metrics_: channel agents registered after
+    // construction (a live installer, an OTA DMA master) must show up
+    // in the dump.
+    obs::MetricsRegistry registry;
+    registerMetrics(registry);
+    registry.snapshot().dump(os);
 }
 
 SystemConfig

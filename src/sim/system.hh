@@ -23,6 +23,8 @@
 #include "mem/memory_channel.hh"
 #include "mem/on_chip_store.hh"
 #include "mem/virtual_memory.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "secure/engines.hh"
 #include "secure/protection_engine.hh"
 #include "sim/agent.hh"
@@ -184,7 +186,34 @@ class System : public MemorySystem
     mem::VirtualMemory &virtualMemory() { return vm_; }
     /** @} */
 
-    /** Dump all component statistics. */
+    /**
+     * Register every machine metric with @p reg under its canonical
+     * hierarchical name: the cache/core/engine StatGroups bridged
+     * verbatim, plus channel traffic (total, per category, per
+     * agent), arbiter grants and stalls, crypto-engine occupancy and
+     * measurement anchors ("core.cycles", "l2.accesses", ...). The
+     * registry binds live sources, so one registration serves any
+     * number of later snapshots. Agents registered with the channel
+     * *after* this call are absent — build a fresh registry (as
+     * dumpStats does) to pick them up.
+     */
+    void registerMetrics(obs::MetricsRegistry &reg) const;
+
+    /** The system-lifetime registry backing stats(). */
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Attach @p sink (nullptr detaches) to every traced component:
+     * the memory channel's arbiter, the shared crypto engine's
+     * reservations, and every attached agent (agents attached later
+     * inherit the sink). The System's own "system" track carries
+     * context-switch and machine-reset instants. Tracing only
+     * records what already happened — timing is bit-identical with
+     * or without a sink.
+     */
+    void setTraceSink(obs::TraceSink *sink);
+
+    /** Dump all component statistics (a fresh-registry snapshot). */
     void dumpStats(std::ostream &os) const;
 
   private:
@@ -217,13 +246,13 @@ class System : public MemorySystem
     /** Functional-store content counter (see functionalStore). */
     uint64_t store_salt_ = 0;
 
-    // Measurement baselines (beginMeasurement snapshots).
-    uint64_t base_cycles_ = 0;
-    uint64_t base_instructions_ = 0;
-    uint64_t base_l2_misses_ = 0;
-    uint64_t base_l2_accesses_ = 0;
-    uint64_t base_data_bytes_ = 0;
-    uint64_t base_seqnum_bytes_ = 0;
+    /** System-lifetime metrics (bound once, in the constructor). */
+    obs::MetricsRegistry metrics_;
+    /** Snapshot taken by beginMeasurement(); empty before it. */
+    obs::MetricsSnapshot measure_base_;
+
+    obs::TraceSink *trace_ = nullptr;
+    obs::TrackId trace_track_ = 0;
 
     /** The active task's workload. */
     Workload &workload() const;

@@ -152,6 +152,64 @@ InstallTiming::phaseItems(Phase phase) const
     return 0;
 }
 
+const char *
+InstallTiming::phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::AdmissionRead: return "admission_read";
+      case Phase::AdmissionSig: return "admission_sig";
+      case Phase::StageWrite: return "stage_write";
+      case Phase::ReverifyRead: return "reverify_read";
+      case Phase::ReverifySig: return "reverify_sig";
+      case Phase::LoadWrite: return "load_write";
+      case Phase::CapsuleUnwrap: return "capsule_unwrap";
+      case Phase::Attest: return "attest";
+      case Phase::Idle: return "idle";
+    }
+    panic("unknown install phase");
+}
+
+void
+InstallTiming::setTraceSink(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    if (sink != nullptr)
+        trace_track_ = sink->track(config_.agent_name);
+}
+
+void
+InstallTiming::registerMetrics(obs::MetricsRegistry &reg) const
+{
+    static constexpr Phase kAccounted[] = {
+        Phase::AdmissionRead, Phase::AdmissionSig, Phase::StageWrite,
+        Phase::ReverifyRead,  Phase::ReverifySig,  Phase::LoadWrite,
+        Phase::CapsuleUnwrap, Phase::Attest,
+    };
+    for (const Phase phase : kAccounted) {
+        reg.counterFn(std::string("updater.phase.") + phaseName(phase) +
+                          "_cycles",
+                      [this, phase] {
+                          return phase_cycles_[static_cast<size_t>(
+                              phase)];
+                      });
+    }
+    reg.counterFn("updater.installs_completed",
+                  [this] { return installs_completed_; });
+}
+
+void
+InstallTiming::closePhaseSpan()
+{
+    if (phase_ == Phase::Idle || cursor_ < phase_started_at_)
+        return;
+    phase_cycles_[static_cast<size_t>(phase_)] +=
+        cursor_ - phase_started_at_;
+    if (trace_ != nullptr && cursor_ > phase_started_at_) {
+        trace_->duration(trace_track_, phaseName(phase_),
+                         phase_started_at_, cursor_);
+    }
+}
+
 void
 InstallTiming::completePhase()
 {
@@ -164,8 +222,10 @@ InstallTiming::completePhase()
 void
 InstallTiming::enterPhase(Phase phase)
 {
+    closePhaseSpan();
     phase_ = phase;
     phase_index_ = 0;
+    phase_started_at_ = cursor_;
     // Fall through phases the plan or config leaves empty, so
     // issueNext() always has work.
     if (phase_ != Phase::Idle && phaseItems(phase_) == 0)
@@ -175,6 +235,10 @@ InstallTiming::enterPhase(Phase phase)
 void
 InstallTiming::finishInstall()
 {
+    closePhaseSpan();
+    // The span just closed; rebase so the repeat path's enterPhase
+    // (which closes again) accumulates zero, not a duplicate.
+    phase_started_at_ = cursor_;
     ++installs_completed_;
     last_install_cycles_ = cursor_ - install_start_;
     if (repeat_) {

@@ -34,11 +34,14 @@
 #ifndef SECPROC_UPDATE_INSTALL_TIMING_HH
 #define SECPROC_UPDATE_INSTALL_TIMING_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "crypto/latency.hh"
 #include "mem/memory_channel.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/agent.hh"
 #include "update/manifest.hh"
 
@@ -172,6 +175,20 @@ class InstallTiming : public sim::BackgroundAgent
     /** Channel agent id this replay's traffic is attributed to. */
     mem::AgentId agent() const { return agent_; }
 
+    /**
+     * Trace the replay onto @p sink (nullptr detaches): one span per
+     * pipeline phase on a track named after the channel agent.
+     * Inherited from System::setTraceSink when attached.
+     */
+    void setTraceSink(obs::TraceSink *sink) override;
+
+    /**
+     * Register per-phase cycle accounting
+     * ("updater.phase.<name>_cycles") and install progress counters
+     * with @p reg.
+     */
+    void registerMetrics(obs::MetricsRegistry &reg) const;
+
   private:
     enum class Phase
     {
@@ -202,6 +219,14 @@ class InstallTiming : public sim::BackgroundAgent
     /** Arbiter pacing: a channel request is in flight. */
     bool waiting_ = false;
 
+    /** Cycle the current phase was entered (span start). */
+    uint64_t phase_started_at_ = 0;
+    /** Cycles spent per phase, indexed by Phase. */
+    std::array<uint64_t, 9> phase_cycles_{};
+
+    obs::TraceSink *trace_ = nullptr;
+    obs::TrackId trace_track_ = 0;
+
     /** Issue the next transaction/reservation; advances cursor_. */
     void issueNext();
 
@@ -211,6 +236,12 @@ class InstallTiming : public sim::BackgroundAgent
 
     /** Successor in the fixed install pipeline (sole ordering map). */
     static Phase nextPhase(Phase phase);
+
+    /** Short phase name for traces and metrics. */
+    static const char *phaseName(Phase phase);
+
+    /** Close the running phase's span (cycles + trace duration). */
+    void closePhaseSpan();
 
     /** How many issueNext() items the plan puts in @p phase. */
     uint64_t phaseItems(Phase phase) const;

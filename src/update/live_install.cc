@@ -89,6 +89,8 @@ LiveInstall::start(const UpdateBundle &bundle, uint64_t cycle)
     finished_at_ = cycle;
     activated_at_ = 0;
     staged_bytes_ = 0;
+    phase_started_at_ = cycle;
+    phase_cycles_.fill(0);
     admission_.reset();
     result_.reset();
     bundle_.reset();
@@ -97,9 +99,62 @@ LiveInstall::start(const UpdateBundle &bundle, uint64_t cycle)
 void
 LiveInstall::reset()
 {
+    if (trace_ != nullptr && !done())
+        trace_->instant(trace_track_, "power_cut_reset", cursor_);
     phase_ = LiveInstallPhase::Idle;
     phase_index_ = 0;
     waiting_ = false;
+}
+
+void
+LiveInstall::setTraceSink(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    if (sink != nullptr)
+        trace_track_ = sink->track("install");
+    transport_.setTraceSink(sink);
+    updater_.setTrace(sink);
+}
+
+void
+LiveInstall::registerMetrics(obs::MetricsRegistry &reg) const
+{
+    static constexpr LiveInstallPhase kAccounted[] = {
+        LiveInstallPhase::Admission, LiveInstallPhase::Stage,
+        LiveInstallPhase::Reverify,  LiveInstallPhase::Load,
+        LiveInstallPhase::Attest,
+    };
+    for (const LiveInstallPhase phase : kAccounted) {
+        reg.counterFn(std::string("install.phase.") +
+                          liveInstallPhaseName(phase) + "_cycles",
+                      [this, phase] { return phaseCycles(phase); });
+    }
+    reg.counterFn("install.staged_bytes",
+                  [this] { return staged_bytes_; });
+}
+
+void
+LiveInstall::closePhaseSpan()
+{
+    if (phase_ == LiveInstallPhase::Idle ||
+        phase_ == LiveInstallPhase::Done ||
+        phase_ == LiveInstallPhase::Failed || cursor_ < phase_started_at_)
+        return;
+    phase_cycles_[static_cast<size_t>(phase_)] +=
+        cursor_ - phase_started_at_;
+    if (trace_ != nullptr) {
+        trace_->duration(trace_track_, liveInstallPhaseName(phase_),
+                         phase_started_at_, cursor_);
+    }
+}
+
+void
+LiveInstall::enterPhase(LiveInstallPhase next)
+{
+    closePhaseSpan();
+    phase_ = next;
+    phase_index_ = 0;
+    phase_started_at_ = cursor_;
 }
 
 void
@@ -232,6 +287,7 @@ LiveInstall::renderAdmission()
 void
 LiveInstall::finish(LiveInstallPhase terminal)
 {
+    closePhaseSpan();
     phase_ = terminal;
     finished_at_ = cursor_;
 }
@@ -244,6 +300,7 @@ LiveInstall::completePhase()
       case LiveInstallPhase::Admission: {
         // Manifest signature check, then the functional verdict.
         cursor_ = engine.reserve(cursor_, config_.signature_engine_ops);
+        updater_.setTraceCycle(cursor_);
         renderAdmission();
         if (!admission_->ok()) {
             result_ = InstallResult{admission_->status,
@@ -252,8 +309,7 @@ LiveInstall::completePhase()
             finish(LiveInstallPhase::Failed);
             return;
         }
-        phase_ = LiveInstallPhase::Stage;
-        phase_index_ = 0;
+        enterPhase(LiveInstallPhase::Stage);
         return;
       }
       case LiveInstallPhase::Stage: {
@@ -261,6 +317,7 @@ LiveInstall::completePhase()
         // staged-pending state (stage() re-verifies, as the
         // functional plane always does, and rewrites the same
         // bytes).
+        updater_.setTraceCycle(cursor_);
         const VerifyResult staged =
             updater_.stage(*bundle_, system_.mainMemory());
         if (!staged.ok()) {
@@ -270,21 +327,20 @@ LiveInstall::completePhase()
             finish(LiveInstallPhase::Failed);
             return;
         }
-        phase_ = LiveInstallPhase::Reverify;
-        phase_index_ = 0;
+        enterPhase(LiveInstallPhase::Reverify);
         return;
       }
       case LiveInstallPhase::Reverify: {
         // Staged-manifest signature re-check.
         cursor_ = engine.reserve(cursor_, config_.signature_engine_ops);
-        phase_ = LiveInstallPhase::Load;
-        phase_index_ = 0;
+        enterPhase(LiveInstallPhase::Load);
         return;
       }
       case LiveInstallPhase::Load: {
         // Key capsule unwrap, then the atomic functional commit:
         // this is the one cycle the new image becomes active.
         cursor_ = engine.reserve(cursor_, config_.signature_engine_ops);
+        updater_.setTraceCycle(cursor_);
         result_ = updater_.activate(compartment_, system_.mainMemory(),
                                     system_.virtualMemory(),
                                     config_.asid, system_.engine());
@@ -297,8 +353,7 @@ LiveInstall::completePhase()
             finish(LiveInstallPhase::Done);
             return;
         }
-        phase_ = LiveInstallPhase::Attest;
-        phase_index_ = 0;
+        enterPhase(LiveInstallPhase::Attest);
         return;
       }
       case LiveInstallPhase::Attest:

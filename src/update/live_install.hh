@@ -47,11 +47,14 @@
 #ifndef SECPROC_UPDATE_LIVE_INSTALL_HH
 #define SECPROC_UPDATE_LIVE_INSTALL_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "ota/transport.hh"
 #include "sim/system.hh"
 #include "update/install_timing.hh"
@@ -156,6 +159,28 @@ class LiveInstall : public sim::BackgroundAgent
      */
     void reset() override;
 
+    /**
+     * Trace the install onto @p sink (nullptr detaches): an
+     * "install" track carries one span per phase (admission, stage,
+     * reverify, load, attest) plus a power-cut instant, and the sink
+     * propagates to the transport's "ota" track and the functional
+     * engine's security-decision instants. Inherited automatically
+     * from System::setTraceSink when the agent is attached.
+     */
+    void setTraceSink(obs::TraceSink *sink) override;
+
+    /**
+     * Register per-phase cycle accounting ("install.phase.<name>_
+     * cycles") and staged-byte progress with @p reg.
+     */
+    void registerMetrics(obs::MetricsRegistry &reg) const;
+
+    /** Cycles spent in @p phase across this install so far. */
+    uint64_t phaseCycles(LiveInstallPhase phase) const
+    {
+        return phase_cycles_[static_cast<size_t>(phase)];
+    }
+
     /** Run the install to completion on an otherwise idle machine.
      *  @return the cycle the install finished (or failed). */
     uint64_t replay();
@@ -224,6 +249,14 @@ class LiveInstall : public sim::BackgroundAgent
     uint64_t finished_at_ = 0;
     uint64_t activated_at_ = 0;
 
+    /** Cycle the current phase was entered (span start). */
+    uint64_t phase_started_at_ = 0;
+    /** Cycles spent per phase, indexed by LiveInstallPhase. */
+    std::array<uint64_t, 8> phase_cycles_{};
+
+    obs::TraceSink *trace_ = nullptr;
+    obs::TrackId trace_track_ = 0;
+
     /** Pump transport arrivals up to @p cycle into memory. */
     void pumpTransport(uint64_t cycle);
 
@@ -238,6 +271,14 @@ class LiveInstall : public sim::BackgroundAgent
     void completePhase();
 
     void finish(LiveInstallPhase terminal);
+
+    /**
+     * Close the running phase's span (accumulate its cycles, emit
+     * its trace duration) and enter @p next at the cursor.
+     */
+    void enterPhase(LiveInstallPhase next);
+    void closePhaseSpan();
+
     uint64_t phaseItems(LiveInstallPhase phase) const;
     uint64_t lineAddr(LiveInstallPhase phase, uint64_t index) const;
     void functionalStageLine(uint64_t index);

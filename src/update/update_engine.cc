@@ -162,14 +162,21 @@ UpdateEngine::verify(const UpdateBundle &bundle) const
     // 4. Anti-rollback: strictly monotonic per title, with bank
     //    exhaustion reported as its own condition (a provisioning
     //    limit, not an attack).
-    if (manifest.rollback_counter <=
-        rollback_.current(manifest.title)) {
+    const uint64_t stored_counter = rollback_.current(manifest.title);
+    if (trace_ != nullptr) {
+        trace_->instant(
+            trace_track_, "decision.sequence_check", trace_cycle_,
+            {{"counter", manifest.rollback_counter},
+             {"stored", stored_counter},
+             {"pass", manifest.rollback_counter > stored_counter}});
+    }
+    if (manifest.rollback_counter <= stored_counter) {
         return {UpdateStatus::Rollback,
                 "rollback counter " +
                     std::to_string(manifest.rollback_counter) +
                     " not above stored " +
-                    std::to_string(rollback_.current(manifest.title)) +
-                    " for '" + manifest.title + "'"};
+                    std::to_string(stored_counter) + " for '" +
+                    manifest.title + "'"};
     }
     if (!rollback_.hasSlotFor(manifest.title)) {
         return {UpdateStatus::CounterBankFull,
@@ -256,6 +263,10 @@ UpdateEngine::activate(secure::CompartmentId compartment,
     // The staging area is outside the boundary: everything gets
     // re-verified before any state changes.
     const VerifyResult admission = verify(*staged);
+    if (trace_ != nullptr) {
+        trace_->instant(trace_track_, "decision.reverify_at_activation",
+                        trace_cycle_, {{"pass", admission.ok()}});
+    }
     if (!admission.ok()) {
         // Anything that re-fails here was verified clean at stage()
         // and has since been damaged in untrusted memory — except
@@ -295,6 +306,14 @@ UpdateEngine::activate(secure::CompartmentId compartment,
 
     return {UpdateStatus::Ok, {}, compartment, loaded.entry_point,
             slot};
+}
+
+void
+UpdateEngine::setTrace(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    if (sink != nullptr)
+        trace_track_ = sink->track("update_engine");
 }
 
 InstallResult

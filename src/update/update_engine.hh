@@ -31,6 +31,7 @@
 #include "crypto/rsa.hh"
 #include "mem/main_memory.hh"
 #include "mem/virtual_memory.hh"
+#include "obs/trace.hh"
 #include "secure/key_table.hh"
 #include "secure/protection_engine.hh"
 #include "update/manifest.hh"
@@ -232,6 +233,20 @@ class UpdateEngine
 
     const RollbackStore &rollback() const { return rollback_; }
 
+    /**
+     * Trace security decisions onto @p sink (nullptr detaches): the
+     * "update_engine" track carries one instant per anti-rollback
+     * sequence-number comparison and per re-verification at
+     * activation, each tagged pass/fail. The functional engine has
+     * no clock of its own — a cycle-plane driver stamps the current
+     * cycle via setTraceCycle() before calling into it (0 for pure
+     * functional callers like update_tool).
+     */
+    void setTrace(obs::TraceSink *sink);
+
+    /** Cycle stamped onto subsequently traced decisions. */
+    void setTraceCycle(uint64_t cycle) { trace_cycle_ = cycle; }
+
   private:
     crypto::RsaPublicKey vendor_key_;
     crypto::RsaKeyPair processor_key_;
@@ -241,6 +256,10 @@ class UpdateEngine
     RollbackStore &rollback_;
     StagingConfig staging_;
     xom::SecureLoader loader_;
+
+    obs::TraceSink *trace_ = nullptr;
+    obs::TrackId trace_track_ = 0;
+    uint64_t trace_cycle_ = 0;
 
     uint32_t active_slot_ = 1; // first stage() lands in slot 0 (A)
     bool staged_pending_ = false;

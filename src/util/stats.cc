@@ -68,6 +68,28 @@ Histogram::mean() const
     return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
 }
 
+double
+Histogram::percentile(double p) const
+{
+    fatal_if(p < 0.0 || p > 1.0, "percentile wants p in [0, 1], got ",
+             p);
+    if (total_ == 0)
+        return 0.0;
+    // Rank of the p-quantile sample, 1-based; p == 0 maps to the
+    // first sample so the result is always a populated bucket edge.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(p * static_cast<double>(total_)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return bucket_width_ * static_cast<double>(i + 1);
+    }
+    // The quantile landed in the overflow bucket (out-of-range
+    // samples); report the histogram's covered upper bound.
+    return bucket_width_ * static_cast<double>(buckets_.size());
+}
+
 void
 Histogram::reset()
 {

@@ -75,6 +75,13 @@ class Histogram
     double bucketWidth() const { return bucket_width_; }
     double mean() const;
 
+    /**
+     * Upper edge of the bucket holding the @p p-quantile sample
+     * (p in [0, 1]); samples in the overflow bucket report the
+     * histogram's upper bound. 0 when the histogram is empty.
+     */
+    double percentile(double p) const;
+
     void reset();
 
   private:
@@ -106,6 +113,18 @@ class StatGroup
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
+
+    /** Registered statistics, for registry bridges. @{ */
+    const std::map<std::string, const Counter *> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, const Accumulator *> &
+    accumulators() const
+    {
+        return accumulators_;
+    }
+    /** @} */
 
   private:
     std::string name_;

@@ -21,8 +21,13 @@
 #include <map>
 #include <string>
 
+#include <cstdlib>
+#include <fstream>
+
 #include "crypto/latency.hh"
 #include "exp/runner.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/profiles.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -56,6 +61,8 @@ struct Options
     unsigned threads = 1;
     bool write_json = false;
     std::string json_path;
+    std::string trace_out;
+    std::string metrics_json;
 };
 
 [[noreturn]] void
@@ -84,7 +91,12 @@ usage(int code)
         "  --l2-kb=N --l2-assoc=N L2 geometry (default 256KB 4-way)\n"
         "  --mshrs=N              outstanding misses (default 8)\n"
         "  --dump-stats           print all component statistics\n"
-        "                         (single benchmark only)\n";
+        "                         (single benchmark only)\n"
+        "  --trace-out=PATH       write a Chrome/Perfetto trace of\n"
+        "                         the run (single benchmark only;\n"
+        "                         also SECPROC_TRACE)\n"
+        "  --metrics-json=PATH    write the metrics registry snapshot\n"
+        "                         as flat JSON (single benchmark only)\n";
     std::exit(code);
 }
 
@@ -103,6 +115,8 @@ parse(int argc, char **argv)
 {
     Options options;
     options.threads = exp::RunnerOptions::fromEnvironment().threads;
+    if (const char *path = std::getenv("SECPROC_TRACE"))
+        options.trace_out = path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto starts = [&arg](const char *prefix) {
@@ -156,6 +170,10 @@ parse(int argc, char **argv)
             options.mshrs = static_cast<uint32_t>(parseValue(arg));
         else if (arg == "--dump-stats")
             options.dump_stats = true;
+        else if (starts("--trace-out="))
+            options.trace_out = arg.substr(12);
+        else if (starts("--metrics-json="))
+            options.metrics_json = arg.substr(15);
         else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(1);
@@ -258,20 +276,42 @@ main(int argc, char **argv)
 
     const std::vector<std::string> benches = benchList(options.bench);
 
-    if (options.dump_stats) {
-        // Component statistics need the live System, so this path
-        // runs outside the Runner and stays single-benchmark.
+    const bool direct = options.dump_stats ||
+                        !options.trace_out.empty() ||
+                        !options.metrics_json.empty();
+    if (direct) {
+        // Component statistics, traces and metrics snapshots need
+        // the live System, so this path runs outside the Runner and
+        // stays single-benchmark.
         fatal_if(benches.size() != 1,
-                 "--dump-stats works on a single benchmark");
+                 "--dump-stats/--trace-out/--metrics-json work on a "
+                 "single benchmark");
         sim::SyntheticWorkload workload(
             sim::benchmarkProfile(benches[0]), config.l2.line_size);
         sim::System system(config, workload);
+        obs::TraceSink trace;
+        if (!options.trace_out.empty())
+            system.setTraceSink(&trace);
         system.run(options.warmup);
         system.beginMeasurement();
         system.run(options.instructions);
         printSummary(benches[0], options, system.stats());
-        std::cout << "\n-- full component statistics --\n";
-        system.dumpStats(std::cout);
+        if (options.dump_stats) {
+            std::cout << "\n-- full component statistics --\n";
+            system.dumpStats(std::cout);
+        }
+        if (!options.trace_out.empty()) {
+            trace.writeChromeJson(options.trace_out);
+            inform("wrote ", options.trace_out);
+        }
+        if (!options.metrics_json.empty()) {
+            std::ofstream out(options.metrics_json);
+            fatal_if(!out, "cannot open '", options.metrics_json,
+                     "' for writing");
+            out << system.metrics().snapshot().toJson().dump(2)
+                << "\n";
+            inform("wrote ", options.metrics_json);
+        }
         return 0;
     }
 

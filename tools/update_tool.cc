@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "secure/engines.hh"
 #include "update/attestation.hh"
 #include "update/image_builder.hh"
@@ -59,7 +60,11 @@ usage(int code)
         "  install --bundle=FILE --vendor=PUBFILE --processor=PREFIX\n"
         "          [--state=FILE]\n"
         "  attest  --processor=PREFIX --vendor=PUBFILE --bundle=FILE\n"
-        "          [--state=FILE] [--nonce=HEX]\n";
+        "          [--state=FILE] [--nonce=HEX]\n"
+        "  any verify/install command also accepts --trace-out=FILE:\n"
+        "          write the engine's security-decision instants as a\n"
+        "          Chrome/Perfetto trace (steps stamped 0,1,... — the\n"
+        "          functional engine has no cycle clock)\n";
     std::exit(code);
 }
 
@@ -145,6 +150,7 @@ struct Options
     std::string scheme = "otp";
     std::string cipher = "des";
     std::string nonce_hex;
+    std::string trace_out;
     unsigned bits = 512;
     uint64_t seed = 1;
     uint32_t version = 1;
@@ -183,6 +189,7 @@ parse(int argc, char **argv)
         else if (key == "scheme") options.scheme = value;
         else if (key == "cipher") options.cipher = value;
         else if (key == "nonce") options.nonce_hex = value;
+        else if (key == "trace-out") options.trace_out = value;
         else if (key == "bits")
             options.bits =
                 static_cast<unsigned>(parseNumber(key, value));
@@ -340,10 +347,27 @@ cmdVerifyOrInstall(const Options &options, bool install)
                          readKeyPair(options.processor), keys,
                          rollback);
 
+    // Decision instants land at step numbers 0, 1, ... — the
+    // functional engine has no cycle clock of its own.
+    obs::TraceSink trace;
+    if (!options.trace_out.empty()) {
+        updater.setTrace(&trace);
+        updater.setTraceCycle(0);
+    }
+
+    auto flush_trace = [&] {
+        if (options.trace_out.empty())
+            return;
+        trace.writeChromeJson(options.trace_out);
+        std::cout << "wrote trace '" << options.trace_out << "'\n";
+    };
+
     // Admission first: nothing below may depend on unauthenticated
     // manifest fields (e.g. line_size) until verify() passes.
     const VerifyResult admission = updater.verify(bundle);
+    updater.setTraceCycle(1);
     if (!install || !admission.ok()) {
+        flush_trace();
         std::cout << updateStatusName(admission.status)
                   << (admission.detail.empty() ? ""
                                                : ": " + admission.detail)
@@ -360,6 +384,7 @@ cmdVerifyOrInstall(const Options &options, bool install)
     mem::VirtualMemory vm;
     const InstallResult result =
         updater.install(bundle, 1, memory, vm, 1, *engine);
+    flush_trace();
     std::cout << updateStatusName(result.status)
               << (result.detail.empty() ? "" : ": " + result.detail)
               << "\n";
