@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Summarise and validate a fleet rollout report produced by
+``fleet_tool --out`` (a ``RolloutResult::toJson`` document).
+
+Prints a per-wave summary table, then checks the structural
+invariants the simulator guarantees:
+
+* ``schema_version`` 1 and ``kind`` ``fleet_rollout``;
+* ``fleet``: ``eligible + skipped_no_quirk == devices``, at least
+  one shard, every ground-truth device reported;
+* waves: indices dense from 0, ``open_cycle`` non-decreasing,
+  ``close_cycle >= open_cycle``, ``offered == updated + failed``,
+  ``failure_rate`` consistent with the counts, ``p50 <= p99``,
+  and a ``halted_after`` wave only where the policy's threshold was
+  actually met;
+* exactly the halted waves are followed by rollback waves
+  (``totals.rollback_waves == totals.halts`` when the policy rolls
+  back on halt), and rollback waves fail nobody;
+* totals cross-check the per-wave sums, and ``device_hours.samples``
+  equals the healthy install count;
+* a ``converged`` report's ``convergence_cycle`` is the latest wave
+  close, and ground-truth devices are within the stated tolerance.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def print_waves(doc) -> None:
+    rows = [("wave", "kind", "release", "offered", "updated",
+             "failed", "fail%", "p50 h", "p99 h", "halted")]
+    for wave in doc.get("waves", []):
+        rows.append((
+            str(wave.get("index", "?")),
+            str(wave.get("kind", "?")),
+            str(wave.get("release", "?")),
+            str(wave.get("offered", "?")),
+            str(wave.get("updated", "?")),
+            str(wave.get("failed", "?")),
+            f"{100.0 * wave.get('failure_rate', 0.0):.2f}",
+            f"{wave.get('p50_device_hours', 0.0):.2f}",
+            f"{wave.get('p99_device_hours', 0.0):.2f}",
+            "HALT" if wave.get("halted_after") else "",
+        ))
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(cell.rjust(width)
+                        for cell, width in zip(row, widths)))
+
+
+def validate(path: Path, doc, errors: list) -> None:
+    if doc.get("schema_version") != 1:
+        fail(errors, f"{path}: schema_version is not 1")
+    if doc.get("kind") != "fleet_rollout":
+        fail(errors, f"{path}: kind is not 'fleet_rollout'")
+
+    policy = doc.get("policy", {})
+    fleet = doc.get("fleet", {})
+    totals = doc.get("totals", {})
+    waves = doc.get("waves", [])
+
+    if fleet.get("shards", 0) < 1:
+        fail(errors, f"{path}: fleet has no shards")
+    if (fleet.get("eligible", 0) + fleet.get("skipped_no_quirk", 0)
+            != fleet.get("devices", -1)):
+        fail(errors,
+             f"{path}: eligible + skipped_no_quirk != devices")
+
+    threshold = policy.get("failure_threshold", 1.0)
+    min_sample = policy.get("min_failure_sample", 0)
+    rollback_on_halt = policy.get("rollback_on_halt", False)
+
+    halts = 0
+    rollback_waves = 0
+    sum_updated = 0
+    sum_failed = 0
+    healthy_updates = 0
+    last_open = -1
+    last_close = 0
+    for i, wave in enumerate(waves):
+        where = f"{path}: waves[{i}]"
+        if wave.get("index") != i:
+            fail(errors, f"{where}: index {wave.get('index')} "
+                         f"is not dense")
+        if wave.get("kind") not in ("canary", "expansion",
+                                    "rollback"):
+            fail(errors, f"{where}: unknown kind "
+                         f"{wave.get('kind')!r}")
+        if wave.get("open_cycle", 0) < last_open:
+            fail(errors, f"{where}: waves not ordered by open_cycle")
+        last_open = wave.get("open_cycle", 0)
+        if wave.get("close_cycle", 0) < wave.get("open_cycle", 0):
+            fail(errors, f"{where}: close_cycle before open_cycle")
+        last_close = max(last_close, wave.get("close_cycle", 0))
+
+        offered = wave.get("offered", 0)
+        updated = wave.get("updated", 0)
+        failed = wave.get("failed", 0)
+        if offered != updated + failed:
+            fail(errors, f"{where}: offered != updated + failed")
+        if offered > 0:
+            rate = failed / offered
+            if abs(rate - wave.get("failure_rate", -1)) > 1e-9:
+                fail(errors, f"{where}: failure_rate inconsistent "
+                             f"with counts")
+        if wave.get("p50_device_hours", 0.0) > \
+                wave.get("p99_device_hours", 0.0) + 1e-9:
+            fail(errors, f"{where}: p50 above p99")
+
+        if wave.get("halted_after"):
+            halts += 1
+            if offered < min_sample:
+                fail(errors, f"{where}: halted below the policy's "
+                             f"min_failure_sample")
+            if wave.get("failure_rate", 0.0) < threshold:
+                fail(errors, f"{where}: halted below the policy's "
+                             f"failure threshold")
+        if wave.get("kind") == "rollback":
+            rollback_waves += 1
+            if failed != 0:
+                fail(errors, f"{where}: rollback wave reported "
+                             f"failures")
+        else:
+            healthy_updates += updated
+        sum_updated += updated
+        sum_failed += failed
+
+    if totals.get("halts") != halts:
+        fail(errors, f"{path}: totals.halts != halted waves")
+    if totals.get("rollback_waves") != rollback_waves:
+        fail(errors,
+             f"{path}: totals.rollback_waves != rollback waves")
+    if rollback_on_halt and rollback_waves != halts:
+        fail(errors, f"{path}: policy rolls back on halt but "
+                     f"rollback waves != halts")
+    if totals.get("failed_health") != sum_failed:
+        fail(errors,
+             f"{path}: totals.failed_health != per-wave failures")
+    if totals.get("updated", 0) + totals.get("rolled_back", 0) \
+            != sum_updated:
+        fail(errors, f"{path}: totals.updated + rolled_back != "
+                     f"per-wave updated sum")
+
+    hours = doc.get("device_hours", {})
+    if hours.get("samples") != totals.get("updated"):
+        fail(errors, f"{path}: device_hours.samples != "
+                     f"totals.updated")
+    if hours.get("p50", 0.0) > hours.get("p99", 0.0) + 1e-9:
+        fail(errors, f"{path}: device_hours p50 above p99")
+
+    if doc.get("converged"):
+        if doc.get("convergence_cycle") != last_close:
+            fail(errors, f"{path}: convergence_cycle is not the "
+                         f"latest wave close")
+
+    tolerance = fleet.get("tolerance", 0.0)
+    for i, gt in enumerate(doc.get("ground_truth", [])):
+        where = f"{path}: ground_truth[{i}]"
+        if not gt.get("functional_ok"):
+            fail(errors, f"{where}: install did not activate")
+        if not gt.get("within_tolerance"):
+            fail(errors, f"{where}: rel_error "
+                         f"{gt.get('rel_error', -1.0):.3f} exceeds "
+                         f"tolerance {tolerance}")
+    if len(doc.get("ground_truth", [])) != \
+            fleet.get("ground_truth_devices", -1):
+        fail(errors,
+             f"{path}: ground_truth count != fleet declaration")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("report", type=Path,
+                        help="rollout report JSON from fleet_tool "
+                             "--out")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary table")
+    args = parser.parse_args()
+
+    errors: list = []
+    try:
+        with args.report.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {args.report}: cannot parse: {exc}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print(f"error: {args.report}: top level is not an object",
+              file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        fleet = doc.get("fleet", {})
+        policy = doc.get("policy", {})
+        print(f"fleet rollout: policy {policy.get('name', '?')}, "
+              f"{fleet.get('devices', '?')} devices "
+              f"({fleet.get('eligible', '?')} eligible)")
+        print_waves(doc)
+        hours = doc.get("device_hours", {})
+        print(f"converged: {doc.get('converged')} at "
+              f"{doc.get('convergence_hours', 0.0):.2f} h; "
+              f"p99 device-hours "
+              f"{hours.get('p99', 0.0):.2f}")
+
+    validate(args.report, doc, errors)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{args.report}: OK — {len(doc.get('waves', []))} "
+              f"waves validated")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

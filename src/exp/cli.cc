@@ -14,21 +14,64 @@
 namespace secproc::exp
 {
 
+bool
+flag(const std::string &arg, const char *name)
+{
+    return arg == name;
+}
+
+bool
+flagValue(const std::string &arg, const char *prefix,
+          std::string *value)
+{
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    *value = arg.substr(std::string(prefix).size());
+    fatal_if(value->empty(), prefix, " needs a value");
+    return true;
+}
+
+bool
+flagU64(const std::string &arg, const char *prefix, uint64_t *value)
+{
+    std::string text;
+    if (!flagValue(arg, prefix, &text))
+        return false;
+    // parseU64's diagnostics name the flag without the '='.
+    std::string name(prefix);
+    if (!name.empty() && name.back() == '=')
+        name.pop_back();
+    *value = util::parseU64(text, name);
+    return true;
+}
+
+std::string
+traceOutFromEnvironment()
+{
+    const char *path = std::getenv("SECPROC_TRACE");
+    return path == nullptr ? "" : path;
+}
+
 BenchCli
 parseBenchCli(int argc, char **argv)
+{
+    return parseBenchCli(argc, argv, nullptr);
+}
+
+BenchCli
+parseBenchCli(int argc, char **argv,
+              const std::function<bool(const std::string &)> &extra,
+              const std::string &extra_help)
 {
     BenchCli cli;
     cli.runner = RunnerOptions::fromEnvironment();
     cli.options = RunOptions::fromEnvironment();
-    if (const char *path = std::getenv("SECPROC_TRACE"))
-        cli.trace_out = path;
+    cli.trace_out = traceOutFromEnvironment();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto starts = [&arg](const char *prefix) {
-            return arg.rfind(prefix, 0) == 0;
-        };
-        if (arg == "--help" || arg == "-h") {
+        uint64_t n = 0;
+        if (flag(arg, "--help") || flag(arg, "-h")) {
             std::cout
                 << "usage: " << argv[0] << " [options]\n"
                 << "  --threads=N   parallel grid cells "
@@ -43,29 +86,23 @@ parseBenchCli(int argc, char **argv)
                 << "  --trace-out=PATH  write a Chrome/Perfetto "
                    "trace (also SECPROC_TRACE; benches that\n"
                 << "                support it run one traced "
-                   "exemplar instead of the grid)\n";
+                   "exemplar instead of the grid)\n"
+                << extra_help;
             std::exit(0);
-        } else if (starts("--threads=")) {
-            cli.runner.threads = static_cast<unsigned>(
-                util::parseU64(arg.substr(10), "--threads"));
-        } else if (arg == "--json") {
+        } else if (flagU64(arg, "--threads=", &n)) {
+            cli.runner.threads = static_cast<unsigned>(n);
+        } else if (flag(arg, "--json")) {
             cli.write_json = true;
-        } else if (starts("--json=")) {
+        } else if (flagValue(arg, "--json=", &cli.json_path)) {
             cli.write_json = true;
-            cli.json_path = arg.substr(7);
-            fatal_if(cli.json_path.empty(), "--json= needs a path");
-        } else if (arg == "--no-json") {
+        } else if (flag(arg, "--no-json")) {
             cli.write_json = false;
-        } else if (starts("--warmup=")) {
-            cli.options.warmup_instructions =
-                util::parseU64(arg.substr(9), "--warmup");
-        } else if (starts("--measure=")) {
-            cli.options.measure_instructions =
-                util::parseU64(arg.substr(10), "--measure");
-        } else if (starts("--trace-out=")) {
-            cli.trace_out = arg.substr(12);
-            fatal_if(cli.trace_out.empty(),
-                     "--trace-out= needs a path");
+        } else if (flagU64(arg, "--warmup=",
+                           &cli.options.warmup_instructions)) {
+        } else if (flagU64(arg, "--measure=",
+                           &cli.options.measure_instructions)) {
+        } else if (flagValue(arg, "--trace-out=", &cli.trace_out)) {
+        } else if (extra != nullptr && extra(arg)) {
         } else {
             fatal("unknown option '", arg, "' (try --help)");
         }

@@ -9,6 +9,8 @@
 #ifndef SECPROC_EXP_CLI_HH
 #define SECPROC_EXP_CLI_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "exp/runner.hh"
@@ -16,6 +18,36 @@
 
 namespace secproc::exp
 {
+
+/**
+ * Single-argument flag matchers shared by every binary that parses
+ * a command line (the bench CLI below, secproc_run, update_tool,
+ * fleet_tool). Each returns true when @p arg is that flag, so a
+ * parse loop is a chain of `if (flag(...)) ... else if
+ * (flagValue(...)) ...` with no per-tool substr arithmetic.
+ * @{
+ */
+
+/** True when @p arg is exactly @p name (e.g. "--no-json"). */
+bool flag(const std::string &arg, const char *name);
+
+/**
+ * True when @p arg is "@p prefix<value>" (prefix includes the '=',
+ * e.g. "--json="); stores the value. fatal() on an empty value —
+ * "--json=" with nothing after it is always a typo.
+ */
+bool flagValue(const std::string &arg, const char *prefix,
+               std::string *value);
+
+/** flagValue + checked integer parse (util::parseU64; fatal() on
+ *  garbage or overflow). */
+bool flagU64(const std::string &arg, const char *prefix,
+             uint64_t *value);
+
+/** @} */
+
+/** SECPROC_TRACE environment override, or "" when unset. */
+std::string traceOutFromEnvironment();
 
 /** Parsed experiment-binary command line. */
 struct BenchCli
@@ -44,6 +76,17 @@ struct BenchCli
  * environment (SECPROC_WARMUP/MEASURE/THREADS).
  */
 BenchCli parseBenchCli(int argc, char **argv);
+
+/**
+ * parseBenchCli with tool-specific additions: any argument the
+ * standard set does not recognize is offered to @p extra, which
+ * returns true when it consumed it. @p extra_help lines (if any)
+ * are appended to the --help text.
+ */
+BenchCli
+parseBenchCli(int argc, char **argv,
+              const std::function<bool(const std::string &)> &extra,
+              const std::string &extra_help = "");
 
 } // namespace secproc::exp
 

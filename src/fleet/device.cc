@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Lightweight fleet device model implementation.
+ */
+
+#include "fleet/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace secproc::fleet
+{
+
+const char *
+workloadMixName(WorkloadMix mix)
+{
+    switch (mix) {
+    case WorkloadMix::Idle: return "idle";
+    case WorkloadMix::Office: return "office";
+    case WorkloadMix::Heavy: return "heavy";
+    }
+    panic("bad workload mix");
+}
+
+double
+workloadContentionFactor(WorkloadMix mix)
+{
+    // Stretch bands for an arbiter-paced install sharing the bus
+    // with the named foreground intensity; anchored to the
+    // live_install bench's measured gap between an idle machine and
+    // the art-like bus-saturating mix.
+    switch (mix) {
+    case WorkloadMix::Idle: return 1.0;
+    case WorkloadMix::Office: return 1.12;
+    case WorkloadMix::Heavy: return 1.45;
+    }
+    panic("bad workload mix");
+}
+
+const char *
+linkClassName(LinkClass link)
+{
+    switch (link) {
+    case LinkClass::Fiber: return "fiber";
+    case LinkClass::Broadband: return "broadband";
+    case LinkClass::Cellular: return "cellular";
+    }
+    panic("bad link class");
+}
+
+ota::TransportConfig
+linkTransport(LinkClass link)
+{
+    // Rates in device cycles at the nominal 1 GHz clock: a 1 KB
+    // chunk every cycles_per_chunk cycles.
+    ota::TransportConfig t;
+    t.chunk_bytes = 1024;
+    switch (link) {
+    case LinkClass::Fiber:
+        t.cycles_per_chunk = 8'000;        // ~1 Gb/s
+        t.loss_rate = 0.001;
+        t.burst_length = 1.5;
+        t.retransmit_delay = 2'000'000;    // ~2 ms NACK RTT
+        break;
+    case LinkClass::Broadband:
+        t.cycles_per_chunk = 160'000;      // ~50 Mb/s
+        t.loss_rate = 0.01;
+        t.burst_length = 2.0;
+        t.reorder_rate = 0.01;
+        t.reorder_window = 4;
+        t.retransmit_delay = 20'000'000;   // ~20 ms
+        break;
+    case LinkClass::Cellular:
+        t.cycles_per_chunk = 8'000'000;    // ~1 Mb/s
+        t.loss_rate = 0.08;
+        t.burst_length = 3.0;
+        t.reorder_rate = 0.05;
+        t.reorder_window = 8;
+        t.retransmit_delay = 100'000'000;  // ~100 ms
+        break;
+    }
+    return t;
+}
+
+uint64_t
+mixSeed(uint64_t a, uint64_t b)
+{
+    uint64_t z = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z == 0 ? 1 : z;
+}
+
+DeviceTraits
+deviceTraits(uint64_t fleet_seed, uint64_t device_id,
+             const FleetDistributions &dist)
+{
+    util::Rng rng(mixSeed(fleet_seed, device_id));
+
+    DeviceTraits traits;
+    traits.seed = mixSeed(fleet_seed ^ 0xF1EE7DEC1CEull, device_id);
+
+    double weight_total = 0.0;
+    for (const double w : dist.variant_weights)
+        weight_total += w;
+    fatal_if(weight_total <= 0.0, "fleet needs variant weights");
+    double pick = rng.nextDouble() * weight_total;
+    traits.hw_variant =
+        static_cast<uint32_t>(dist.variant_weights.size()) - 1;
+    for (size_t i = 0; i < dist.variant_weights.size(); ++i) {
+        pick -= dist.variant_weights[i];
+        if (pick < 0.0) {
+            traits.hw_variant = static_cast<uint32_t>(i);
+            break;
+        }
+    }
+
+    traits.engine_latency =
+        rng.chance(dist.strong_cipher_fraction) ? 102u : 50u;
+
+    const double link = rng.nextDouble();
+    traits.link = link < dist.fiber_fraction ? LinkClass::Fiber
+                  : link < dist.fiber_fraction + dist.cellular_fraction
+                      ? LinkClass::Cellular
+                      : LinkClass::Broadband;
+
+    const double mix = rng.nextDouble();
+    traits.mix = mix < dist.idle_fraction ? WorkloadMix::Idle
+                 : mix < dist.idle_fraction + dist.heavy_fraction
+                     ? WorkloadMix::Heavy
+                     : WorkloadMix::Office;
+
+    traits.power_cut_rate =
+        rng.nextDouble() * dist.max_power_cut_rate;
+    return traits;
+}
+
+DownloadSim
+simulateDownload(const ota::TransportConfig &config,
+                 uint64_t payload_bytes, uint64_t start_cycle)
+{
+    fatal_if(config.chunk_bytes == 0 || config.cycles_per_chunk == 0,
+             "download model needs a chunked, rate-capped link");
+
+    // Draw-for-draw replica of ota::Transport::send()'s schedule
+    // computation. Arrival cycles depend only on a chunk's position
+    // within its pass, never on its offset, so the work list
+    // degenerates to a count; the completion cycle is the maximum
+    // arrival, which is exactly Transport::completionCycle().
+    util::Rng rng(config.seed);
+    DownloadSim sim;
+    uint64_t todo =
+        (payload_bytes + config.chunk_bytes - 1) / config.chunk_bytes;
+    uint64_t clock = start_cycle;
+    constexpr uint64_t kMaxPasses = 10'000;
+    uint64_t passes = 0;
+    while (todo != 0) {
+        fatal_if(++passes > kMaxPasses,
+                 "download model retransmitted the same payload ",
+                 kMaxPasses, " times; loss model is stuck");
+        uint64_t lost = 0;
+        uint64_t burst_remaining = 0;
+        for (uint64_t i = 0; i < todo; ++i) {
+            clock += config.cycles_per_chunk;
+            ++sim.chunks_sent;
+            if (burst_remaining == 0 && rng.chance(config.loss_rate)) {
+                burst_remaining =
+                    1 + rng.nextGeometric(1.0 / config.burst_length);
+            }
+            if (burst_remaining > 0) {
+                --burst_remaining;
+                ++sim.chunks_lost;
+                ++lost;
+                continue;
+            }
+            uint64_t arrival = clock;
+            if (config.reorder_rate > 0.0 &&
+                rng.chance(config.reorder_rate)) {
+                const uint64_t jitter =
+                    1 + rng.nextRange(std::max(
+                            config.reorder_window, 1u));
+                arrival += jitter * config.cycles_per_chunk;
+            }
+            sim.completion_cycle =
+                std::max(sim.completion_cycle, arrival);
+        }
+        todo = lost;
+        clock += config.retransmit_delay;
+    }
+    sim.retransmit_passes = passes == 0 ? 0 : passes - 1;
+    return sim;
+}
+
+namespace
+{
+
+/** One attempt's cycles: download overlapped against the (possibly
+ *  contended) admission read, then the stretched pipeline tail. */
+uint64_t
+attemptCycles(const InstallCostModel &cost, double factor,
+              uint64_t download_cycles)
+{
+    const double read =
+        static_cast<double>(cost.admission_read_cycles) * factor;
+    const double overlap =
+        std::max(static_cast<double>(download_cycles), read);
+    const double tail =
+        static_cast<double>(cost.admission_sig_cycles +
+                            cost.post_admission_cycles) *
+        factor;
+    return static_cast<uint64_t>(overlap + tail);
+}
+
+} // namespace
+
+InstallSim
+simulateInstall(const DeviceTraits &traits,
+                const InstallCostModel &cost,
+                const ota::TransportConfig &transport,
+                uint64_t framed_bytes, util::Rng &rng)
+{
+    const double factor = workloadContentionFactor(traits.mix);
+    constexpr uint32_t kMaxRetries = 5;
+
+    InstallSim sim;
+    for (uint32_t attempt = 0;; ++attempt) {
+        // The first attempt streams on the device's provisioned
+        // transport seed (the exact stream an embedded ground-truth
+        // device replays); retries re-key the downlink.
+        ota::TransportConfig link = transport;
+        if (attempt > 0)
+            link.seed = mixSeed(transport.seed, attempt);
+        const uint64_t download =
+            simulateDownload(link, framed_bytes, 0).completion_cycle;
+        const uint64_t cycles =
+            attemptCycles(cost, factor, download);
+        if (attempt < kMaxRetries &&
+            rng.chance(traits.power_cut_rate)) {
+            // Conservative recovery model: the cut lands uniformly
+            // inside the attempt and the retry restarts the whole
+            // download (the A/B slot survives, the stream does not).
+            sim.cycles += static_cast<uint64_t>(
+                rng.nextDouble() * static_cast<double>(cycles));
+            ++sim.power_cut_retries;
+            continue;
+        }
+        sim.cycles += cycles;
+        return sim;
+    }
+}
+
+uint64_t
+predictCleanInstallCycles(const InstallCostModel &cost,
+                          const ota::TransportConfig &transport,
+                          uint64_t framed_bytes)
+{
+    const uint64_t download =
+        simulateDownload(transport, framed_bytes, 0).completion_cycle;
+    return attemptCycles(cost, 1.0, download);
+}
+
+} // namespace secproc::fleet

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Vendor update service implementation.
+ */
+
+#include "fleet/vendor.hh"
+
+#include "crypto/latency.hh"
+#include "mem/memory_channel.hh"
+#include "obs/metrics.hh"
+#include "update/install_timing.hh"
+#include "update/update_engine.hh"
+#include "util/logging.hh"
+#include "xom/vendor_tool.hh"
+
+namespace secproc::fleet
+{
+
+const char *
+installOutcomeName(InstallOutcome outcome)
+{
+    switch (outcome) {
+    case InstallOutcome::Updated: return "updated";
+    case InstallOutcome::FailedHealth: return "failed_health";
+    case InstallOutcome::RolledBack: return "rolled_back";
+    }
+    panic("bad install outcome");
+}
+
+const InstallCostModel &
+ReleaseInfo::cost(uint32_t engine_latency) const
+{
+    fatal_if(engine_latency != crypto::kPaperCryptoLatency &&
+                 engine_latency != crypto::kStrongCipherLatency,
+             "release calibrated for the 50/102-cycle engine "
+             "classes, not ",
+             engine_latency);
+    return engine_latency == crypto::kStrongCipherLatency
+               ? cost_strong
+               : cost_paper;
+}
+
+namespace
+{
+
+/** The image a given payload generation ships: deterministic bytes
+ *  from the vendor seed, so a rollback release byte-matches the
+ *  release it reverts to. */
+xom::PlainProgram
+makeProgram(uint64_t vendor_seed, uint32_t payload_version,
+            uint64_t image_bytes)
+{
+    constexpr uint64_t kImageBase = 0x0800'0000;
+    xom::PlainProgram program;
+    program.title = "fleet-fw";
+    program.entry_point = kImageBase;
+
+    xom::PlainProgram::PlainSection text;
+    text.name = ".text";
+    text.vaddr = kImageBase;
+    text.bytes.resize(image_bytes);
+    util::Rng fill(mixSeed(vendor_seed, payload_version));
+    for (auto &byte : text.bytes)
+        byte = static_cast<uint8_t>(fill.nextRange(256));
+    program.sections = {text};
+    return program;
+}
+
+/**
+ * Replay @p bundle through a standalone fixed-pace InstallTiming on
+ * an otherwise idle machine with an @p engine_latency crypto engine,
+ * and split the measured cycles into the lightweight cost model's
+ * three stages. This is the one place the fleet touches the real
+ * cycle plane per (release, engine class) — every lightweight device
+ * reuses the result.
+ */
+InstallCostModel
+calibrate(const update::UpdateBundle &bundle, uint32_t line_bytes,
+          uint32_t engine_latency)
+{
+    mem::MemoryChannel channel;
+    crypto::CryptoEngineModel engine(
+        crypto::CryptoEngineConfig{engine_latency, 1});
+
+    update::InstallTimingConfig config;
+    config.line_bytes = line_bytes;
+    config.pacing = update::InstallPacing::Fixed;
+    update::InstallTiming timing(config, channel, engine);
+
+    obs::MetricsRegistry registry;
+    timing.registerMetrics(registry);
+
+    timing.start(update::InstallPlan::fromBundle(bundle, line_bytes),
+                 0);
+    timing.replay();
+
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    fatal_if(snap.u64("updater.installs_completed") != 1,
+             "release calibration replay did not complete");
+
+    const auto phase = [&](const char *name) {
+        return snap.u64(std::string("updater.phase.") + name +
+                        "_cycles");
+    };
+    InstallCostModel cost;
+    cost.admission_read_cycles = phase("admission_read");
+    cost.admission_sig_cycles = phase("admission_sig");
+    cost.post_admission_cycles =
+        phase("stage_write") + phase("reverify_read") +
+        phase("reverify_sig") + phase("load_write") +
+        phase("capsule_unwrap") + phase("attest");
+    return cost;
+}
+
+} // namespace
+
+VendorService::VendorService(const VendorConfig &config)
+    : config_(config), rng_(mixSeed(config.seed, 0x5E11E12ull)),
+      builder_(crypto::rsaGenerate(512, rng_)),
+      device_class_key_(crypto::rsaGenerate(512, rng_))
+{
+}
+
+const ReleaseInfo &
+VendorService::publish(uint32_t version, uint64_t rollback_counter,
+                       uint32_t payload_version,
+                       int32_t defective_variant, double defect_rate,
+                       uint32_t rollback_of)
+{
+    fatal_if(releases_.count(version) != 0, "release ", version,
+             " already published");
+
+    ReleaseInfo info;
+    info.version = version;
+    info.rollback_counter = rollback_counter;
+    info.payload_version = payload_version;
+    info.image_bytes = config_.image_bytes;
+    info.defective_variant = defective_variant;
+    info.defect_rate = defect_rate;
+    info.rollback_of = rollback_of;
+
+    const xom::PlainProgram program = makeProgram(
+        config_.seed, payload_version, config_.image_bytes);
+
+    update::UpdateSpec spec;
+    spec.image_version = version;
+    spec.rollback_counter = rollback_counter;
+    spec.scheme = xom::VendorScheme::Otp;
+    spec.cipher = secure::CipherKind::Des;
+    spec.line_size = config_.line_bytes;
+
+    // Bundle entropy is keyed by version, not call order, so
+    // re-running a scenario reproduces every release byte for byte.
+    util::Rng bundle_rng(mixSeed(config_.seed, 0xB0B0ull + version));
+    info.bundle = builder_.build(program, spec,
+                                 device_class_key_.pub, bundle_rng);
+    info.framed_bytes = update::kSlotHeaderBytes +
+                        info.bundle.serialize().size();
+
+    info.cost_paper = calibrate(info.bundle, config_.line_bytes,
+                                crypto::kPaperCryptoLatency);
+    info.cost_strong = calibrate(info.bundle, config_.line_bytes,
+                                 crypto::kStrongCipherLatency);
+
+    return releases_.emplace(version, std::move(info))
+        .first->second;
+}
+
+const ReleaseInfo &
+VendorService::release(uint32_t version) const
+{
+    const auto it = releases_.find(version);
+    fatal_if(it == releases_.end(), "no published release ",
+             version);
+    return it->second;
+}
+
+void
+VendorService::appendLedger(const std::vector<LedgerRecord> &records)
+{
+    ledger_.insert(ledger_.end(), records.begin(), records.end());
+}
+
+} // namespace secproc::fleet

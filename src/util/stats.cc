@@ -91,6 +91,21 @@ Histogram::percentile(double p) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    fatal_if(bucket_width_ != other.bucket_width_ ||
+                 buckets_.size() != other.buckets_.size(),
+             "histogram merge needs matching geometry: ",
+             bucket_width_, "x", buckets_.size(), " vs ",
+             other.bucket_width_, "x", other.buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -82,6 +82,16 @@ class Histogram
      */
     double percentile(double p) const;
 
+    /**
+     * Fold @p other's samples into this histogram. Both must share
+     * the same geometry (bucket width and count) — fatal() otherwise,
+     * because mixing geometries would silently misbucket. The merge
+     * is exact: percentiles over the merged histogram equal the
+     * percentiles of one histogram fed every sample, independent of
+     * how samples were split across shards (the sharded-fleet use).
+     */
+    void merge(const Histogram &other);
+
     void reset();
 
   private:

@@ -228,6 +228,51 @@ TEST(Stats, HistogramBucketsAndOverflow)
     EXPECT_EQ(h.totalSamples(), 6u);
 }
 
+TEST(Stats, HistogramMergeMatchesUnshardedFeed)
+{
+    // Split one sample stream across shards; the merged histogram
+    // must be indistinguishable from feeding one histogram directly
+    // (the sharded-fleet invariant).
+    Histogram whole(10.0, 8);
+    Histogram shard_a(10.0, 8), shard_b(10.0, 8);
+    const double samples[] = {0.0, 5.0, 15.0, 33.3, 79.9,
+                              80.0, 500.0, 42.0};
+    for (size_t i = 0; i < 8; ++i) {
+        whole.sample(samples[i]);
+        (i % 2 == 0 ? shard_a : shard_b).sample(samples[i]);
+    }
+    shard_a.merge(shard_b);
+    EXPECT_EQ(shard_a.totalSamples(), whole.totalSamples());
+    EXPECT_EQ(shard_a.overflow(), whole.overflow());
+    for (size_t i = 0; i < whole.bucketCount(); ++i)
+        EXPECT_EQ(shard_a.bucket(i), whole.bucket(i));
+    EXPECT_DOUBLE_EQ(shard_a.mean(), whole.mean());
+    for (const double p : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(shard_a.percentile(p),
+                         whole.percentile(p));
+}
+
+TEST(Stats, HistogramMergeWithEmptyIsIdentity)
+{
+    Histogram h(1.0, 4), empty(1.0, 4);
+    h.sample(2.5);
+    h.merge(empty);
+    EXPECT_EQ(h.totalSamples(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    empty.merge(h);
+    EXPECT_EQ(empty.totalSamples(), 1u);
+    EXPECT_EQ(empty.bucket(2), 1u);
+}
+
+TEST(Stats, HistogramMergeRejectsMismatchedGeometry)
+{
+    Histogram h(10.0, 5);
+    Histogram wrong_width(5.0, 5);
+    Histogram wrong_count(10.0, 6);
+    EXPECT_DEATH_IF_SUPPORTED(h.merge(wrong_width), "geometry");
+    EXPECT_DEATH_IF_SUPPORTED(h.merge(wrong_count), "geometry");
+}
+
 TEST(Stats, StatGroupDump)
 {
     Counter hits, misses;

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * fleet_tool — run one staged fleet rollout from the command line.
+ *
+ * Pushes a release to a simulated fleet under a named policy and
+ * scenario, prints the per-wave telemetry table and writes the full
+ * machine-readable rollout report, a Chrome/Perfetto trace of the
+ * waves, or a metrics snapshot on request:
+ *
+ *   fleet_tool --policy=canary-staged --scenario=faulty \
+ *              --devices=100000 --threads=4 --out=rollout.json
+ *   fleet_tool --scenario=healthy --trace-out=fleet.trace.json
+ *
+ * The population is sharded over a fixed shard count, so the same
+ * seed produces a bit-identical report at any --threads setting
+ * (scripts/fleet_report.py validates the report's invariants).
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "exp/cli.hh"
+#include "fleet/rollout.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+struct Options
+{
+    std::string policy = "canary-staged";
+    std::string scenario = "healthy";
+    uint64_t devices = 100'000;
+    uint64_t seed = 0;       // 0 = the FleetConfig default
+    unsigned threads = 1;
+    std::string out;         // rollout JSON path
+    std::string trace_out;
+    std::string metrics_json;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: fleet_tool [options]\n"
+        "  --policy=NAME      canary-staged | conservative | "
+        "big-bang\n"
+        "                     (default canary-staged)\n"
+        "  --scenario=NAME    healthy | faulty | lossy "
+        "(default healthy)\n"
+        "  --devices=N        fleet population (default 100000)\n"
+        "  --seed=N           fleet seed override\n"
+        "  --threads=N        worker threads (0 = all cores; also\n"
+        "                     SECPROC_THREADS); the report is\n"
+        "                     bit-identical at any setting\n"
+        "  --out=PATH         write the full rollout report JSON\n"
+        "  --trace-out=PATH   write per-wave spans as a Chrome/\n"
+        "                     Perfetto trace (also SECPROC_TRACE)\n"
+        "  --metrics-json=PATH  write the fleet.* metrics snapshot\n";
+    std::exit(code);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    using exp::flag;
+    using exp::flagU64;
+    using exp::flagValue;
+
+    Options options;
+    options.threads = exp::RunnerOptions::fromEnvironment().threads;
+    options.trace_out = exp::traceOutFromEnvironment();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        uint64_t n = 0;
+        if (flag(arg, "--help") || flag(arg, "-h"))
+            usage(0);
+        else if (flagValue(arg, "--policy=", &options.policy) ||
+                 flagValue(arg, "--scenario=",
+                           &options.scenario) ||
+                 flagU64(arg, "--devices=", &options.devices) ||
+                 flagU64(arg, "--seed=", &options.seed) ||
+                 flagValue(arg, "--out=", &options.out) ||
+                 flagValue(arg, "--trace-out=",
+                           &options.trace_out) ||
+                 flagValue(arg, "--metrics-json=",
+                           &options.metrics_json)) {
+        } else if (flagU64(arg, "--threads=", &n))
+            options.threads = static_cast<unsigned>(n);
+        else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(1);
+        }
+    }
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options = parse(argc, argv);
+
+    const fleet::FleetScenario scenario =
+        fleet::fleetScenarioByName(options.scenario);
+    const fleet::RolloutPolicy policy =
+        fleet::rolloutPolicyByName(options.policy);
+
+    fleet::FleetConfig config;
+    config.devices = options.devices;
+    config.dist = scenario.dist;
+    if (options.seed != 0)
+        config.fleet_seed = options.seed;
+
+    exp::RunnerOptions runner_options;
+    runner_options.threads = options.threads;
+    const exp::Runner runner(runner_options);
+
+    fleet::FleetSimulator sim(config, policy, runner);
+    obs::TraceSink trace;
+    if (!options.trace_out.empty())
+        sim.setTraceSink(&trace);
+    obs::MetricsRegistry metrics;
+    sim.registerMetrics(metrics);
+
+    const fleet::RolloutResult result = sim.run(
+        scenario.defective_variant, scenario.defect_rate);
+
+    std::cout << "== fleet rollout: " << policy.name << " x "
+              << scenario.name << ", " << result.devices
+              << " devices ==\n"
+              << "eligible " << result.eligible << ", skipped "
+              << result.skipped_no_quirk
+              << " (no quirk-table match)\n";
+
+    util::Table table({"wave", "kind", "release", "offered",
+                       "updated", "failed", "fail%", "p50 h",
+                       "p99 h", "halted"});
+    for (const fleet::WaveStats &wave : result.waves) {
+        table.addRow({std::to_string(wave.index), wave.kind,
+                      std::to_string(wave.release),
+                      std::to_string(wave.offered),
+                      std::to_string(wave.updated),
+                      std::to_string(wave.failed),
+                      util::formatDouble(wave.failure_rate * 100.0,
+                                         2),
+                      util::formatDouble(wave.p50_device_hours, 2),
+                      util::formatDouble(wave.p99_device_hours, 2),
+                      wave.halted_after ? "HALT" : ""});
+    }
+    table.print(std::cout);
+
+    std::cout << "converged      "
+              << (result.converged ? "yes" : "NO") << " ("
+              << util::formatDouble(result.convergence_hours, 2)
+              << " h)\n"
+              << "p99 dev-hours  "
+              << util::formatDouble(
+                     result.device_hours.percentile(0.99), 2)
+              << "\n"
+              << "ledger records "
+              << sim.vendor().ledger().size() << "\n";
+    for (const fleet::GroundTruthReport &gt : result.ground_truth) {
+        std::cout << "ground truth   device " << gt.device << " ("
+                  << gt.engine_latency << "c, "
+                  << fleet::linkClassName(gt.link) << "): predicted "
+                  << gt.predicted_cycles << ", measured "
+                  << gt.measured_cycles << ", rel err "
+                  << util::formatDouble(gt.rel_error, 3)
+                  << (gt.within_tolerance ? "" : " OUT OF TOLERANCE")
+                  << (gt.functional_ok ? "" : " FUNCTIONAL FAIL")
+                  << "\n";
+    }
+
+    if (!options.out.empty()) {
+        std::ofstream out(options.out);
+        fatal_if(!out, "cannot open '", options.out,
+                 "' for writing");
+        out << result.toJson().dump(2) << "\n";
+        inform("wrote ", options.out);
+    }
+    if (!options.trace_out.empty()) {
+        trace.writeChromeJson(options.trace_out);
+        inform("wrote ", options.trace_out);
+    }
+    if (!options.metrics_json.empty()) {
+        std::ofstream out(options.metrics_json);
+        fatal_if(!out, "cannot open '", options.metrics_json,
+                 "' for writing");
+        out << metrics.snapshot().toJson().dump(2) << "\n";
+        inform("wrote ", options.metrics_json);
+    }
+    return 0;
+}

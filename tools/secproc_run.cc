@@ -25,6 +25,7 @@
 #include <fstream>
 
 #include "crypto/latency.hh"
+#include "exp/cli.hh"
 #include "exp/runner.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -100,80 +101,68 @@ usage(int code)
     std::exit(code);
 }
 
-uint64_t
-parseValue(const std::string &arg)
+/** flagU64 into a narrower field. */
+template <typename T>
+bool
+flagNum(const std::string &arg, const char *prefix, T *value)
 {
-    const auto pos = arg.find('=');
-    if (pos == std::string::npos)
-        usage(1);
-    return util::parseU64(arg.substr(pos + 1),
-                          arg.substr(0, pos));
+    uint64_t n = 0;
+    if (!exp::flagU64(arg, prefix, &n))
+        return false;
+    *value = static_cast<T>(n);
+    return true;
 }
 
 Options
 parse(int argc, char **argv)
 {
+    using exp::flag;
+    using exp::flagU64;
+    using exp::flagValue;
+
     Options options;
     options.threads = exp::RunnerOptions::fromEnvironment().threads;
-    if (const char *path = std::getenv("SECPROC_TRACE"))
-        options.trace_out = path;
+    options.trace_out = exp::traceOutFromEnvironment();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto starts = [&arg](const char *prefix) {
-            return arg.rfind(prefix, 0) == 0;
-        };
-        if (arg == "--help" || arg == "-h")
+        if (flag(arg, "--help") || flag(arg, "-h"))
             usage(0);
-        else if (arg == "--list")
+        else if (flag(arg, "--list"))
             options.list = true;
-        else if (starts("--bench="))
-            options.bench = arg.substr(8);
-        else if (starts("--model="))
-            options.model = arg.substr(8);
-        else if (starts("--instructions="))
-            options.instructions = parseValue(arg);
-        else if (starts("--warmup="))
-            options.warmup = parseValue(arg);
-        else if (starts("--threads="))
-            options.threads = static_cast<unsigned>(parseValue(arg));
-        else if (arg == "--json")
+        else if (flagValue(arg, "--bench=", &options.bench) ||
+                 flagValue(arg, "--model=", &options.model) ||
+                 flagU64(arg, "--instructions=",
+                         &options.instructions) ||
+                 flagU64(arg, "--warmup=", &options.warmup) ||
+                 flagNum(arg, "--threads=", &options.threads) ||
+                 flagU64(arg, "--snc-kb=", &options.snc_kb) ||
+                 flagNum(arg, "--snc-assoc=", &options.snc_assoc) ||
+                 flagNum(arg, "--crypto=",
+                         &options.crypto_latency) ||
+                 flagNum(arg, "--mem-latency=",
+                         &options.mem_latency) ||
+                 flagNum(arg, "--snc-sector=",
+                         &options.snc_sector) ||
+                 flagValue(arg, "--dram=", &options.dram) ||
+                 flagU64(arg, "--l2-kb=", &options.l2_kb) ||
+                 flagNum(arg, "--l2-assoc=", &options.l2_assoc) ||
+                 flagNum(arg, "--mshrs=", &options.mshrs) ||
+                 flagValue(arg, "--trace-out=",
+                           &options.trace_out) ||
+                 flagValue(arg, "--metrics-json=",
+                           &options.metrics_json)) {
+        } else if (flag(arg, "--json"))
             options.write_json = true;
-        else if (starts("--json=")) {
+        else if (flagValue(arg, "--json=", &options.json_path))
             options.write_json = true;
-            options.json_path = arg.substr(7);
-        } else if (starts("--snc-kb="))
-            options.snc_kb = parseValue(arg);
-        else if (starts("--snc-assoc="))
-            options.snc_assoc = static_cast<uint32_t>(parseValue(arg));
-        else if (arg == "--snc-norepl")
+        else if (flag(arg, "--snc-norepl"))
             options.snc_norepl = true;
-        else if (arg == "--parallel-seqnum")
+        else if (flag(arg, "--parallel-seqnum"))
             options.parallel_seqnum = true;
-        else if (starts("--crypto="))
-            options.crypto_latency =
-                static_cast<uint32_t>(parseValue(arg));
-        else if (starts("--mem-latency="))
-            options.mem_latency =
-                static_cast<uint32_t>(parseValue(arg));
-        else if (starts("--snc-sector="))
-            options.snc_sector =
-                static_cast<uint32_t>(parseValue(arg));
-        else if (starts("--dram="))
-            options.dram = arg.substr(7);
-        else if (arg == "--in-order")
+        else if (flag(arg, "--in-order"))
             options.in_order = true;
-        else if (starts("--l2-kb="))
-            options.l2_kb = parseValue(arg);
-        else if (starts("--l2-assoc="))
-            options.l2_assoc = static_cast<uint32_t>(parseValue(arg));
-        else if (starts("--mshrs="))
-            options.mshrs = static_cast<uint32_t>(parseValue(arg));
-        else if (arg == "--dump-stats")
+        else if (flag(arg, "--dump-stats"))
             options.dump_stats = true;
-        else if (starts("--trace-out="))
-            options.trace_out = arg.substr(12);
-        else if (starts("--metrics-json="))
-            options.metrics_json = arg.substr(15);
         else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(1);

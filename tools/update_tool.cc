@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/cli.hh"
 #include "obs/trace.hh"
 #include "secure/engines.hh"
 #include "update/attestation.hh"
@@ -157,50 +158,43 @@ struct Options
     uint64_t counter = 1;
 };
 
-uint64_t
-parseNumber(const std::string &key, const std::string &value)
-{
-    return util::parseU64(value, "--" + key);
-}
-
 Options
 parse(int argc, char **argv)
 {
+    using exp::flag;
+    using exp::flagU64;
+    using exp::flagValue;
+
     if (argc < 2)
         usage(1);
     Options options;
     options.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        const auto eq = arg.find('=');
-        if (arg == "--help" || arg == "-h")
+        uint64_t n = 0;
+        if (flag(arg, "--help") || flag(arg, "-h"))
             usage(0);
-        if (arg.rfind("--", 0) != 0 || eq == std::string::npos)
+        else if (flagValue(arg, "--out=", &options.out) ||
+                 flagValue(arg, "--vendor=", &options.vendor) ||
+                 flagValue(arg, "--processor=",
+                           &options.processor) ||
+                 flagValue(arg, "--bundle=", &options.bundle) ||
+                 flagValue(arg, "--state=", &options.state) ||
+                 flagValue(arg, "--title=", &options.title) ||
+                 flagValue(arg, "--text=", &options.text) ||
+                 flagValue(arg, "--scheme=", &options.scheme) ||
+                 flagValue(arg, "--cipher=", &options.cipher) ||
+                 flagValue(arg, "--nonce=", &options.nonce_hex) ||
+                 flagValue(arg, "--trace-out=",
+                           &options.trace_out) ||
+                 flagU64(arg, "--seed=", &options.seed) ||
+                 flagU64(arg, "--counter=", &options.counter)) {
+        } else if (flagU64(arg, "--bits=", &n))
+            options.bits = static_cast<unsigned>(n);
+        else if (flagU64(arg, "--version=", &n))
+            options.version = static_cast<uint32_t>(n);
+        else
             usage(1);
-        const std::string key = arg.substr(2, eq - 2);
-        const std::string value = arg.substr(eq + 1);
-        if (key == "out") options.out = value;
-        else if (key == "vendor") options.vendor = value;
-        else if (key == "processor") options.processor = value;
-        else if (key == "bundle") options.bundle = value;
-        else if (key == "state") options.state = value;
-        else if (key == "title") options.title = value;
-        else if (key == "text") options.text = value;
-        else if (key == "scheme") options.scheme = value;
-        else if (key == "cipher") options.cipher = value;
-        else if (key == "nonce") options.nonce_hex = value;
-        else if (key == "trace-out") options.trace_out = value;
-        else if (key == "bits")
-            options.bits =
-                static_cast<unsigned>(parseNumber(key, value));
-        else if (key == "seed")
-            options.seed = parseNumber(key, value);
-        else if (key == "version")
-            options.version =
-                static_cast<uint32_t>(parseNumber(key, value));
-        else if (key == "counter")
-            options.counter = parseNumber(key, value);
-        else usage(1);
     }
     return options;
 }
