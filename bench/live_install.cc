@@ -18,14 +18,15 @@
  * self-throttling undercut it (the ROADMAP acceptance number).
  */
 
-#include <algorithm>
-#include <future>
-#include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <tuple>
+#include <utility>
+#include <algorithm>
+#include <iostream>
 
 #include "crypto/latency.hh"
+#include "exp/cell_cache.hh"
 #include "exp/cli.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -102,43 +103,71 @@ makeBundle(update::ImageBuilder &vendor,
     return vendor.build(program, spec, processor, rng);
 }
 
-/** Foreground-alone cycles, cached per (bench, latency, lengths). */
+/**
+ * Shared vendor identity for every cell with the same (image size,
+ * engine latency) pair. Those cells seed their RNG identically, so
+ * the vendor/processor keypairs and the whole bundle sequence
+ * v1, v2, ... are byte-for-byte the same across benchmarks — one
+ * context builds each bundle once and the other benchmarks reuse it
+ * instead of re-encrypting and re-signing a multi-hundred-KB image.
+ * Bundles are built strictly in version order, so the RNG stream
+ * here matches what a solo cell would have drawn.
+ */
+struct VendorContext
+{
+    util::Rng rng;
+    update::ImageBuilder vendor;
+    crypto::RsaKeyPair processor;
+    uint64_t image_bytes;
+    std::vector<update::UpdateBundle> bundles;
+    std::mutex mutex;
+
+    VendorContext(uint64_t bytes, uint32_t crypto_latency)
+        : rng(0x11E'0001 ^ bytes ^ crypto_latency),
+          vendor(crypto::rsaGenerate(512, rng)),
+          processor(crypto::rsaGenerate(512, rng)), image_bytes(bytes)
+    {
+    }
+
+    const update::UpdateBundle &
+    bundle(uint32_t version)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        while (bundles.size() < version) {
+            bundles.push_back(makeBundle(
+                vendor, processor.pub, rng,
+                static_cast<uint32_t>(bundles.size()) + 1,
+                image_bytes));
+        }
+        return bundles[version - 1];
+    }
+};
+
+VendorContext &
+vendorContext(uint64_t image_bytes, uint32_t crypto_latency)
+{
+    static std::mutex registry_mutex;
+    static std::map<std::pair<uint64_t, uint32_t>,
+                    std::unique_ptr<VendorContext>>
+        registry;
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto &slot = registry[{image_bytes, crypto_latency}];
+    if (slot == nullptr)
+        slot = std::make_unique<VendorContext>(image_bytes,
+                                               crypto_latency);
+    return *slot;
+}
+
+/**
+ * Foreground-alone cycles via the process-wide cell cache: cells
+ * differing only in image size share one alone run, and workers
+ * asking concurrently wait on the first worker's future.
+ */
 sim::RunStats
 measureAlone(const std::string &bench, const sim::SystemConfig &config,
              const exp::RunOptions &options)
 {
-    using Key = std::tuple<std::string, uint32_t, uint64_t, uint64_t>;
-    static std::mutex mutex;
-    static std::map<Key, std::shared_future<sim::RunStats>> cache;
-
-    const Key key{bench, config.protection.crypto.latency,
-                  options.warmup_instructions,
-                  options.measure_instructions};
-    std::promise<sim::RunStats> mine;
-    std::shared_future<sim::RunStats> result;
-    bool compute = false;
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        const auto it = cache.find(key);
-        if (it != cache.end()) {
-            result = it->second;
-        } else {
-            result = cache.emplace(key, mine.get_future().share())
-                         .first->second;
-            compute = true;
-        }
-    }
-    if (!compute)
-        return result.get();
-
-    const sim::WorkloadProfile profile = sim::benchmarkProfile(bench);
-    sim::SyntheticWorkload workload(profile, config.l2.line_size);
-    sim::System system(config, workload);
-    system.run(options.warmup_instructions);
-    system.beginMeasurement();
-    system.run(options.measure_instructions);
-    mine.set_value(system.stats());
-    return result.get();
+    return exp::cachedRunCell(bench, config, options);
 }
 
 /** PR-4 fixed-pace slowdown of the same image on the same machine. */
@@ -177,11 +206,10 @@ makeCell(const GridPoint &point)
             measureAlone(bench, config, options);
 
         // The live machine: functional updater + unified-plane agent.
-        util::Rng rng(0x11E'0001 ^ point.image_bytes ^
-                      point.crypto_latency);
-        update::ImageBuilder vendor(crypto::rsaGenerate(512, rng));
-        const crypto::RsaKeyPair processor =
-            crypto::rsaGenerate(512, rng);
+        VendorContext &ctx =
+            vendorContext(point.image_bytes, point.crypto_latency);
+        update::ImageBuilder &vendor = ctx.vendor;
+        const crypto::RsaKeyPair &processor = ctx.processor;
         secure::KeyTable update_keys;
         update::RollbackStore rollback(64);
         update::UpdateEngine updater(
@@ -218,9 +246,7 @@ makeCell(const GridPoint &point)
         uint32_t version = 1;
         bool functional_ok = true;
         uint64_t completed = 0;
-        std::optional<update::UpdateBundle> current =
-            makeBundle(vendor, processor.pub, rng, version,
-                       point.image_bytes);
+        const update::UpdateBundle *current = &ctx.bundle(version);
         live.start(*current, 0);
 
         // Steady-state install pressure: the moment an install
@@ -261,8 +287,7 @@ makeCell(const GridPoint &point)
                     rollback.current("fw") ==
                         ref_rollback.current("fw");
                 ++completed;
-                current = makeBundle(vendor, processor.pub, rng,
-                                     ++version, point.image_bytes);
+                current = &ctx.bundle(++version);
                 live.start(*current, system.core().cycles());
             }
         };

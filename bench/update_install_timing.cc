@@ -20,13 +20,10 @@
  * window, and the update traffic moved.
  */
 
-#include <future>
 #include <iostream>
-#include <map>
-#include <mutex>
-#include <tuple>
 
 #include "crypto/latency.hh"
+#include "exp/cell_cache.hh"
 #include "exp/cli.hh"
 #include "sim/profiles.hh"
 #include "update/install_timing.hh"
@@ -79,48 +76,16 @@ machineConfig(uint32_t crypto_latency)
 }
 
 /**
- * The foreground workload with the machine to itself. Cells that
- * differ only in install size share one (bench, latency) alone run:
- * the result is deterministic, so whichever worker claims the key
- * first simulates it (outside the lock — other keys proceed in
- * parallel) and the rest wait on its future.
+ * The foreground workload with the machine to itself, via the
+ * process-wide cell cache: cells that differ only in install size
+ * share one (bench, config) alone run, and whichever worker claims
+ * the key first simulates it while the rest wait on its future.
  */
 sim::RunStats
 measureAlone(const std::string &bench, const sim::SystemConfig &config,
              const exp::RunOptions &options)
 {
-    using Key = std::tuple<std::string, uint32_t, uint64_t, uint64_t>;
-    static std::mutex mutex;
-    static std::map<Key, std::shared_future<sim::RunStats>> cache;
-
-    const Key key{bench, config.protection.crypto.latency,
-                  options.warmup_instructions,
-                  options.measure_instructions};
-    std::promise<sim::RunStats> mine;
-    std::shared_future<sim::RunStats> result;
-    bool compute = false;
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        const auto it = cache.find(key);
-        if (it != cache.end()) {
-            result = it->second; // get() happens outside the lock
-        } else {
-            result = cache.emplace(key, mine.get_future().share())
-                         .first->second;
-            compute = true;
-        }
-    }
-    if (!compute)
-        return result.get();
-
-    const sim::WorkloadProfile profile = sim::benchmarkProfile(bench);
-    sim::SyntheticWorkload workload(profile, config.l2.line_size);
-    sim::System system(config, workload);
-    system.run(options.warmup_instructions);
-    system.beginMeasurement();
-    system.run(options.measure_instructions);
-    mine.set_value(system.stats());
-    return result.get();
+    return exp::cachedRunCell(bench, config, options);
 }
 
 exp::RunFn

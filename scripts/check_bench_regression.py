@@ -20,6 +20,15 @@ What counts as a regression depends on the experiment:
 
 Improvements never fail the gate.
 
+Raw harness speed is gated separately: when the baseline directory
+contains a ``speed_floors.json`` (experiment name -> minimum
+``profile.sim_cycles_per_second``), each listed experiment's current
+report must clear its floor. The floors are committed deliberately
+conservative wall-clock numbers (see bench/baselines/README.md) so
+slow CI runners do not flap, while a kernel-scheduling or caching
+regression that slows simulation by an order of magnitude still
+fails the build.
+
 Re-baselining: rerun the gated benches with the same SECPROC_WARMUP /
 SECPROC_MEASURE the CI perf-gate job uses (see
 .github/workflows/ci.yml), then copy the fresh reports over
@@ -124,6 +133,44 @@ def check_report(name, baseline, current, args, failures, rows):
             )
 
 
+def check_speed_floors(args, failures):
+    """Gate profile.sim_cycles_per_second against committed floors.
+
+    Unlike the per-cell checks, this reads the (otherwise exempt)
+    ``profile`` object: the floor file commits to a *minimum host
+    simulation rate*, not to an exact value, so it stays meaningful
+    across machines while still catching order-of-magnitude harness
+    slowdowns.
+    """
+    floors_path = args.baseline_dir / "speed_floors.json"
+    if not floors_path.exists():
+        return
+    with floors_path.open() as fh:
+        floors = json.load(fh)
+    for name, floor in sorted(floors.items()):
+        current_path = args.current_dir / f"BENCH_{name}.json"
+        if not current_path.exists():
+            failures.append(
+                f"{name}: speed floor is committed but "
+                f"{current_path} was not produced"
+            )
+            continue
+        with current_path.open() as fh:
+            profile = json.load(fh).get("profile", {})
+        rate = profile.get("sim_cycles_per_second", 0.0)
+        status = "ok" if rate >= floor else "TOO SLOW"
+        print(f"speed floor  {name}: {rate:,.0f} sim cycles/s "
+              f"(floor {floor:,.0f})  {status}")
+        if rate < floor:
+            failures.append(
+                f"{name}: simulated {rate:,.0f} cycles/s, below the "
+                f"committed floor of {floor:,.0f}; the harness got "
+                f"slower (kernel scheduling, crypto, or cache "
+                f"regression) or the floor needs re-baselining "
+                f"(bench/baselines/README.md)"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -171,6 +218,8 @@ def main():
         with current_path.open() as fh:
             current = json.load(fh)
         check_report(name, baseline, current, args, failures, rows)
+
+    check_speed_floors(args, failures)
 
     if rows:
         header = ("experiment", "variant", "bench", "baseline",

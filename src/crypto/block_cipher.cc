@@ -47,12 +47,13 @@ generatePad(const BlockCipher &cipher, uint64_t seed, uint8_t *pad,
     // block index by an odd constant before XORing makes alignment
     // between any two distinct seeds impossible.
     constexpr uint64_t kBlockTweak = 0x9E3779B97F4A7C15ull;
-    std::vector<uint8_t> block(bs, 0);
+    uint8_t block[32];
+    panic_if(bs > sizeof(block), "unexpected block size ", bs);
     uint64_t index = 0;
     for (size_t off = 0; off < len; off += bs) {
-        std::memset(block.data(), 0, bs);
-        util::storeBe64(block.data(), seed ^ (index * kBlockTweak));
-        cipher.encryptBlock(block.data(), pad + off);
+        std::memset(block, 0, bs);
+        util::storeBe64(block, seed ^ (index * kBlockTweak));
+        cipher.encryptBlock(block, pad + off);
         ++index;
     }
 }
@@ -68,6 +69,13 @@ void
 otpTransform(const BlockCipher &cipher, uint64_t seed, uint8_t *data,
              size_t len)
 {
+    // Lines are the common unit here; avoid the heap for them.
+    uint8_t small[256];
+    if (len <= sizeof(small)) {
+        generatePad(cipher, seed, small, len);
+        xorPad(data, small, len);
+        return;
+    }
     std::vector<uint8_t> pad(len);
     generatePad(cipher, seed, pad.data(), len);
     xorPad(data, pad.data(), len);

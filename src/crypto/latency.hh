@@ -91,6 +91,40 @@ class CryptoEngineModel
     }
 
     /**
+     * Schedule a *dependent chain* of @p ops pipelined operations in
+     * one call: operation k's operands are operation k-1's output
+     * (pad generation feeding a seed into the next block, multi-block
+     * digests). Occupancy, operation count and the returned
+     * completion are exactly what @p ops successive schedule() calls
+     * — each requesting at its predecessor's completion — would
+     * produce, computed in closed form instead of call-by-call:
+     * successive starts are spaced by max(latency,
+     * initiation_interval), so the chain completes at
+     * start + (ops-1)*max(latency, ii) + latency.
+     *
+     * @param request_cycle Cycle the first operation's operands are
+     *        available.
+     * @param ops Chain length (0 returns @p request_cycle untouched).
+     * @return Completion cycle of the last operation.
+     */
+    uint64_t
+    scheduleChained(uint64_t request_cycle, uint32_t ops)
+    {
+        if (ops == 0)
+            return request_cycle;
+        const uint64_t ii =
+            cfg_.initiation_interval ? cfg_.initiation_interval : 1;
+        const uint64_t step = ii > cfg_.latency ? ii : cfg_.latency;
+        const uint64_t first_start =
+            request_cycle > busy_until_ ? request_cycle : busy_until_;
+        const uint64_t last_start =
+            first_start + (uint64_t{ops} - 1) * step;
+        busy_until_ = last_start + ii;
+        operations_ += ops;
+        return last_start + cfg_.latency;
+    }
+
+    /**
      * Take an exclusive reservation of @p ops back-to-back whole-line
      * operations: the engine is occupied until the last one drains,
      * so pipelined work issued meanwhile queues behind the

@@ -1,11 +1,24 @@
 /**
  * @file
  * SHA-1 / SHA-256 / HMAC implementations.
+ *
+ * SHA-256 compression is multi-block and dispatches once, at first
+ * use, between a portable implementation and an x86 SHA-NI one
+ * (runtime CPUID probe; `SECPROC_SHA256=scalar` forces portable).
+ * update() feeds whole blocks straight from the caller's buffer —
+ * no per-block memcpy — which matters because OTA image digests push
+ * megabytes through here per simulated install.
  */
 
 #include "crypto/sha.hh"
 
+#include <cstdlib>
 #include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
 
 #include "util/bitops.hh"
 
@@ -76,7 +89,7 @@ void
 Sha1::update(const uint8_t *data, size_t len)
 {
     total_bits_ += static_cast<uint64_t>(len) * 8;
-    while (len > 0) {
+    if (buffered_ > 0) {
         const size_t take = std::min(len, sizeof(buffer_) - buffered_);
         std::memcpy(buffer_ + buffered_, data, take);
         buffered_ += take;
@@ -86,6 +99,15 @@ Sha1::update(const uint8_t *data, size_t len)
             processBlock(buffer_);
             buffered_ = 0;
         }
+    }
+    while (len >= sizeof(buffer_)) {
+        processBlock(data);
+        data += sizeof(buffer_);
+        len -= sizeof(buffer_);
+    }
+    if (len > 0) {
+        std::memcpy(buffer_, data, len);
+        buffered_ = len;
     }
 }
 
@@ -142,7 +164,199 @@ constexpr uint32_t kSha256K[64] = {
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 };
 
+/**
+ * Pick the SHA-256 compression function once per process: the
+ * hardware path when the CPU has it and the environment doesn't
+ * override, the portable path otherwise.
+ */
+using CompressFn = void (*)(uint32_t[8], const uint8_t *, size_t);
+
+CompressFn
+selectCompress()
+{
+    const char *env = std::getenv("SECPROC_SHA256");
+    const bool force_scalar =
+        env != nullptr && std::strcmp(env, "scalar") == 0;
+    if (!force_scalar && detail::sha256CpuHasShaNi())
+        return detail::sha256CompressHw;
+    return detail::sha256CompressScalar;
+}
+
+CompressFn
+compress()
+{
+    static const CompressFn fn = selectCompress();
+    return fn;
+}
+
 } // namespace
+
+namespace detail
+{
+
+void
+sha256CompressScalar(uint32_t state[8], const uint8_t *data,
+                     size_t blocks)
+{
+    for (; blocks > 0; --blocks, data += 64) {
+        uint32_t w[64];
+        for (int t = 0; t < 16; ++t)
+            w[t] = util::loadBe32(data + 4 * t);
+        for (int t = 16; t < 64; ++t) {
+            const uint32_t s0 = util::rotr32(w[t-15], 7) ^
+                                util::rotr32(w[t-15], 18) ^
+                                (w[t-15] >> 3);
+            const uint32_t s1 = util::rotr32(w[t-2], 17) ^
+                                util::rotr32(w[t-2], 19) ^
+                                (w[t-2] >> 10);
+            w[t] = w[t-16] + s0 + w[t-7] + s1;
+        }
+
+        uint32_t a = state[0], b = state[1], c = state[2];
+        uint32_t d = state[3], e = state[4], f = state[5];
+        uint32_t g = state[6], h = state[7];
+        for (int t = 0; t < 64; ++t) {
+            const uint32_t s1 = util::rotr32(e, 6) ^
+                                util::rotr32(e, 11) ^
+                                util::rotr32(e, 25);
+            const uint32_t ch = (e & f) ^ (~e & g);
+            const uint32_t temp1 = h + s1 + ch + kSha256K[t] + w[t];
+            const uint32_t s0 = util::rotr32(a, 2) ^
+                                util::rotr32(a, 13) ^
+                                util::rotr32(a, 22);
+            const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            const uint32_t temp2 = s0 + maj;
+            h = g;
+            g = f;
+            f = e;
+            e = d + temp1;
+            d = c;
+            c = b;
+            b = a;
+            a = temp1 + temp2;
+        }
+        state[0] += a;
+        state[1] += b;
+        state[2] += c;
+        state[3] += d;
+        state[4] += e;
+        state[5] += f;
+        state[6] += g;
+        state[7] += h;
+    }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool
+sha256CpuHasShaNi()
+{
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0)
+        return false;
+    const bool ssse3 = (ecx & (1u << 9)) != 0;
+    const bool sse41 = (ecx & (1u << 19)) != 0;
+    if (!ssse3 || !sse41)
+        return false;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0)
+        return false;
+    return (ebx & (1u << 29)) != 0;
+}
+
+/**
+ * SHA-256 via the x86 SHA extensions. One sha256rnds2 does two
+ * rounds on the (ABEF, CDGH) register split; the message schedule
+ * advances four lanes at a time through sha256msg1/msg2 plus an
+ * explicit w[t-7] alignr term — the same recurrence the scalar
+ * loop computes, grouped by four.
+ */
+__attribute__((target("sha,ssse3,sse4.1"))) void
+sha256CompressHw(uint32_t state[8], const uint8_t *data,
+                 size_t blocks)
+{
+    const __m128i swap = _mm_set_epi64x(
+        0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+    const auto kvec = [](int round) {
+        return _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(&kSha256K[round]));
+    };
+
+    // state[] holds ABCD EFGH; the instructions want ABEF / CDGH.
+    __m128i tmp = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(&state[0]));
+    __m128i s1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(&state[4]));
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);
+    s1 = _mm_shuffle_epi32(s1, 0x1B);
+    __m128i s0 = _mm_alignr_epi8(tmp, s1, 8);
+    s1 = _mm_blend_epi16(s1, tmp, 0xF0);
+
+    for (; blocks > 0; --blocks, data += 64) {
+        const __m128i abef_save = s0;
+        const __m128i cdgh_save = s1;
+
+        __m128i m[4];
+        for (int g = 0; g < 4; ++g) {
+            m[g] = _mm_shuffle_epi8(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(data + 16 * g)),
+                swap);
+            const __m128i msg = _mm_add_epi32(m[g], kvec(4 * g));
+            s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+            s0 = _mm_sha256rnds2_epu32(
+                s0, s1, _mm_shuffle_epi32(msg, 0x0E));
+        }
+        for (int g = 4; g < 16; ++g) {
+            // w[t] = w[t-16] + sigma0(w[t-15]) + w[t-7] +
+            //        sigma1(w[t-2]), four lanes at a time.
+            __m128i next =
+                _mm_sha256msg1_epu32(m[(g - 4) & 3], m[(g - 3) & 3]);
+            next = _mm_add_epi32(
+                next, _mm_alignr_epi8(m[(g - 1) & 3],
+                                      m[(g - 2) & 3], 4));
+            next = _mm_sha256msg2_epu32(next, m[(g - 1) & 3]);
+            m[g & 3] = next;
+            const __m128i msg = _mm_add_epi32(next, kvec(4 * g));
+            s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+            s0 = _mm_sha256rnds2_epu32(
+                s0, s1, _mm_shuffle_epi32(msg, 0x0E));
+        }
+
+        s0 = _mm_add_epi32(s0, abef_save);
+        s1 = _mm_add_epi32(s1, cdgh_save);
+    }
+
+    tmp = _mm_shuffle_epi32(s0, 0x1B);
+    s1 = _mm_shuffle_epi32(s1, 0xB1);
+    s0 = _mm_blend_epi16(tmp, s1, 0xF0);
+    s1 = _mm_alignr_epi8(s1, tmp, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(&state[0]), s0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(&state[4]), s1);
+}
+
+#else // !x86
+
+bool
+sha256CpuHasShaNi()
+{
+    return false;
+}
+
+void
+sha256CompressHw(uint32_t state[8], const uint8_t *data, size_t blocks)
+{
+    sha256CompressScalar(state, data, blocks);
+}
+
+#endif
+
+} // namespace detail
+
+bool
+sha256HardwareAvailable()
+{
+    return compress() == detail::sha256CompressHw;
+}
 
 Sha256::Sha256()
 {
@@ -165,63 +379,29 @@ Sha256::reset()
 }
 
 void
-Sha256::processBlock(const uint8_t block[64])
-{
-    uint32_t w[64];
-    for (int t = 0; t < 16; ++t)
-        w[t] = util::loadBe32(block + 4 * t);
-    for (int t = 16; t < 64; ++t) {
-        const uint32_t s0 = util::rotr32(w[t-15], 7) ^
-                            util::rotr32(w[t-15], 18) ^ (w[t-15] >> 3);
-        const uint32_t s1 = util::rotr32(w[t-2], 17) ^
-                            util::rotr32(w[t-2], 19) ^ (w[t-2] >> 10);
-        w[t] = w[t-16] + s0 + w[t-7] + s1;
-    }
-
-    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-    uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
-    for (int t = 0; t < 64; ++t) {
-        const uint32_t s1 = util::rotr32(e, 6) ^ util::rotr32(e, 11) ^
-                            util::rotr32(e, 25);
-        const uint32_t ch = (e & f) ^ (~e & g);
-        const uint32_t temp1 = h + s1 + ch + kSha256K[t] + w[t];
-        const uint32_t s0 = util::rotr32(a, 2) ^ util::rotr32(a, 13) ^
-                            util::rotr32(a, 22);
-        const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-        const uint32_t temp2 = s0 + maj;
-        h = g;
-        g = f;
-        f = e;
-        e = d + temp1;
-        d = c;
-        c = b;
-        b = a;
-        a = temp1 + temp2;
-    }
-    h_[0] += a;
-    h_[1] += b;
-    h_[2] += c;
-    h_[3] += d;
-    h_[4] += e;
-    h_[5] += f;
-    h_[6] += g;
-    h_[7] += h;
-}
-
-void
 Sha256::update(const uint8_t *data, size_t len)
 {
     total_bits_ += static_cast<uint64_t>(len) * 8;
-    while (len > 0) {
+    if (buffered_ > 0) {
         const size_t take = std::min(len, sizeof(buffer_) - buffered_);
         std::memcpy(buffer_ + buffered_, data, take);
         buffered_ += take;
         data += take;
         len -= take;
         if (buffered_ == sizeof(buffer_)) {
-            processBlock(buffer_);
+            compress()(h_, buffer_, 1);
             buffered_ = 0;
         }
+    }
+    if (len >= sizeof(buffer_)) {
+        const size_t blocks = len / sizeof(buffer_);
+        compress()(h_, data, blocks);
+        data += blocks * sizeof(buffer_);
+        len -= blocks * sizeof(buffer_);
+    }
+    if (len > 0) {
+        std::memcpy(buffer_, data, len);
+        buffered_ = len;
     }
 }
 

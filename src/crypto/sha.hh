@@ -72,8 +72,36 @@ class Sha256
     size_t buffered_;
 
     void reset();
-    void processBlock(const uint8_t block[64]);
 };
+
+/**
+ * True when SHA-256 compression runs on the CPU's SHA extensions
+ * (x86 SHA-NI) rather than the portable implementation. Set
+ * `SECPROC_SHA256=scalar` in the environment to force the portable
+ * path; both produce identical digests (pinned by a differential
+ * test).
+ */
+bool sha256HardwareAvailable();
+
+namespace detail
+{
+
+/** Compress @p blocks 64-byte blocks into @p state — portable. */
+void sha256CompressScalar(uint32_t state[8], const uint8_t *data,
+                          size_t blocks);
+
+/**
+ * Compress via x86 SHA-NI. Only callable when sha256CpuHasShaNi()
+ * returns true; exposed so tests can differential-check it against
+ * the scalar path.
+ */
+void sha256CompressHw(uint32_t state[8], const uint8_t *data,
+                      size_t blocks);
+
+/** CPUID probe for the x86 SHA extensions (false off-x86). */
+bool sha256CpuHasShaNi();
+
+} // namespace detail
 
 /**
  * HMAC-SHA256 (RFC 2104).

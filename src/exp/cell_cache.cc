@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Cell memoization: canonical config digest + keyed shared_futures.
+ */
+
+#include "exp/cell_cache.hh"
+
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace secproc::exp
+{
+
+namespace
+{
+
+/**
+ * Completeness tripwire: configDigest() must name every SystemConfig
+ * field, or two different machines could alias one cache entry. A
+ * new field changes the struct size, which trips this assert until
+ * the digest (and then this constant) is updated. Layout is
+ * ABI-specific, so the check only runs on the x86-64 System V ABI
+ * the CI matrix builds.
+ */
+#if defined(__x86_64__) && defined(__linux__)
+static_assert(sizeof(sim::SystemConfig) == 352,
+              "SystemConfig changed: extend exp::configDigest() with "
+              "the new field(s), then update this expected size");
+#endif
+
+void
+cacheField(std::ostringstream &out, const char *name, uint64_t value)
+{
+    out << name << '=' << value << ';';
+}
+
+void
+cacheCache(std::ostringstream &out, const char *prefix,
+           const mem::CacheConfig &cache)
+{
+    out << prefix << "={" << cache.name << ',' << cache.size_bytes
+        << ',' << cache.assoc << ',' << cache.line_size << ','
+        << static_cast<int>(cache.policy) << "};";
+}
+
+std::string
+liveEnvironment(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value == nullptr ? std::string{"<unset>"}
+                            : std::string{value};
+}
+
+} // namespace
+
+std::string
+configDigest(const sim::SystemConfig &config)
+{
+    std::ostringstream out;
+
+    cacheField(out, "core.rob", config.core.rob_size);
+    cacheField(out, "core.width", config.core.width);
+    cacheField(out, "core.redirect", config.core.redirect_penalty);
+    cacheField(out, "core.int", config.core.int_latency);
+    cacheField(out, "core.mul", config.core.mul_latency);
+    cacheField(out, "core.fp", config.core.fp_latency);
+    cacheField(out, "core.blocking", config.core.blocking_loads);
+
+    cacheCache(out, "l1i", config.l1i);
+    cacheCache(out, "l1d", config.l1d);
+    cacheCache(out, "l2", config.l2);
+
+    const mem::ChannelConfig &ch = config.channel;
+    cacheField(out, "ch.access", ch.access_latency);
+    cacheField(out, "ch.transfer", ch.transfer_cycles);
+    cacheField(out, "ch.small_transfer", ch.small_transfer_cycles);
+    cacheField(out, "ch.wbuf", ch.write_buffer_entries);
+    cacheField(out, "ch.line_bytes", ch.line_bytes);
+    cacheField(out, "ch.small_bytes", ch.small_bytes);
+    cacheField(out, "ch.starve", ch.bg_starvation_bound);
+    cacheField(out, "ch.use_dram", ch.use_dram);
+    cacheField(out, "dram.banks", ch.dram.num_banks);
+    cacheField(out, "dram.row_bytes", ch.dram.row_bytes);
+    cacheField(out, "dram.hit", ch.dram.row_hit_latency);
+    cacheField(out, "dram.miss", ch.dram.row_miss_latency);
+    cacheField(out, "dram.conflict", ch.dram.row_conflict_latency);
+    cacheField(out, "dram.busy", ch.dram.bank_busy_cycles);
+    cacheField(out, "dram.closed", ch.dram.closed_page);
+
+    const secure::ProtectionConfig &prot = config.protection;
+    cacheField(out, "prot.model", static_cast<int>(prot.model));
+    cacheField(out, "crypto.latency", prot.crypto.latency);
+    cacheField(out, "crypto.ii", prot.crypto.initiation_interval);
+    cacheField(out, "snc.capacity", prot.snc.capacity_bytes);
+    cacheField(out, "snc.entry_bytes", prot.snc.bytes_per_entry);
+    cacheField(out, "snc.assoc", prot.snc.assoc);
+    cacheField(out, "snc.replace", prot.snc.allow_replacement);
+    cacheField(out, "snc.line", prot.snc.l2_line_size);
+    cacheField(out, "snc.sector", prot.snc.sector_lines);
+    cacheField(out, "prot.parallel_seqnum",
+               prot.parallel_seqnum_fetch);
+    cacheField(out, "prot.pad_predict", prot.pad_prediction);
+    cacheField(out, "prot.pad_entries", prot.pad_buffer_entries);
+    cacheField(out, "prot.line", prot.line_size);
+
+    cacheField(out, "cipher", static_cast<int>(config.cipher));
+    cacheField(out, "mshrs", config.mshrs);
+    cacheField(out, "functional", config.functional);
+
+    return out.str();
+}
+
+namespace
+{
+
+struct CellCache
+{
+    std::mutex mutex;
+    std::map<std::string, std::shared_future<sim::RunStats>> cells;
+    size_t hits = 0;
+};
+
+CellCache &
+cache()
+{
+    static CellCache instance;
+    return instance;
+}
+
+} // namespace
+
+sim::RunStats
+cachedRunCell(const std::string &bench,
+              const sim::SystemConfig &config,
+              const RunOptions &options, uint64_t seed_override)
+{
+    std::ostringstream key;
+    key << "bench=" << bench << ";warmup="
+        << options.warmup_instructions
+        << ";measure=" << options.measure_instructions
+        << ";seed=" << seed_override
+        << ";env.warmup=" << liveEnvironment("SECPROC_WARMUP")
+        << ";env.measure=" << liveEnvironment("SECPROC_MEASURE")
+        << ';' << configDigest(config);
+
+    CellCache &memo = cache();
+    std::promise<sim::RunStats> mine;
+    std::shared_future<sim::RunStats> result;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(memo.mutex);
+        const auto it = memo.cells.find(key.str());
+        if (it != memo.cells.end()) {
+            ++memo.hits;
+            result = it->second; // get() happens outside the lock
+        } else {
+            result =
+                memo.cells.emplace(key.str(), mine.get_future().share())
+                    .first->second;
+            compute = true;
+        }
+    }
+    if (!compute)
+        return result.get();
+
+    mine.set_value(runCell(bench, config, options, seed_override));
+    return result.get();
+}
+
+CellCacheStats
+cellCacheStats()
+{
+    CellCache &memo = cache();
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    return {memo.cells.size(), memo.hits};
+}
+
+void
+clearCellCache()
+{
+    CellCache &memo = cache();
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    memo.cells.clear();
+    memo.hits = 0;
+}
+
+} // namespace secproc::exp

@@ -6,6 +6,8 @@
 
 #include "exp/runner.hh"
 
+#include "exp/cell_cache.hh"
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -113,8 +115,8 @@ Runner::run(const ExperimentSpec &spec) const
                 spec.seed == 0 ? 0
                                : cellSeed(spec.seed, cell.variant_idx,
                                           cell.bench_idx);
-            result.stats = runCell(bench, variant.config(bench),
-                                   spec.options, seed);
+            result.stats = cachedRunCell(bench, variant.config(bench),
+                                         spec.options, seed);
         }
         if (variant.paper)
             result.paper = variant.paper(bench);

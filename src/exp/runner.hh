@@ -8,6 +8,13 @@
  * seed is derived from the cell's grid position, never from
  * execution order — a grid run at --threads=4 is bit-identical to
  * the serial run.
+ *
+ * Standard cells (variants with a ConfigFn and no custom RunFn) go
+ * through the process-wide cell cache (cell_cache.hh): identical
+ * (bench, config, lengths, seed) cells — baselines shared by many
+ * comparison columns, repeated grids in one process — simulate once.
+ * Results are bit-identical with the cache cold or warm; only
+ * wall-clock changes.
  */
 
 #ifndef SECPROC_EXP_RUNNER_HH

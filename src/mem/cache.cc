@@ -2,9 +2,11 @@
  * @file
  * Set-associative cache directory implementation.
  *
- * Constant-time lookups via a tag hash map and constant-time victim
- * selection via per-set intrusive recency lists, so even the fully
- * associative 32K-entry SNC costs O(1) per operation.
+ * Lookups scan the set's ways directly at low associativity (L1/L2:
+ * a few contiguous tag compares) and fall back to a tag hash map for
+ * wide instances, so even the fully associative 32K-entry SNC costs
+ * O(1) per operation. Victim selection is constant-time via per-set
+ * intrusive recency lists.
  */
 
 #include "mem/cache.hh"
@@ -50,7 +52,11 @@ Cache::Cache(const CacheConfig &config)
         for (uint32_t way = 0; way < ways_; ++way)
             pushFront(set, static_cast<uint32_t>(set * ways_ + way));
     }
-    map_.reserve(num_lines * 2);
+    // 8 ways = at most three cache lines of tags per probe; beyond
+    // that (the fully associative SNC) the map wins.
+    scan_ways_ = ways_ <= 8;
+    if (!scan_ways_)
+        map_.reserve(num_lines);
 }
 
 uint64_t
@@ -63,6 +69,22 @@ uint64_t
 Cache::setIndex(uint64_t line_number) const
 {
     return line_number & (num_sets_ - 1);
+}
+
+uint32_t
+Cache::findIdx(uint64_t line_number) const
+{
+    if (scan_ways_) {
+        const uint64_t base = setIndex(line_number) * ways_;
+        for (uint32_t way = 0; way < ways_; ++way) {
+            const Line &line = lines_[base + way];
+            if (line.valid && line.tag == line_number)
+                return static_cast<uint32_t>(base + way);
+        }
+        return kNil;
+    }
+    const uint32_t *it = map_.find(line_number);
+    return it == nullptr ? kNil : *it;
 }
 
 void
@@ -109,18 +131,22 @@ bool
 Cache::access(uint64_t addr, bool write)
 {
     const uint64_t line_number = addr >> line_shift_;
-    const auto it = map_.find(line_number);
-    if (it == map_.end()) {
+    const uint32_t idx = findIdx(line_number);
+    if (idx == kNil) {
         ++misses_;
         return false;
     }
     ++hits_;
-    Line &line = lines_[it->second];
+    Line &line = lines_[idx];
     // FIFO recency is fixed at insertion; only LRU tracks touches.
+    // Re-touching the MRU line (the overwhelmingly common case) is a
+    // no-op, so skip the list splice entirely.
     if (config_.policy != ReplacementPolicy::Fifo) {
         const uint64_t set = setIndex(line_number);
-        unlink(set, it->second);
-        pushFront(set, it->second);
+        if (head_[set] != idx) {
+            unlink(set, idx);
+            pushFront(set, idx);
+        }
     }
     if (write)
         line.dirty = true;
@@ -130,7 +156,7 @@ Cache::access(uint64_t addr, bool write)
 bool
 Cache::probe(uint64_t addr) const
 {
-    return map_.find(addr >> line_shift_) != map_.end();
+    return findIdx(addr >> line_shift_) != kNil;
 }
 
 std::optional<Victim>
@@ -139,13 +165,14 @@ Cache::fill(uint64_t addr, bool dirty, uint64_t meta)
     const uint64_t line_number = addr >> line_shift_;
     const uint64_t set = setIndex(line_number);
 
-    if (const auto it = map_.find(line_number); it != map_.end()) {
+    if (const uint32_t resident = findIdx(line_number);
+        resident != kNil) {
         // Refill of a resident line: refresh in place.
-        Line &line = lines_[it->second];
+        Line &line = lines_[resident];
         line.dirty = line.dirty || dirty;
         line.meta = meta;
-        unlink(set, it->second);
-        pushFront(set, it->second);
+        unlink(set, resident);
+        pushFront(set, resident);
         return Victim{};
     }
 
@@ -179,7 +206,8 @@ Cache::fill(uint64_t addr, bool dirty, uint64_t meta)
         victim.dirty = slot.dirty;
         victim.line_addr = slot.tag << line_shift_;
         victim.meta = slot.meta;
-        map_.erase(slot.tag);
+        if (!scan_ways_)
+            map_.erase(slot.tag);
         ++evictions_;
         if (slot.dirty)
             ++dirty_evictions_;
@@ -190,7 +218,8 @@ Cache::fill(uint64_t addr, bool dirty, uint64_t meta)
     slot.dirty = dirty;
     slot.tag = line_number;
     slot.meta = meta;
-    map_[line_number] = idx;
+    if (!scan_ways_)
+        map_[line_number] = idx;
     unlink(set, idx);
     pushFront(set, idx);
     ++occupancy_;
@@ -201,10 +230,9 @@ Victim
 Cache::invalidate(uint64_t addr)
 {
     const uint64_t line_number = addr >> line_shift_;
-    const auto it = map_.find(line_number);
-    if (it == map_.end())
+    const uint32_t idx = findIdx(line_number);
+    if (idx == kNil)
         return Victim{};
-    const uint32_t idx = it->second;
     Line &line = lines_[idx];
     Victim victim;
     victim.valid = true;
@@ -213,7 +241,8 @@ Cache::invalidate(uint64_t addr)
     victim.meta = line.meta;
     line.valid = false;
     line.dirty = false;
-    map_.erase(it);
+    if (!scan_ways_)
+        map_.erase(line_number);
     --occupancy_;
     // Park the freed way at the tail so it is the next victim.
     const uint64_t set = setIndex(line_number);
@@ -239,7 +268,8 @@ Cache::invalidateAll()
         line.valid = false;
         line.dirty = false;
     }
-    map_.clear();
+    if (!scan_ways_)
+        map_.clear();
     occupancy_ = 0;
     return victims;
 }
@@ -247,29 +277,29 @@ Cache::invalidateAll()
 std::optional<uint64_t>
 Cache::meta(uint64_t addr) const
 {
-    const auto it = map_.find(addr >> line_shift_);
-    if (it == map_.end())
+    const uint32_t idx = findIdx(addr >> line_shift_);
+    if (idx == kNil)
         return std::nullopt;
-    return lines_[it->second].meta;
+    return lines_[idx].meta;
 }
 
 bool
 Cache::setMeta(uint64_t addr, uint64_t value)
 {
-    const auto it = map_.find(addr >> line_shift_);
-    if (it == map_.end())
+    const uint32_t idx = findIdx(addr >> line_shift_);
+    if (idx == kNil)
         return false;
-    lines_[it->second].meta = value;
+    lines_[idx].meta = value;
     return true;
 }
 
 bool
 Cache::setDirty(uint64_t addr)
 {
-    const auto it = map_.find(addr >> line_shift_);
-    if (it == map_.end())
+    const uint32_t idx = findIdx(addr >> line_shift_);
+    if (idx == kNil)
         return false;
-    lines_[it->second].dirty = true;
+    lines_[idx].dirty = true;
     return true;
 }
 

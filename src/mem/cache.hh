@@ -19,9 +19,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 
@@ -147,8 +147,15 @@ class Cache
     uint64_t occupancy_ = 0;
     util::Rng victim_rng_;
 
+    /**
+     * Low-associativity sets are probed by scanning their ways
+     * directly (a handful of contiguous tag compares beats any hash
+     * lookup); only wide/fully-associative instances (the SNC) keep
+     * the tag map.
+     */
+    bool scan_ways_;
     /** line number -> index into lines_ (O(1) tag lookup). */
-    std::unordered_map<uint64_t, uint32_t> map_;
+    util::FlatMap<uint32_t> map_;
     /** Per-set intrusive recency lists (head = MRU, tail = LRU). */
     std::vector<uint32_t> next_;
     std::vector<uint32_t> prev_;
@@ -162,6 +169,7 @@ class Cache
     util::Counter rejected_fills_;
 
     uint64_t setIndex(uint64_t line_number) const;
+    uint32_t findIdx(uint64_t line_number) const;
     void unlink(uint64_t set, uint32_t idx);
     void pushFront(uint64_t set, uint32_t idx);
     void pushBack(uint64_t set, uint32_t idx);

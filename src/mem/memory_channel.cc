@@ -156,6 +156,7 @@ MemoryChannel::grantBackground(uint64_t now)
         bg_max_stall_[req.agent] =
             std::max(bg_max_stall_[req.agent], wait);
         bg_done_[req.agent] = completion;
+        ++bg_done_count_;
         bg_pending_[req.agent] = false;
         ++bg_grants_;
         bg_forced_ += !fits_idle;
@@ -191,6 +192,31 @@ MemoryChannel::requestBackground(uint64_t request_cycle,
                                   small, addr, agent});
 }
 
+uint64_t
+MemoryChannel::nextArbiterEventCycle() const
+{
+    // Over-capacity write queues force-drain on any poll regardless
+    // of the poll cycle: the very next boundary is an event.
+    if (write_queue_.size() > config_.write_buffer_entries)
+        return 0;
+    uint64_t next = kNoArbiterEvent;
+    if (!write_queue_.empty()) {
+        const PendingWrite &front = write_queue_.front();
+        const uint64_t start =
+            std::max(busy_until_, front.ready_cycle);
+        next = std::min(next, start + transferCycles(front.small));
+    }
+    if (!bg_queue_.empty()) {
+        const BgRequest &req = bg_queue_.front();
+        const uint64_t start =
+            std::max(busy_until_, req.request_cycle);
+        next = std::min(next, start + transferCycles(req.small));
+        next = std::min(next,
+                        req.request_cycle + config_.bg_starvation_bound);
+    }
+    return next;
+}
+
 std::optional<uint64_t>
 MemoryChannel::pollBackground(AgentId agent, uint64_t now)
 {
@@ -202,6 +228,7 @@ MemoryChannel::pollBackground(AgentId agent, uint64_t now)
         return std::nullopt;
     const uint64_t completion = *bg_done_[agent];
     bg_done_[agent].reset();
+    --bg_done_count_;
     return completion;
 }
 
@@ -382,6 +409,7 @@ MemoryChannel::reset()
     bg_queue_.clear();
     for (auto &done : bg_done_)
         done.reset();
+    bg_done_count_ = 0;
     std::fill(bg_pending_.begin(), bg_pending_.end(), false);
     std::fill(bg_stall_cycles_.begin(), bg_stall_cycles_.end(), 0);
     std::fill(bg_max_stall_.begin(), bg_max_stall_.end(), 0);

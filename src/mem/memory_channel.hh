@@ -197,6 +197,55 @@ class MemoryChannel
     std::optional<uint64_t> pollBackground(AgentId agent,
                                            uint64_t now);
 
+    /**
+     * True when @p agent has a granted, ungathered transaction: its
+     * next pollBackground() returns immediately.
+     */
+    bool
+    backgroundGrantReady(AgentId agent) const
+    {
+        return agent < bg_done_.size() && bg_done_[agent].has_value();
+    }
+
+    /**
+     * True when *any* agent has a granted, ungathered transaction.
+     * The event kernel checks this every boundary: foreground
+     * channel activity runs the arbiter at the access's own cycle,
+     * which can sit *ahead* of the core's boundary clock (the OoO
+     * core's memory ops run ahead of retire), so a grant can park
+     * while every armed wakeup is still in the future. The legacy
+     * every-step pump collects such grants at the very next
+     * boundary; bit-identity requires the event kernel to do the
+     * same, and this O(1) flag is how it notices.
+     */
+    bool backgroundGrantParked() const { return bg_done_count_ != 0; }
+
+    /**
+     * Event-kernel support: the earliest cycle at which a
+     * pollBackground()/grantBackground() call could change arbiter
+     * state, given everything issued so far — i.e. the first cycle
+     * any front-of-queue threshold is reached:
+     *
+     *  - the front pending write's drain completion
+     *    (max(busy_until, ready) + transfer);
+     *  - the front background request's idle-fit grant
+     *    (max(busy_until, request) + transfer) or its
+     *    starvation-bound force grant (request + bg_starvation_bound);
+     *  - *now*, when the write queue is over capacity — drainWrites'
+     *    force condition is time-independent, so any poll drains.
+     *
+     * Every threshold is monotone under future foreground traffic
+     * (busy_until only grows; queues pop from the front), so this is
+     * a conservative lower bound: polls strictly before it are
+     * provable no-ops, and the caller re-queries after any boundary
+     * it does pump. Returns kNoArbiterEvent when both queues are
+     * empty.
+     */
+    uint64_t nextArbiterEventCycle() const;
+
+    /** nextArbiterEventCycle()'s "no pending arbiter work" value. */
+    static constexpr uint64_t kNoArbiterEvent = UINT64_MAX;
+
     /** Background transactions still queued in the arbiter. */
     size_t backgroundQueued() const { return bg_queue_.size(); }
 
@@ -325,6 +374,8 @@ class MemoryChannel
     std::deque<BgRequest> bg_queue_;
     /** agent -> completion cycle of its granted, ungathered txn. */
     std::vector<std::optional<uint64_t>> bg_done_;
+    /** Number of set entries in bg_done_ (backgroundGrantParked). */
+    size_t bg_done_count_ = 0;
     std::vector<bool> bg_pending_;
     std::vector<uint64_t> bg_stall_cycles_;
     std::vector<uint64_t> bg_max_stall_;

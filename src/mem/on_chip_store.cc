@@ -21,26 +21,24 @@ OnChipStore::install(uint64_t line_addr, std::vector<uint8_t> bytes)
 std::optional<std::vector<uint8_t>>
 OnChipStore::remove(uint64_t line_addr)
 {
-    auto it = lines_.find(line_addr);
-    if (it == lines_.end())
+    std::vector<uint8_t> *it = lines_.find(line_addr);
+    if (it == nullptr)
         return std::nullopt;
-    std::vector<uint8_t> out = std::move(it->second);
-    lines_.erase(it);
+    std::vector<uint8_t> out = std::move(*it);
+    lines_.erase(line_addr);
     return out;
 }
 
 const std::vector<uint8_t> *
 OnChipStore::peek(uint64_t line_addr) const
 {
-    const auto it = lines_.find(line_addr);
-    return it == lines_.end() ? nullptr : &it->second;
+    return lines_.find(line_addr);
 }
 
 std::vector<uint8_t> *
 OnChipStore::peekMutable(uint64_t line_addr)
 {
-    auto it = lines_.find(line_addr);
-    return it == lines_.end() ? nullptr : &it->second;
+    return lines_.find(line_addr);
 }
 
 } // namespace secproc::mem

@@ -16,7 +16,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include "util/flat_map.hh"
 #include <vector>
 
 namespace secproc::mem
@@ -46,7 +46,7 @@ class OnChipStore
 
   private:
     uint32_t line_size_;
-    std::unordered_map<uint64_t, std::vector<uint8_t>> lines_;
+    util::FlatMap<std::vector<uint8_t>> lines_;
 };
 
 } // namespace secproc::mem

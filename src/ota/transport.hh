@@ -97,6 +97,19 @@ class Transport
      *  collected via poll(). */
     bool complete() const { return next_ == schedule_.size(); }
 
+    /**
+     * Arrival cycle of the earliest chunk poll() has not yet
+     * delivered, or UINT64_MAX once the stream is fully collected.
+     * The schedule is sorted by cycle, so a poll strictly before
+     * this cycle is a no-op — the event kernel's transport wakeup.
+     */
+    uint64_t
+    nextArrivalCycle() const
+    {
+        return next_ < schedule_.size() ? schedule_[next_].cycle
+                                        : UINT64_MAX;
+    }
+
     /** Cycle the last chunk of the stream arrives. */
     uint64_t completionCycle() const;
 

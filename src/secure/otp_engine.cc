@@ -60,13 +60,12 @@ OtpEngine::absorbInstall(const SncInstall &install, uint64_t line_va,
         if (lineState(other) != LineCipherState::Otp)
             continue;
         uint32_t seqnum;
-        if (const auto it = memory_table_.find(other);
-            it != memory_table_.end()) {
-            seqnum = it->second;
-            memory_table_.erase(it);
-        } else if (const auto preset = preset_seqnums_.find(other);
-                   preset != preset_seqnums_.end()) {
-            seqnum = preset->second;
+        if (const uint32_t *it = memory_table_.find(other)) {
+            seqnum = *it;
+            memory_table_.erase(other);
+        } else if (const uint32_t *preset =
+                       preset_seqnums_.find(other)) {
+            seqnum = *preset;
         } else {
             continue; // never written back: no sequence number yet
         }
@@ -124,12 +123,11 @@ OtpEngine::planFill(uint64_t line_va, bool ifetch, mem::RegionKind kind)
     // encrypted in-memory table; fetch it and install it, possibly
     // spilling a victim (Algorithm 1 lines 1-12).
     plan.snc_query_miss = true;
-    const auto it = memory_table_.find(line_va);
-    if (it != memory_table_.end()) {
-        plan.seqnum = it->second;
-    } else if (const auto preset = preset_seqnums_.find(line_va);
-               preset != preset_seqnums_.end()) {
-        plan.seqnum = preset->second; // loader-initialized image
+    const uint32_t *it = memory_table_.find(line_va);
+    if (it != nullptr) {
+        plan.seqnum = *it;
+    } else if (const uint32_t *preset = preset_seqnums_.find(line_va)) {
+        plan.seqnum = *preset; // loader-initialized image
     } else {
         panic("OTP line ", line_va,
               " has no sequence number anywhere; state tracking bug");
@@ -174,13 +172,12 @@ OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
         // the line ever had one), increment, install, spill victim.
         uint32_t old_seqnum = 0;
         if (lineState(line_va) == LineCipherState::Otp) {
-            const auto it = memory_table_.find(line_va);
-            if (it != memory_table_.end()) {
-                old_seqnum = it->second;
+            if (const uint32_t *it = memory_table_.find(line_va)) {
+                old_seqnum = *it;
                 plan.seqnum_fetched = true;
-            } else if (const auto preset = preset_seqnums_.find(line_va);
-                       preset != preset_seqnums_.end()) {
-                old_seqnum = preset->second;
+            } else if (const uint32_t *preset =
+                           preset_seqnums_.find(line_va)) {
+                old_seqnum = *preset;
                 plan.seqnum_fetched = true;
             }
         }
@@ -195,13 +192,12 @@ OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
         // spilled value is recovered and incremented.
         uint32_t old_seqnum = 0;
         if (lineState(line_va) == LineCipherState::Otp) {
-            if (const auto it = memory_table_.find(line_va);
-                it != memory_table_.end()) {
-                old_seqnum = it->second;
+            if (const uint32_t *it = memory_table_.find(line_va)) {
+                old_seqnum = *it;
                 plan.seqnum_fetched = true;
-            } else if (const auto preset = preset_seqnums_.find(line_va);
-                       preset != preset_seqnums_.end()) {
-                old_seqnum = preset->second;
+            } else if (const uint32_t *preset =
+                           preset_seqnums_.find(line_va)) {
+                old_seqnum = *preset;
                 plan.seqnum_fetched = true;
             }
         }
@@ -322,17 +318,19 @@ OtpEngine::scheduleEvict(const EvictPlan &plan, uint64_t cycle)
         break;
     }
 
-    uint64_t pad_start = cycle;
+    uint64_t pad_ready;
     if (plan.snc_update_miss && plan.seqnum_fetched) {
         // Off the critical path (the line waits in the write
         // buffer), but the fetch still occupies the bus and the
-        // decryption still occupies the crypto engine.
+        // engine: decrypt the fetched sequence number, then generate
+        // the pad from it — one dependent two-block chain.
         const uint64_t sn_arrival = channel_.scheduleRead(
             cycle, mem::Traffic::SeqnumFetch, /*small=*/true,
             seqnumTableAddr(plan.line_va));
-        pad_start = crypto_engine_.schedule(sn_arrival);
+        pad_ready = crypto_engine_.scheduleChained(sn_arrival, 2);
+    } else {
+        pad_ready = crypto_engine_.schedule(cycle);
     }
-    const uint64_t pad_ready = crypto_engine_.schedule(pad_start);
     channel_.enqueueWrite(pad_ready + 1, mem::Traffic::DataWriteback,
                           /*small=*/false, plan.line_va);
 
@@ -355,11 +353,12 @@ OtpEngine::applyFill(const FillPlan &plan,
       case LineCipherState::Direct:
         crypto::ecbDecrypt(activeCipher(), bytes.data(), bytes.size());
         return;
-      case LineCipherState::Otp:
-        crypto::otpTransform(activeCipher(),
-                             makeSeed(plan.line_va, plan.seqnum),
-                             bytes.data(), bytes.size());
+      case LineCipherState::Otp: {
+        const std::vector<uint8_t> &pad = cachedPad(
+            makeSeed(plan.line_va, plan.seqnum), bytes.size());
+        crypto::xorPad(bytes.data(), pad.data(), bytes.size());
         return;
+      }
     }
 }
 
@@ -374,22 +373,44 @@ OtpEngine::applyEvict(const EvictPlan &plan,
       case LineCipherState::Direct:
         crypto::ecbEncrypt(activeCipher(), bytes.data(), bytes.size());
         return;
-      case LineCipherState::Otp:
-        crypto::otpTransform(activeCipher(),
-                             makeSeed(plan.line_va, plan.seqnum),
-                             bytes.data(), bytes.size());
+      case LineCipherState::Otp: {
+        const std::vector<uint8_t> &pad = cachedPad(
+            makeSeed(plan.line_va, plan.seqnum), bytes.size());
+        crypto::xorPad(bytes.data(), pad.data(), bytes.size());
         return;
+      }
     }
+}
+
+const std::vector<uint8_t> &
+OtpEngine::cachedPad(uint64_t seed, size_t len) const
+{
+    if (pad_cache_compartment_ != compartment()) {
+        pad_cache_.clear();
+        pad_cache_compartment_ = compartment();
+    }
+    if (const std::vector<uint8_t> *hit = pad_cache_.find(seed)) {
+        if (hit->size() == len)
+            return *hit;
+    }
+    // Crude bound: drop everything rather than track recency — the
+    // memo is a pure-function cache, so eviction cannot change any
+    // result, only cost a regeneration.
+    if (pad_cache_.size() >= kPadCacheEntries)
+        pad_cache_.clear();
+    std::vector<uint8_t> pad(len);
+    crypto::generatePad(activeCipher(), seed, pad.data(), len);
+    return pad_cache_.insert(seed, std::move(pad));
 }
 
 std::optional<uint64_t>
 OtpEngine::takePredictedPad(uint64_t seed)
 {
-    const auto it = pad_buffer_.find(seed);
-    if (it == pad_buffer_.end())
+    const uint64_t *it = pad_buffer_.find(seed);
+    if (it == nullptr)
         return std::nullopt;
-    const uint64_t ready = it->second;
-    pad_buffer_.erase(it);
+    const uint64_t ready = *it;
+    pad_buffer_.erase(seed);
     return ready;
 }
 
@@ -411,7 +432,7 @@ OtpEngine::predictNextPad(uint64_t line_va, bool ifetch, uint64_t cycle)
         seqnum = *peeked;
     }
     const uint64_t seed = makeSeed(next_va, seqnum);
-    if (pad_buffer_.count(seed) != 0)
+    if (pad_buffer_.contains(seed))
         return;
     // FIFO bound: forget the oldest predictions (timing state only).
     // Consumed entries may linger in the queue; skip them.

@@ -30,9 +30,8 @@ ProtectionEngine::ProtectionEngine(const ProtectionConfig &config,
 LineCipherState
 ProtectionEngine::lineState(uint64_t line_va) const
 {
-    const auto it = line_states_.find(line_va);
-    return it == line_states_.end() ? LineCipherState::Unwritten
-                                    : it->second;
+    const LineCipherState *it = line_states_.find(line_va);
+    return it == nullptr ? LineCipherState::Unwritten : *it;
 }
 
 void

@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "crypto/latency.hh"
@@ -37,6 +36,7 @@
 #include "mem/virtual_memory.hh"
 #include "secure/key_table.hh"
 #include "secure/snc.hh"
+#include "util/flat_map.hh"
 #include "util/stats.hh"
 
 namespace secproc::secure
@@ -292,10 +292,10 @@ class ProtectionEngine
     CompartmentId compartment_ = 1;
 
     /** line_va -> how its memory image is currently encrypted. */
-    std::unordered_map<uint64_t, LineCipherState> line_states_;
+    util::FlatMap<LineCipherState> line_states_;
     /** line_va -> seqnum for lines recorded via setLineState or
      *  tracked outside the SNC (spill table is engine-specific). */
-    std::unordered_map<uint64_t, uint32_t> preset_seqnums_;
+    util::FlatMap<uint32_t> preset_seqnums_;
 
     util::Counter fast_fills_;
     util::Counter slow_fills_;

@@ -64,10 +64,10 @@ SequenceNumberCache::slotIndex(uint64_t line_va) const
 uint32_t *
 SequenceNumberCache::slotFor(uint64_t line_va)
 {
-    const auto it = sectors_.find(sectorBase(line_va));
-    if (it == sectors_.end())
+    std::vector<uint32_t> *sector = sectors_.find(sectorBase(line_va));
+    if (sector == nullptr)
         return nullptr;
-    return &it->second[slotIndex(line_va)];
+    return &(*sector)[slotIndex(line_va)];
 }
 
 std::optional<uint32_t>
@@ -100,10 +100,11 @@ SequenceNumberCache::peek(uint64_t line_va) const
 {
     if (!cache_.probe(line_va))
         return std::nullopt;
-    const auto it = sectors_.find(sectorBase(line_va));
-    if (it == sectors_.end())
+    const std::vector<uint32_t> *sector =
+        sectors_.find(sectorBase(line_va));
+    if (sector == nullptr)
         return std::nullopt;
-    const uint32_t slot = it->second[slotIndex(line_va)];
+    const uint32_t slot = (*sector)[slotIndex(line_va)];
     if (slot == kEmptySlot)
         return std::nullopt;
     return slot;
@@ -158,19 +159,20 @@ SequenceNumberCache::install(uint64_t line_va, uint32_t seqnum)
     result.installed = true;
 
     if (victim->valid) {
-        const auto it = sectors_.find(victim->line_addr);
-        panic_if(it == sectors_.end(),
+        const std::vector<uint32_t> *sector =
+            sectors_.find(victim->line_addr);
+        panic_if(sector == nullptr,
                  "SNC victim sector has no slot table");
-        for (size_t i = 0; i < it->second.size(); ++i) {
-            if (it->second[i] == kEmptySlot)
+        for (size_t i = 0; i < sector->size(); ++i) {
+            if ((*sector)[i] == kEmptySlot)
                 continue;
             result.victims.push_back(SncEntry{
                 victim->line_addr + i * config_.l2_line_size,
-                it->second[i]});
+                (*sector)[i]});
             --occupancy_;
             ++spills_;
         }
-        sectors_.erase(it);
+        sectors_.erase(victim->line_addr);
         if (!result.victims.empty()) {
             result.victim_valid = true;
             result.victim_line = result.victims.front().line_va;
@@ -179,10 +181,9 @@ SequenceNumberCache::install(uint64_t line_va, uint32_t seqnum)
     }
 
     const uint64_t base = sectorBase(line_va);
-    auto &slots =
-        sectors_.emplace(base, std::vector<uint32_t>(
-                                   config_.sector_lines, kEmptySlot))
-            .first->second;
+    auto &slots = sectors_.insert(
+        base,
+        std::vector<uint32_t>(config_.sector_lines, kEmptySlot));
     slots[slotIndex(line_va)] = seqnum;
     ++occupancy_;
     for (uint32_t i = 0; i < config_.sector_lines; ++i) {
@@ -211,15 +212,16 @@ SequenceNumberCache::flush()
 {
     std::vector<SncEntry> entries;
     for (const mem::Victim &victim : cache_.invalidateAll()) {
-        const auto it = sectors_.find(victim.line_addr);
-        if (it == sectors_.end())
+        const std::vector<uint32_t> *sector =
+            sectors_.find(victim.line_addr);
+        if (sector == nullptr)
             continue;
-        for (size_t i = 0; i < it->second.size(); ++i) {
-            if (it->second[i] == kEmptySlot)
+        for (size_t i = 0; i < sector->size(); ++i) {
+            if ((*sector)[i] == kEmptySlot)
                 continue;
             entries.push_back(SncEntry{
                 victim.line_addr + i * config_.l2_line_size,
-                it->second[i]});
+                (*sector)[i]});
         }
     }
     sectors_.clear();

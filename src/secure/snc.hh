@@ -22,10 +22,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hh"
+#include "util/flat_map.hh"
 #include "util/stats.hh"
 
 namespace secproc::secure
@@ -184,7 +184,7 @@ class SequenceNumberCache
     mem::Cache cache_;
 
     /** sector base address -> per-line slots (kEmptySlot = none). */
-    std::unordered_map<uint64_t, std::vector<uint32_t>> sectors_;
+    util::FlatMap<std::vector<uint32_t>> sectors_;
     uint64_t occupancy_ = 0;
 
     /** Sector base address containing @p line_va. */

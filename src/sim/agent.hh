@@ -16,6 +16,8 @@
 
 #include <cstdint>
 
+#include "sim/event_queue.hh"
+
 namespace secproc::obs
 {
 class TraceSink;
@@ -42,6 +44,34 @@ class BackgroundAgent
 
     /** True once the agent has no further work to issue. */
     virtual bool done() const = 0;
+
+    /**
+     * Event-kernel contract: a conservative lower bound on the next
+     * cycle at which this agent's advance() could change any machine
+     * state — its own, the channel's, the crypto engine's or the
+     * functional plane's. The System skips pumping agents across
+     * [now, bound) and pumps *every* agent, in attach order, at the
+     * first core-clock boundary that reaches the earliest bound, so
+     * the pump sequence is a subset of the legacy every-step pump
+     * containing all of its effectful elements — bit-identical
+     * results by construction.
+     *
+     * Sources of wakeups an implementation must cover: channel-idle
+     * windows and starvation-bound deadlines (via
+     * MemoryChannel::nextArbiterEventCycle), OTA chunk arrival (via
+     * ota::Transport::nextArrivalCycle), crypto reservation expiry /
+     * self-paced cursors (the agent's own completion cycle).
+     *
+     * Returning @p now (or anything <= now) means "pump me at every
+     * boundary" — the default, which makes agents that predate the
+     * contract behave exactly as under the legacy kernel. Return
+     * kNeverCycle when done() and nothing can wake the agent again.
+     */
+    virtual uint64_t
+    nextEventCycle(uint64_t now) const
+    {
+        return now;
+    }
 
     /**
      * Drop all in-flight work (machine reset / power cycle). Called

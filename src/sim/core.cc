@@ -31,7 +31,8 @@ OooCore::producerReady(const TraceOp &op) const
         // recent_pos_ holds the completion of the previous op
         // (distance 1), so distance d lives d-1 slots behind it.
         const size_t idx =
-            (recent_pos_ + kRecentWindow - (dep - 1)) % kRecentWindow;
+            (recent_pos_ + kRecentWindow - (dep - 1)) &
+            (kRecentWindow - 1);
         ready = std::max(ready, recent_[idx]);
     }
     return ready;
@@ -67,7 +68,10 @@ OooCore::step(const TraceOp &op)
     // Window stall: the oldest entry must retire to free a slot.
     if (rob_count_ == config_.rob_size) {
         earliest = std::max(earliest, rob_[rob_head_]);
-        rob_head_ = (rob_head_ + 1) % config_.rob_size;
+        // Branch-free-enough wrap; rob_size is not a compile-time
+        // constant, so % here would be a hardware divide per step.
+        if (++rob_head_ == config_.rob_size)
+            rob_head_ = 0;
         --rob_count_;
     }
 
@@ -118,13 +122,14 @@ OooCore::step(const TraceOp &op)
 
     // In-order retirement: the ROB sees monotonic completion.
     retire_horizon_ = std::max(retire_horizon_, completion);
-    const size_t tail =
-        (rob_head_ + rob_count_) % config_.rob_size;
+    size_t tail = rob_head_ + rob_count_;
+    if (tail >= config_.rob_size)
+        tail -= config_.rob_size;
     rob_[tail] = retire_horizon_;
     ++rob_count_;
 
     // Dataflow completion feeds dependents (not monotonicized).
-    recent_pos_ = (recent_pos_ + 1) % kRecentWindow;
+    recent_pos_ = (recent_pos_ + 1) & (kRecentWindow - 1);
     recent_[recent_pos_] = completion;
 
     ++instructions_;

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Wakeup heap implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+namespace secproc::sim
+{
+
+EventQueue::Token
+EventQueue::schedule(uint64_t cycle, uint64_t tag)
+{
+    const Token token = next_token_++;
+    if (cycle == kNeverCycle)
+        return token; // never surfaces; not even worth heap space
+    heap_.push_back(Entry{cycle, token, tag});
+    std::push_heap(heap_.begin(), heap_.end());
+    ++live_;
+    return token;
+}
+
+bool
+EventQueue::isCancelled(Token token) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), token) !=
+           cancelled_.end();
+}
+
+void
+EventQueue::dropCancelled(Token token)
+{
+    cancelled_.erase(
+        std::remove(cancelled_.begin(), cancelled_.end(), token),
+        cancelled_.end());
+}
+
+bool
+EventQueue::cancel(Token token)
+{
+    if (token >= next_token_ || isCancelled(token))
+        return false;
+    // Live iff it is still somewhere in the heap. kNeverCycle arms
+    // were never stored, so they report not-live here.
+    const bool armed =
+        std::any_of(heap_.begin(), heap_.end(),
+                    [token](const Entry &e) { return e.token == token; });
+    if (!armed)
+        return false;
+    cancelled_.push_back(token);
+    --live_;
+    return true;
+}
+
+EventQueue::Token
+EventQueue::rearm(Token token, uint64_t cycle, uint64_t tag)
+{
+    cancel(token);
+    return schedule(cycle, tag);
+}
+
+void
+EventQueue::purge()
+{
+    while (!heap_.empty() && isCancelled(heap_.front().token)) {
+        dropCancelled(heap_.front().token);
+        std::pop_heap(heap_.begin(), heap_.end());
+        heap_.pop_back();
+    }
+}
+
+uint64_t
+EventQueue::nextCycle()
+{
+    purge();
+    return heap_.empty() ? kNeverCycle : heap_.front().cycle;
+}
+
+std::optional<EventQueue::Wakeup>
+EventQueue::popDue(uint64_t now)
+{
+    purge();
+    if (heap_.empty() || heap_.front().cycle > now)
+        return std::nullopt;
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    --live_;
+    return Wakeup{top.cycle, top.tag, top.token};
+}
+
+void
+EventQueue::clear()
+{
+    heap_.clear();
+    cancelled_.clear();
+    live_ = 0;
+}
+
+} // namespace secproc::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic wakeup min-heap for the event-driven simulation
+ * kernel.
+ *
+ * The legacy kernel pumps every BackgroundAgent after every core
+ * step; almost all of those pumps discover "nothing to do". The
+ * event kernel instead keeps a heap of *wakeups* — conservative
+ * lower bounds on the next cycle at which an agent's advance() could
+ * change machine state (a transport chunk arriving, an arbiter
+ * threshold being reached, a self-paced cursor coming due) — and
+ * only pumps when the core clock crosses the earliest one.
+ *
+ * Determinism matters more than raw heap speed here: two wakeups
+ * armed for the same cycle must pop in the order they were armed
+ * (token order), so the pump sequence — and therefore every
+ * downstream channel/crypto interleaving — is identical run to run
+ * and identical to the legacy kernel's attach-order pump.
+ *
+ * Cancellation is lazy: cancel() marks the token and the entry is
+ * discarded when it surfaces, so cancel/re-arm is O(1) amortized.
+ */
+
+#ifndef SECPROC_SIM_EVENT_QUEUE_HH
+#define SECPROC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace secproc::sim
+{
+
+/** "No event pending" sentinel cycle. */
+inline constexpr uint64_t kNeverCycle = UINT64_MAX;
+
+/**
+ * Min-heap of (cycle, token) wakeups with deterministic tie-breaking
+ * and lazy cancellation.
+ */
+class EventQueue
+{
+  public:
+    /** Identifies one armed wakeup (monotonically increasing). */
+    using Token = uint64_t;
+
+    /** One surfaced wakeup. */
+    struct Wakeup
+    {
+        uint64_t cycle; ///< cycle the wakeup was armed for
+        uint64_t tag;   ///< caller payload (e.g. agent index)
+        Token token;
+    };
+
+    /**
+     * Arm a wakeup at @p cycle carrying @p tag. Arming at
+     * kNeverCycle is allowed and never surfaces (it still consumes a
+     * token so callers can treat "no event" uniformly).
+     */
+    Token schedule(uint64_t cycle, uint64_t tag = 0);
+
+    /**
+     * Cancel a previously armed wakeup. @return true if the token
+     * was live (armed and not yet popped or cancelled).
+     */
+    bool cancel(Token token);
+
+    /**
+     * Cancel @p token and arm a replacement at @p cycle with the
+     * same tag semantics as schedule() (the caller supplies the tag
+     * again — the queue does not remember cancelled payloads).
+     */
+    Token rearm(Token token, uint64_t cycle, uint64_t tag = 0);
+
+    /** Earliest armed cycle, or kNeverCycle when none is live
+     *  (non-const: surfacing lazily discards cancelled entries). */
+    uint64_t nextCycle();
+
+    /**
+     * Pop the earliest wakeup if it is due at @p now (cycle <= now).
+     * Ties pop in token (arming) order.
+     */
+    std::optional<Wakeup> popDue(uint64_t now);
+
+    /** Live (armed, uncancelled, finite) wakeups. */
+    size_t armed() const { return live_; }
+
+    bool empty() const { return live_ == 0; }
+
+    /** Drop every pending wakeup (machine reset). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        uint64_t cycle;
+        Token token;
+        uint64_t tag;
+
+        /** Max-heap comparator inverted: earliest (cycle, token)
+         *  wins, so equal-cycle wakeups surface in arming order. */
+        bool
+        operator<(const Entry &other) const
+        {
+            if (cycle != other.cycle)
+                return cycle > other.cycle;
+            return token > other.token;
+        }
+    };
+
+    std::vector<Entry> heap_; ///< std::push_heap/pop_heap storage
+    std::vector<Token> cancelled_; ///< lazily discarded tokens
+    Token next_token_ = 0;
+    size_t live_ = 0;
+
+    /** Discard cancelled entries sitting at the heap top. */
+    void purge();
+
+    bool isCancelled(Token token) const;
+    void dropCancelled(Token token);
+};
+
+} // namespace secproc::sim
+
+#endif // SECPROC_SIM_EVENT_QUEUE_HH

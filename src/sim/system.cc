@@ -5,6 +5,9 @@
 
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <ostream>
 
 #include "util/bitops.hh"
@@ -12,6 +15,20 @@
 
 namespace secproc::sim
 {
+
+KernelMode
+kernelModeFromEnvironment()
+{
+    const char *value = std::getenv("SECPROC_KERNEL");
+    if (value == nullptr || *value == '\0' ||
+        std::strcmp(value, "event") == 0) {
+        return KernelMode::Event;
+    }
+    if (std::strcmp(value, "legacy") == 0)
+        return KernelMode::Legacy;
+    fatal("SECPROC_KERNEL=", value, " (expected \"event\" or "
+          "\"legacy\")");
+}
 
 SystemConfig::SystemConfig()
 {
@@ -41,6 +58,7 @@ System::System(const SystemConfig &config, std::vector<TaskSpec> tasks)
       l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
       onchip_(config.l2.line_size), core_(config.core, *this)
 {
+    kernel_ = kernelModeFromEnvironment();
     fatal_if(config_.protection.line_size != config_.l2.line_size,
              "protection engine line size must match L2");
     fatal_if(tasks_.empty(), "a System needs at least one task");
@@ -274,8 +292,12 @@ System::accessL2(uint64_t vaddr, uint64_t cycle, bool ifetch, bool store)
     if (l2_.access(line_va, false)) {
         // Hit — but the line may still be in flight from an earlier
         // miss (MSHR secondary access).
-        const auto it = outstanding_.find(line_va);
-        if (it != outstanding_.end() &&
+        const auto it = std::lower_bound(
+            outstanding_.begin(), outstanding_.end(), line_va,
+            [](const auto &entry, uint64_t line) {
+                return entry.first < line;
+            });
+        if (it != outstanding_.end() && it->first == line_va &&
             it->second > cycle + l2_latency) {
             return it->second;
         }
@@ -290,12 +312,9 @@ System::handleL2Miss(uint64_t line_va, uint64_t cycle, bool ifetch,
 {
     (void)store;
     // Retire completed outstanding misses.
-    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-        if (it->second <= cycle)
-            it = outstanding_.erase(it);
-        else
-            ++it;
-    }
+    std::erase_if(outstanding_, [cycle](const auto &entry) {
+        return entry.second <= cycle;
+    });
     // MSHR capacity limits miss-level parallelism: a new primary
     // miss waits for the oldest outstanding fill to complete.
     while (outstanding_.size() >= config_.mshrs) {
@@ -324,7 +343,15 @@ System::handleL2Miss(uint64_t line_va, uint64_t cycle, bool ifetch,
     if (victim.has_value() && victim->valid)
         handleL2Victim(*victim, cycle);
 
-    outstanding_[line_va] = result.ready_cycle;
+    const auto slot = std::lower_bound(
+        outstanding_.begin(), outstanding_.end(), line_va,
+        [](const auto &entry, uint64_t line) {
+            return entry.first < line;
+        });
+    if (slot != outstanding_.end() && slot->first == line_va)
+        slot->second = result.ready_cycle;
+    else
+        outstanding_.insert(slot, {line_va, result.ready_cycle});
     return result.ready_cycle;
 }
 
@@ -445,8 +472,21 @@ System::reset()
     outstanding_.clear();
     for (BackgroundAgent *agent : agents_)
         agent->reset();
+    // Any wakeup armed for the abandoned work is meaningless now;
+    // the next run() re-arms from the agents' post-reset state.
+    wakeups_.clear();
     if (trace_ != nullptr)
         trace_->instant(trace_track_, "machine_reset", core_.cycles());
+}
+
+uint64_t
+System::armWakeups()
+{
+    wakeups_.clear();
+    const uint64_t now = core_.cycles();
+    for (size_t i = 0; i < agents_.size(); ++i)
+        wakeups_.schedule(agents_[i]->nextEventCycle(now), i);
+    return wakeups_.nextCycle();
 }
 
 void
@@ -458,10 +498,40 @@ System::run(uint64_t instructions)
             core_.step(active.next());
         return;
     }
+    if (kernel_ == KernelMode::Legacy) {
+        for (uint64_t i = 0; i < instructions; ++i) {
+            core_.step(active.next());
+            for (BackgroundAgent *agent : agents_)
+                agent->advance(core_.cycles());
+        }
+        return;
+    }
+    // Event kernel. Wakeups are conservative lower bounds on each
+    // agent's next effectful advance (see
+    // BackgroundAgent::nextEventCycle), so skipping the pump until
+    // the core clock reaches the earliest one drops only provable
+    // no-op pumps. At a reached wakeup *every* agent is advanced in
+    // attach order — the exact sub-sequence of the legacy every-step
+    // pump that contains all its effectful elements — and every
+    // wakeup is re-armed against the post-pump state.
+    //
+    // The parked-grant check closes the one gap wakeups cannot see:
+    // the foreground's own channel accesses run the arbiter at the
+    // access cycle, which leads the boundary clock (the core's memory
+    // ops run ahead of retire), so a grant can land while every armed
+    // wakeup is still in the future. Legacy collects such grants at
+    // the very next boundary; so must we. Results are bit-identical
+    // to KernelMode::Legacy; only wall-clock differs.
+    uint64_t next_wake = armWakeups();
     for (uint64_t i = 0; i < instructions; ++i) {
         core_.step(active.next());
-        for (BackgroundAgent *agent : agents_)
-            agent->advance(core_.cycles());
+        if (core_.cycles() >= next_wake ||
+            channel_.backgroundGrantParked()) {
+            const uint64_t now = core_.cycles();
+            for (BackgroundAgent *agent : agents_)
+                agent->advance(now);
+            next_wake = armWakeups();
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 #ifndef SECPROC_SIM_SYSTEM_HH
 #define SECPROC_SIM_SYSTEM_HH
 
-#include <map>
+#include <utility>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,10 +29,33 @@
 #include "secure/protection_engine.hh"
 #include "sim/agent.hh"
 #include "sim/core.hh"
+#include "sim/event_queue.hh"
 #include "sim/workload.hh"
 
 namespace secproc::sim
 {
+
+/**
+ * Which cycle-plane scheduler run() uses when agents are attached.
+ * Results are bit-identical; only wall-clock differs. Selected per
+ * System from the SECPROC_KERNEL environment variable ("event" —
+ * the default — or "legacy"), overridable via setKernelMode().
+ */
+enum class KernelMode
+{
+    /**
+     * Event-driven: agents register conservative wakeups
+     * (BackgroundAgent::nextEventCycle) in a deterministic min-heap
+     * and the pump only runs at boundaries that reach the earliest
+     * one — idle spans cost O(1).
+     */
+    Event,
+    /** Pump every agent after every core step (pre-event kernel). */
+    Legacy,
+};
+
+/** Kernel selected by SECPROC_KERNEL (unset means Event). */
+KernelMode kernelModeFromEnvironment();
 
 /** One task of a multi-programmed run. */
 struct TaskSpec
@@ -124,6 +147,18 @@ class System : public MemorySystem
 
     /** Detach a previously attached agent (no-op if absent). */
     void detachAgent(BackgroundAgent *agent);
+
+    /** Scheduler run() drives attached agents with. */
+    KernelMode kernelMode() const { return kernel_; }
+
+    /** Override the environment-selected kernel (tests, tools). */
+    void setKernelMode(KernelMode mode) { kernel_ = mode; }
+
+    /**
+     * Wakeups currently armed in the event kernel's heap (armed by
+     * the most recent run(); reset() drains them).
+     */
+    size_t pendingWakeups() const { return wakeups_.armed(); }
 
     /**
      * Machine reset (power cycle mid-run): quiesce the shared timing
@@ -231,6 +266,10 @@ class System : public MemorySystem
     std::unique_ptr<secure::ProtectionEngine> engine_;
     /** Attached background agents (not owned). */
     std::vector<BackgroundAgent *> agents_;
+    /** Scheduler for run()'s agent pump. */
+    KernelMode kernel_ = KernelMode::Event;
+    /** Event kernel: pending agent wakeups (tag = attach index). */
+    EventQueue wakeups_;
     mem::Cache l1i_;
     mem::Cache l1d_;
     mem::Cache l2_;
@@ -240,8 +279,16 @@ class System : public MemorySystem
 
     mem::Asid asid_ = 1;
 
-    /** Outstanding L2 misses: line -> completion cycle. */
-    std::map<uint64_t, uint64_t> outstanding_;
+    /**
+     * Outstanding L2 misses: (line, completion cycle), kept sorted
+     * by line address. The ledger is bounded by the MSHR count, so a
+     * flat sorted vector beats a node-based map on the L2 hit path
+     * (probed on every hit for in-flight secondaries) while keeping
+     * the same key-ordered iteration a std::map gave: the capacity
+     * loop's earliest-completion scan still breaks completion-cycle
+     * ties toward the lowest line address.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> outstanding_;
 
     /** Functional-store content counter (see functionalStore). */
     uint64_t store_salt_ = 0;
@@ -256,6 +303,13 @@ class System : public MemorySystem
 
     /** The active task's workload. */
     Workload &workload() const;
+
+    /**
+     * Re-arm every agent's wakeup at the current core clock and
+     * return the earliest one (kNeverCycle when all agents are
+     * done).
+     */
+    uint64_t armWakeups();
 
     uint64_t lineAlign(uint64_t addr) const;
     uint64_t accessL2(uint64_t vaddr, uint64_t cycle, bool ifetch,

@@ -127,6 +127,25 @@ SyntheticWorkload::fastDep()
     return dep_table_[rng_.next64() & 0xFF];
 }
 
+namespace
+{
+
+/**
+ * x % m with a power-of-two fast path: region footprints and line
+ * counts are almost always powers of two, and this runs several
+ * times per generated memory instruction — an actual divide here is
+ * one of the hottest single instructions in the simulator.
+ */
+inline uint64_t
+fastMod(uint64_t x, uint64_t m)
+{
+    if ((m & (m - 1)) == 0)
+        return x & (m - 1);
+    return x % m;
+}
+
+} // namespace
+
 uint64_t
 SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
                                  bool *is_store)
@@ -145,7 +164,7 @@ SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
         offset = rng_.nextRange(region.footprint) & ~7ull;
         break;
       case RegionBehavior::Stream:
-        offset = state.cursor % region.footprint;
+        offset = fastMod(state.cursor, region.footprint);
         state.cursor += region.stride;
         break;
       case RegionBehavior::Zipf:
@@ -153,8 +172,8 @@ SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
         // Drift the reuse window through the footprint.
         if (region.drift_interval != 0 &&
             state.accesses % region.drift_interval == 0) {
-            state.window_base =
-                (state.window_base + region.drift_step_lines) % lines;
+            state.window_base = fastMod(
+                state.window_base + region.drift_step_lines, lines);
         }
         const uint64_t universe =
             region.window_lines == 0
@@ -162,7 +181,7 @@ SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
                 : std::min<uint64_t>(region.window_lines, lines);
         const uint64_t rank = rng_.nextZipf(universe, region.zipf_s);
         const uint64_t windowed =
-            (state.window_base + rank) % lines;
+            fastMod(state.window_base + rank, lines);
         const uint64_t line = state.perm[windowed];
         offset = static_cast<uint64_t>(line) * line_size_ +
                  rng_.nextRange(16) * 8;
@@ -170,7 +189,8 @@ SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
         break;
       }
       case RegionBehavior::ConflictStream: {
-        const uint64_t idx = state.cursor % region.conflict_lines;
+        const uint64_t idx =
+            fastMod(state.cursor, region.conflict_lines);
         ++state.cursor;
         return region.base + idx * region.conflict_stride;
       }
@@ -181,7 +201,7 @@ SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
                 state.cursor / std::max<uint32_t>(1,
                                                   region.writes_per_line);
             ++state.cursor;
-            offset = (line_index % lines) * line_size_ +
+            offset = fastMod(line_index, lines) * line_size_ +
                      rng_.nextRange(16) * 8;
         } else {
             // Loads touch recently produced lines (cache resident).
@@ -191,13 +211,13 @@ SyntheticWorkload::regionAddress(size_t region_idx, bool *serialize_dep,
             const uint64_t back = rng_.nextRange(8);
             const uint64_t line_index =
                 produced > back ? produced - back : 0;
-            offset = (line_index % lines) * line_size_ +
+            offset = fastMod(line_index, lines) * line_size_ +
                      rng_.nextRange(16) * 8;
         }
         break;
       }
     }
-    return region.base + (offset % region.footprint);
+    return region.base + fastMod(offset, region.footprint);
 }
 
 std::vector<uint64_t>

@@ -333,6 +333,25 @@ InstallTiming::completeGrant(uint64_t completion)
         completePhase();
 }
 
+uint64_t
+InstallTiming::nextEventCycle(uint64_t now) const
+{
+    if (phase_ == Phase::Idle)
+        return sim::kNeverCycle;
+    if (waiting_) {
+        // A grant may already be parked for us (the foreground's own
+        // channel activity runs the arbiter too): collect at the
+        // next boundary. Otherwise the channel knows the earliest
+        // cycle its arbiter state can change.
+        if (channel_.backgroundGrantReady(agent_))
+            return now;
+        return channel_.nextArbiterEventCycle();
+    }
+    // Self-paced: the next issue happens at the first boundary that
+    // reaches the pipeline cursor.
+    return cursor_;
+}
+
 void
 InstallTiming::advance(uint64_t cycle)
 {

@@ -156,6 +156,7 @@ class InstallTiming : public sim::BackgroundAgent
     // BackgroundAgent interface.
     void advance(uint64_t cycle) override;
     bool done() const override { return phase_ == Phase::Idle; }
+    uint64_t nextEventCycle(uint64_t now) const override;
     void reset() override;
 
     /**

@@ -454,6 +454,31 @@ LiveInstall::completeGrant(uint64_t completion)
         completePhase();
 }
 
+uint64_t
+LiveInstall::nextEventCycle(uint64_t now) const
+{
+    if (done())
+        return sim::kNeverCycle;
+    // Transport arrivals must be pumped promptly whatever else the
+    // install is doing: each completed line charges a DMA write at
+    // the first boundary past its arrival, exactly as the legacy
+    // every-step pump does.
+    uint64_t wake = transport_.nextArrivalCycle();
+    if (waiting_) {
+        if (system_.channel().backgroundGrantReady(agent_))
+            return now;
+        wake = std::min(wake,
+                        system_.channel().nextArbiterEventCycle());
+    } else if (phase_ == LiveInstallPhase::Admission &&
+               line_missing_[phase_index_] != 0) {
+        // Blocked on the network: only a chunk arrival (the wake
+        // above) can unblock issueNext().
+    } else {
+        wake = std::min(wake, cursor_);
+    }
+    return wake;
+}
+
 void
 LiveInstall::advance(uint64_t cycle)
 {

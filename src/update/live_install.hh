@@ -142,6 +142,7 @@ class LiveInstall : public sim::BackgroundAgent
 
     // BackgroundAgent interface.
     void advance(uint64_t cycle) override;
+    uint64_t nextEventCycle(uint64_t now) const override;
     bool done() const override
     {
         return phase_ == LiveInstallPhase::Idle ||

@@ -41,48 +41,6 @@ Rng::Rng(uint64_t seed)
         s_[0] = 1;
 }
 
-uint64_t
-Rng::next64()
-{
-    const uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = std::rotl(s_[3], 45);
-
-    return result;
-}
-
-uint64_t
-Rng::nextRange(uint64_t bound)
-{
-    panic_if(bound == 0, "nextRange bound must be non-zero");
-    // Multiply-shift rejection-free mapping (Lemire); bias is below
-    // 2^-64 * bound which is negligible for simulation purposes.
-    return static_cast<uint64_t>(
-        (static_cast<__uint128_t>(next64()) * bound) >> 64);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
-}
-
 void
 Rng::rebuildZipf(uint64_t n, double s)
 {
@@ -96,6 +54,21 @@ Rng::rebuildZipf(uint64_t n, double s)
     }
     for (auto &v : zipf_cdf_)
         v /= sum;
+
+    // Bucket index over the CDF: bucket b covers u in
+    // [b/K, (b+1)/K) and zipf_bucket_lo_[b] is the first CDF entry
+    // >= b/K, so a draw only binary-searches the few entries its
+    // bucket spans. Pure accelerator — the selected index is the
+    // same lower_bound result as scanning the whole CDF.
+    zipf_bucket_lo_.resize(kZipfBuckets + 1);
+    uint64_t lo = 0;
+    for (uint64_t b = 0; b <= kZipfBuckets; ++b) {
+        const double threshold =
+            static_cast<double>(b) / kZipfBuckets;
+        while (lo < n && zipf_cdf_[lo] < threshold)
+            ++lo;
+        zipf_bucket_lo_[b] = lo;
+    }
 }
 
 uint64_t
@@ -105,7 +78,15 @@ Rng::nextZipf(uint64_t n, double s)
     if (n != zipf_n_ || s != zipf_s_)
         rebuildZipf(n, s);
     const double u = nextDouble();
-    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    // u in [b/K, (b+1)/K): the answer lies in
+    // [bucket_lo[b], bucket_lo[b+1]] because cdf[bucket_lo[b+1]] >=
+    // (b+1)/K > u. nextDouble() < 1.0, so b < kZipfBuckets.
+    const uint64_t b =
+        static_cast<uint64_t>(u * static_cast<double>(kZipfBuckets));
+    const auto first = zipf_cdf_.begin() + zipf_bucket_lo_[b];
+    const auto last = zipf_cdf_.begin() +
+                      std::min<uint64_t>(zipf_bucket_lo_[b + 1] + 1, n);
+    const auto it = std::lower_bound(first, last, u);
     if (it == zipf_cdf_.end())
         return n - 1;
     return static_cast<uint64_t>(it - zipf_cdf_.begin());

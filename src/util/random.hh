@@ -29,17 +29,56 @@ class Rng
     /** Seed the generator; identical seeds give identical streams. */
     explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
 
-    /** @return next raw 64-bit value. */
-    uint64_t next64();
+    /**
+     * @return next raw 64-bit value.
+     *
+     * The per-draw primitives are defined inline: the synthetic
+     * workload draws several values per generated instruction, so
+     * these sit directly on the simulator's hottest path.
+     */
+    uint64_t
+    next64()
+    {
+        const uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl64(s_[3], 45);
+
+        return result;
+    }
 
     /** @return uniform value in [0, bound); bound must be non-zero. */
-    uint64_t nextRange(uint64_t bound);
+    uint64_t
+    nextRange(uint64_t bound)
+    {
+        // Lemire's multiply-shift; bias is negligible for simulator
+        // bounds (all far below 2^32).
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next64()) * bound) >> 64);
+    }
 
     /** @return uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
 
     /** @return true with probability @p p (clamped to [0,1]). */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /**
      * Zipf-distributed rank in [0, n) with exponent @p s.
@@ -55,12 +94,22 @@ class Rng
     void fillBytes(uint8_t *out, size_t len);
 
   private:
+    static uint64_t
+    rotl64(uint64_t value, int amount)
+    {
+        return (value << amount) | (value >> (64 - amount));
+    }
+
     uint64_t s_[4];
 
     // Cached Zipf CDF for the most recent (n, s) pair.
+    static constexpr uint64_t kZipfBuckets = 4096;
+
     uint64_t zipf_n_ = 0;
     double zipf_s_ = 0.0;
     std::vector<double> zipf_cdf_;
+    /** First CDF index >= b/kZipfBuckets, for each bucket b. */
+    std::vector<uint64_t> zipf_bucket_lo_;
 
     void rebuildZipf(uint64_t n, double s);
 };

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "crypto/aes128.hh"
@@ -364,6 +365,55 @@ TEST(Sha256, IncrementalMatchesOneShot)
     std::array<uint8_t, Sha256::kDigestSize> got;
     hasher.final(got.data());
     EXPECT_EQ(got, expect);
+}
+
+/**
+ * Differential pin for the SHA-NI compression path: on hardware that
+ * has it, the vectorized multi-block compressor must transform
+ * arbitrary chaining states exactly like the portable scalar code,
+ * for every block count the bulk update() path can issue.
+ */
+TEST(Sha256, HardwareCompressMatchesScalar)
+{
+    if (!detail::sha256CpuHasShaNi())
+        GTEST_SKIP() << "no SHA-NI on this host";
+
+    Rng rng(0x5AA5);
+    for (size_t blocks = 1; blocks <= 8; ++blocks) {
+        for (int trial = 0; trial < 25; ++trial) {
+            uint32_t state_scalar[8];
+            for (uint32_t &word : state_scalar)
+                word = static_cast<uint32_t>(rng.next64());
+            uint32_t state_hw[8];
+            std::memcpy(state_hw, state_scalar, sizeof state_hw);
+
+            std::vector<uint8_t> data(blocks * 64);
+            rng.fillBytes(data.data(), data.size());
+
+            detail::sha256CompressScalar(state_scalar, data.data(),
+                                         blocks);
+            detail::sha256CompressHw(state_hw, data.data(), blocks);
+            ASSERT_EQ(std::memcmp(state_scalar, state_hw,
+                                  sizeof state_scalar),
+                      0)
+                << "diverged at blocks=" << blocks
+                << " trial=" << trial;
+        }
+    }
+}
+
+/** SECPROC_SHA256=scalar pins the portable path process-wide. */
+TEST(Sha256, DispatchMatchesProbeUnlessForcedScalar)
+{
+    // The dispatch latches on first use; the availability report
+    // must agree with the CPU probe unless the environment forced
+    // the scalar path.
+    const char *forced = getenv("SECPROC_SHA256");
+    if (forced != nullptr && std::string(forced) == "scalar")
+        EXPECT_FALSE(sha256HardwareAvailable());
+    else
+        EXPECT_EQ(sha256HardwareAvailable(),
+                  detail::sha256CpuHasShaNi());
 }
 
 TEST(Hmac, Rfc4231Case1)

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/cell_cache.hh"
 #include "exp/cli.hh"
 #include "exp/runner.hh"
 #include "sim/profiles.hh"
@@ -337,6 +338,104 @@ TEST(Report, JsonDocumentRoundTripsAndMatchesCells)
         EXPECT_EQ(json_cell.find("measured") != nullptr,
                   cell.measured.has_value());
     }
+}
+
+TEST(CellCache, DigestSeparatesConfigsAndMatchesEqualOnes)
+{
+    const sim::SystemConfig a =
+        sim::paperConfig(secure::SecurityModel::OtpSnc);
+    sim::SystemConfig b = a;
+    EXPECT_EQ(exp::configDigest(a), exp::configDigest(b));
+
+    // A deep field no coarse key would notice must change the digest.
+    b.protection.snc.sector_lines = 4;
+    EXPECT_NE(exp::configDigest(a), exp::configDigest(b));
+
+    sim::SystemConfig c = a;
+    c.channel.bg_starvation_bound += 1;
+    EXPECT_NE(exp::configDigest(a), exp::configDigest(c));
+
+    sim::SystemConfig d = a;
+    d.core.blocking_loads = true;
+    EXPECT_NE(exp::configDigest(a), exp::configDigest(d));
+}
+
+TEST(CellCache, SecondRequestIsAHitAndBitIdentical)
+{
+    exp::clearCellCache();
+    const sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::Baseline);
+    const exp::RunOptions options = quickOptions();
+
+    const sim::RunStats direct =
+        exp::runCell("gcc", config, options);
+    const sim::RunStats first =
+        exp::cachedRunCell("gcc", config, options);
+    const sim::RunStats second =
+        exp::cachedRunCell("gcc", config, options);
+
+    expectSameStats(direct, first);
+    expectSameStats(first, second);
+    const exp::CellCacheStats stats = exp::cellCacheStats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(CellCache, DistinctSeedsAndConfigsAreDistinctCells)
+{
+    exp::clearCellCache();
+    const sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::Baseline);
+    const exp::RunOptions options = quickOptions();
+
+    exp::cachedRunCell("gcc", config, options, /*seed=*/1);
+    exp::cachedRunCell("gcc", config, options, /*seed=*/2);
+    sim::SystemConfig other = config;
+    other.protection.crypto.latency += 1;
+    exp::cachedRunCell("gcc", other, options, /*seed=*/1);
+
+    const exp::CellCacheStats stats = exp::cellCacheStats();
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_EQ(stats.hits, 0u);
+}
+
+/**
+ * The satellite fix under test: mutating SECPROC_WARMUP /
+ * SECPROC_MEASURE between runs must invalidate the cache even when
+ * the caller reuses a RunOptions value built before the change —
+ * the live environment strings are part of the key.
+ */
+TEST(CellCache, EnvOverridesInvalidateTheCache)
+{
+    unsetenv("SECPROC_WARMUP");
+    unsetenv("SECPROC_MEASURE");
+    exp::clearCellCache();
+    const sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::Baseline);
+    const exp::RunOptions stale = quickOptions();
+
+    exp::cachedRunCell("gcc", config, stale);
+    EXPECT_EQ(exp::cellCacheStats().entries, 1u);
+
+    // Same stale options, changed environment: must miss, not serve
+    // the entry computed under the old overrides.
+    setenv("SECPROC_WARMUP", "5000", 1);
+    exp::cachedRunCell("gcc", config, stale);
+    EXPECT_EQ(exp::cellCacheStats().entries, 2u);
+
+    setenv("SECPROC_MEASURE", "20000", 1);
+    exp::cachedRunCell("gcc", config, stale);
+    EXPECT_EQ(exp::cellCacheStats().entries, 3u);
+
+    // Restoring the environment restores the original key: a hit.
+    unsetenv("SECPROC_WARMUP");
+    unsetenv("SECPROC_MEASURE");
+    const exp::CellCacheStats before = exp::cellCacheStats();
+    exp::cachedRunCell("gcc", config, stale);
+    const exp::CellCacheStats after = exp::cellCacheStats();
+    EXPECT_EQ(after.entries, before.entries);
+    EXPECT_EQ(after.hits, before.hits + 1);
+    exp::clearCellCache();
 }
 
 TEST(Report, AverageMatchesHandComputedMean)
