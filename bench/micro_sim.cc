@@ -12,6 +12,9 @@
 
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/main_memory.hh"
+#include "mem/virtual_memory.hh"
+#include "secure/integrity.hh"
 #include "secure/snc.hh"
 #include "sim/profiles.hh"
 #include "sim/system.hh"
@@ -111,6 +114,67 @@ benchSectoredSnc(benchmark::State &state)
 }
 
 void
+benchMainMemoryLine(benchmark::State &state)
+{
+    // Page-directory walk cost: line-sized read/write pairs over a
+    // pre-touched footprint (arg = footprint in MiB).
+    mem::MainMemory memory;
+    const uint64_t footprint = static_cast<uint64_t>(state.range(0))
+                               << 20;
+    std::array<uint8_t, 128> line{};
+    for (uint64_t addr = 0; addr < footprint; addr += 4096)
+        memory.writeLine(addr, line);
+
+    util::Rng rng(5);
+    for (auto _ : state) {
+        const uint64_t addr = rng.nextRange(footprint) & ~127ull;
+        memory.readLine(addr, line);
+        memory.writeLine(addr, line);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+benchVmTranslate(benchmark::State &state)
+{
+    // Micro-TLB + radix page-table walk mix (arg = footprint pages;
+    // 256 fits the TLB, larger values force walk-heavy traffic).
+    mem::VirtualMemory vm;
+    const uint64_t pages = static_cast<uint64_t>(state.range(0));
+    for (uint64_t p = 0; p < pages; ++p)
+        vm.translate(1, p * mem::VirtualMemory::kPageSize);
+
+    util::Rng rng(6);
+    for (auto _ : state) {
+        const uint64_t vaddr =
+            rng.nextRange(pages) * mem::VirtualMemory::kPageSize;
+        benchmark::DoNotOptimize(vm.translate(1, vaddr));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+benchMacTableLookup(benchmark::State &state)
+{
+    // Flat MAC-table hit path (storedMac on the verify side).
+    secure::IntegrityConfig config;
+    config.mode = secure::IntegrityMode::MacBlocking;
+    secure::IntegrityEngine engine(config);
+    const uint64_t lines = 64 * 1024;
+    secure::LineMac mac{};
+    for (uint64_t i = 0; i < lines; ++i)
+        engine.storeMac(i * config.line_size, mac);
+
+    util::Rng rng(7);
+    for (auto _ : state) {
+        const uint64_t line_va =
+            rng.nextRange(lines) * config.line_size;
+        benchmark::DoNotOptimize(engine.storedMac(line_va));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
 benchTraceReplay(benchmark::State &state)
 {
     const auto path = std::filesystem::temp_directory_path() /
@@ -133,6 +197,9 @@ BENCHMARK(benchWorkloadGeneration);
 BENCHMARK(benchFullSystem);
 BENCHMARK(benchDramAccess)->Arg(0)->Arg(1);
 BENCHMARK(benchSectoredSnc)->Arg(1)->Arg(8);
+BENCHMARK(benchMainMemoryLine)->Arg(4)->Arg(64);
+BENCHMARK(benchVmTranslate)->Arg(256)->Arg(16384);
+BENCHMARK(benchMacTableLookup);
 BENCHMARK(benchTraceReplay);
 
 } // namespace

@@ -53,6 +53,30 @@ class BlockCipher
 
     /** Decrypt exactly one block; in/out may alias. */
     virtual void decryptBlock(const uint8_t *in, uint8_t *out) const = 0;
+
+    /**
+     * Encrypt @p count consecutive blocks; in/out may alias.
+     * Identical results to @p count encryptBlock() calls — a batch
+     * hook so latency-bound ciphers (DES's 16 dependent rounds) can
+     * interleave independent blocks. Pad generation feeds whole
+     * lines through here.
+     */
+    virtual void
+    encryptBlocks(const uint8_t *in, uint8_t *out, size_t count) const
+    {
+        const size_t bs = blockSize();
+        for (size_t i = 0; i < count; ++i)
+            encryptBlock(in + i * bs, out + i * bs);
+    }
+
+    /** Batched decryptBlock(); same contract as encryptBlocks(). */
+    virtual void
+    decryptBlocks(const uint8_t *in, uint8_t *out, size_t count) const
+    {
+        const size_t bs = blockSize();
+        for (size_t i = 0; i < count; ++i)
+            decryptBlock(in + i * bs, out + i * bs);
+    }
 };
 
 /**

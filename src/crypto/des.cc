@@ -262,6 +262,58 @@ Des::processBlock(uint64_t block, bool decrypt) const
 }
 
 void
+Des::processBlocks(const uint8_t *in, uint8_t *out, size_t count,
+                   bool decrypt) const
+{
+    panic_if(!key_set_, "DES used before setKey");
+    constexpr int kLanes = 8;
+    size_t i = 0;
+    for (; i + kLanes <= count; i += kLanes) {
+        uint32_t left[kLanes];
+        uint32_t right[kLanes];
+        for (int j = 0; j < kLanes; ++j) {
+            const uint64_t permuted = byteLookup(
+                kTables.ip, util::loadBe64(in + 8 * (i + j)));
+            left[j] = static_cast<uint32_t>(permuted >> 32);
+            right[j] = static_cast<uint32_t>(permuted);
+        }
+        for (int round = 0; round < 16; ++round) {
+            const uint64_t rk =
+                decrypt ? round_keys_[15 - round] : round_keys_[round];
+            for (int j = 0; j < kLanes; ++j) {
+                const uint32_t next_right =
+                    left[j] ^ feistel(right[j], rk);
+                left[j] = right[j];
+                right[j] = next_right;
+            }
+        }
+        for (int j = 0; j < kLanes; ++j) {
+            const uint64_t preoutput =
+                (uint64_t{right[j]} << 32) | left[j];
+            util::storeBe64(out + 8 * (i + j),
+                            byteLookup(kTables.fp, preoutput));
+        }
+    }
+    for (; i < count; ++i) {
+        util::storeBe64(
+            out + 8 * i,
+            processBlock(util::loadBe64(in + 8 * i), decrypt));
+    }
+}
+
+void
+Des::encryptBlocks(const uint8_t *in, uint8_t *out, size_t count) const
+{
+    processBlocks(in, out, count, false);
+}
+
+void
+Des::decryptBlocks(const uint8_t *in, uint8_t *out, size_t count) const
+{
+    processBlocks(in, out, count, true);
+}
+
+void
 Des::encryptBlock(const uint8_t *in, uint8_t *out) const
 {
     util::storeBe64(out, processBlock(util::loadBe64(in), false));

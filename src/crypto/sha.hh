@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.hh"
+
 namespace secproc::crypto
 {
 
@@ -72,6 +74,33 @@ class Sha256
     size_t buffered_;
 
     void reset();
+};
+
+/**
+ * ByteSink that digests what is written to it: serializers stream
+ * straight into SHA-256, so hashing a serialized artifact does not
+ * materialize the bytes.
+ */
+class Sha256Sink final : public util::ByteSink
+{
+  public:
+    void
+    write(const uint8_t *data, size_t len) override
+    {
+        hasher_.update(data, len);
+    }
+
+    /** Finalize; the sink is then reusable from a fresh state. */
+    std::array<uint8_t, Sha256::kDigestSize>
+    digest()
+    {
+        std::array<uint8_t, Sha256::kDigestSize> out;
+        hasher_.final(out.data());
+        return out;
+    }
+
+  private:
+    Sha256 hasher_;
 };
 
 /**

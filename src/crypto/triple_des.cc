@@ -37,4 +37,22 @@ TripleDes::decryptBlock(const uint8_t *in, uint8_t *out) const
     k1_.decryptBlock(tmp, out);
 }
 
+void
+TripleDes::encryptBlocks(const uint8_t *in, uint8_t *out,
+                         size_t count) const
+{
+    k1_.encryptBlocks(in, out, count);
+    k2_.decryptBlocks(out, out, count);
+    k3_.encryptBlocks(out, out, count);
+}
+
+void
+TripleDes::decryptBlocks(const uint8_t *in, uint8_t *out,
+                         size_t count) const
+{
+    k3_.decryptBlocks(in, out, count);
+    k2_.encryptBlocks(out, out, count);
+    k1_.decryptBlocks(out, out, count);
+}
+
 } // namespace secproc::crypto

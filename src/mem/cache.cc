@@ -42,6 +42,7 @@ Cache::Cache(const CacheConfig &config)
              num_sets_);
 
     lines_.resize(num_lines);
+    tag_words_.assign(num_lines, 0);
     next_.assign(num_lines, kNil);
     prev_.assign(num_lines, kNil);
     head_.assign(num_sets_, kNil);
@@ -65,56 +66,6 @@ Cache::lineAlign(uint64_t addr) const
     return addr & ~util::mask(line_shift_);
 }
 
-uint64_t
-Cache::setIndex(uint64_t line_number) const
-{
-    return line_number & (num_sets_ - 1);
-}
-
-uint32_t
-Cache::findIdx(uint64_t line_number) const
-{
-    if (scan_ways_) {
-        const uint64_t base = setIndex(line_number) * ways_;
-        for (uint32_t way = 0; way < ways_; ++way) {
-            const Line &line = lines_[base + way];
-            if (line.valid && line.tag == line_number)
-                return static_cast<uint32_t>(base + way);
-        }
-        return kNil;
-    }
-    const uint32_t *it = map_.find(line_number);
-    return it == nullptr ? kNil : *it;
-}
-
-void
-Cache::unlink(uint64_t set, uint32_t idx)
-{
-    const uint32_t p = prev_[idx];
-    const uint32_t n = next_[idx];
-    if (p != kNil)
-        next_[p] = n;
-    else
-        head_[set] = n;
-    if (n != kNil)
-        prev_[n] = p;
-    else
-        tail_[set] = p;
-    prev_[idx] = next_[idx] = kNil;
-}
-
-void
-Cache::pushFront(uint64_t set, uint32_t idx)
-{
-    prev_[idx] = kNil;
-    next_[idx] = head_[set];
-    if (head_[set] != kNil)
-        prev_[head_[set]] = idx;
-    head_[set] = idx;
-    if (tail_[set] == kNil)
-        tail_[set] = idx;
-}
-
 void
 Cache::pushBack(uint64_t set, uint32_t idx)
 {
@@ -125,38 +76,6 @@ Cache::pushBack(uint64_t set, uint32_t idx)
     tail_[set] = idx;
     if (head_[set] == kNil)
         head_[set] = idx;
-}
-
-bool
-Cache::access(uint64_t addr, bool write)
-{
-    const uint64_t line_number = addr >> line_shift_;
-    const uint32_t idx = findIdx(line_number);
-    if (idx == kNil) {
-        ++misses_;
-        return false;
-    }
-    ++hits_;
-    Line &line = lines_[idx];
-    // FIFO recency is fixed at insertion; only LRU tracks touches.
-    // Re-touching the MRU line (the overwhelmingly common case) is a
-    // no-op, so skip the list splice entirely.
-    if (config_.policy != ReplacementPolicy::Fifo) {
-        const uint64_t set = setIndex(line_number);
-        if (head_[set] != idx) {
-            unlink(set, idx);
-            pushFront(set, idx);
-        }
-    }
-    if (write)
-        line.dirty = true;
-    return true;
-}
-
-bool
-Cache::probe(uint64_t addr) const
-{
-    return findIdx(addr >> line_shift_) != kNil;
 }
 
 std::optional<Victim>
@@ -179,7 +98,7 @@ Cache::fill(uint64_t addr, bool dirty, uint64_t meta)
     // Victim: the set's recency tail. Invalid ways are kept at the
     // tail (see invalidate), so free slots are consumed first.
     uint32_t idx = tail_[set];
-    if (lines_[idx].valid) {
+    if (tag_words_[idx] & 1) {
         switch (config_.policy) {
           case ReplacementPolicy::NoReplacement:
             ++rejected_fills_;
@@ -201,22 +120,22 @@ Cache::fill(uint64_t addr, bool dirty, uint64_t meta)
 
     Victim victim;
     Line &slot = lines_[idx];
-    if (slot.valid) {
+    if (tag_words_[idx] & 1) {
+        const uint64_t old_tag = tag_words_[idx] >> 1;
         victim.valid = true;
         victim.dirty = slot.dirty;
-        victim.line_addr = slot.tag << line_shift_;
+        victim.line_addr = old_tag << line_shift_;
         victim.meta = slot.meta;
         if (!scan_ways_)
-            map_.erase(slot.tag);
+            map_.erase(old_tag);
         ++evictions_;
         if (slot.dirty)
             ++dirty_evictions_;
         --occupancy_;
     }
 
-    slot.valid = true;
+    tag_words_[idx] = (line_number << 1) | 1;
     slot.dirty = dirty;
-    slot.tag = line_number;
     slot.meta = meta;
     if (!scan_ways_)
         map_[line_number] = idx;
@@ -237,9 +156,9 @@ Cache::invalidate(uint64_t addr)
     Victim victim;
     victim.valid = true;
     victim.dirty = line.dirty;
-    victim.line_addr = line.tag << line_shift_;
+    victim.line_addr = (tag_words_[idx] >> 1) << line_shift_;
     victim.meta = line.meta;
-    line.valid = false;
+    tag_words_[idx] = 0;
     line.dirty = false;
     if (!scan_ways_)
         map_.erase(line_number);
@@ -256,16 +175,17 @@ Cache::invalidateAll()
 {
     std::vector<Victim> victims;
     victims.reserve(occupancy_);
-    for (Line &line : lines_) {
-        if (!line.valid)
+    for (size_t idx = 0; idx < lines_.size(); ++idx) {
+        if (!(tag_words_[idx] & 1))
             continue;
+        Line &line = lines_[idx];
         Victim victim;
         victim.valid = true;
         victim.dirty = line.dirty;
-        victim.line_addr = line.tag << line_shift_;
+        victim.line_addr = (tag_words_[idx] >> 1) << line_shift_;
         victim.meta = line.meta;
         victims.push_back(victim);
-        line.valid = false;
+        tag_words_[idx] = 0;
         line.dirty = false;
     }
     if (!scan_ways_)
@@ -290,16 +210,6 @@ Cache::setMeta(uint64_t addr, uint64_t value)
     if (idx == kNil)
         return false;
     lines_[idx].meta = value;
-    return true;
-}
-
-bool
-Cache::setDirty(uint64_t addr)
-{
-    const uint32_t idx = findIdx(addr >> line_shift_);
-    if (idx == kNil)
-        return false;
-    lines_[idx].dirty = true;
     return true;
 }
 

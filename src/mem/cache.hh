@@ -131,9 +131,7 @@ class Cache
   private:
     struct Line
     {
-        bool valid = false;
         bool dirty = false;
-        uint64_t tag = 0;
         uint64_t meta = 0;
     };
 
@@ -144,6 +142,13 @@ class Cache
     uint64_t num_sets_;
     uint32_t ways_;
     std::vector<Line> lines_; ///< [set * ways_ + way]
+    /**
+     * (tag << 1) | valid, one word per way, indexed like lines_. The
+     * tag scan is the hottest loop in the simulator; packing tag and
+     * valid into one contiguous word keeps a whole set's tags in a
+     * single cache line (a 24-byte struct spread them over three).
+     */
+    std::vector<uint64_t> tag_words_;
     uint64_t occupancy_ = 0;
     util::Rng victim_rng_;
 
@@ -174,6 +179,103 @@ class Cache
     void pushFront(uint64_t set, uint32_t idx);
     void pushBack(uint64_t set, uint32_t idx);
 };
+
+// The lookup path (access / probe / findIdx and the LRU splice) runs
+// a few hundred million times per full-length experiment; defining it
+// here lets the per-access call chain inline into the simulator's
+// memory path instead of crossing a translation unit per probe.
+
+inline uint64_t
+Cache::setIndex(uint64_t line_number) const
+{
+    return line_number & (num_sets_ - 1);
+}
+
+inline uint32_t
+Cache::findIdx(uint64_t line_number) const
+{
+    if (scan_ways_) {
+        const uint64_t want = (line_number << 1) | 1;
+        const uint64_t base = setIndex(line_number) * ways_;
+        const uint64_t *tags = tag_words_.data() + base;
+        for (uint32_t way = 0; way < ways_; ++way) {
+            if (tags[way] == want)
+                return static_cast<uint32_t>(base + way);
+        }
+        return kNil;
+    }
+    const uint32_t *it = map_.find(line_number);
+    return it == nullptr ? kNil : *it;
+}
+
+inline void
+Cache::unlink(uint64_t set, uint32_t idx)
+{
+    const uint32_t p = prev_[idx];
+    const uint32_t n = next_[idx];
+    if (p != kNil)
+        next_[p] = n;
+    else
+        head_[set] = n;
+    if (n != kNil)
+        prev_[n] = p;
+    else
+        tail_[set] = p;
+    prev_[idx] = next_[idx] = kNil;
+}
+
+inline void
+Cache::pushFront(uint64_t set, uint32_t idx)
+{
+    prev_[idx] = kNil;
+    next_[idx] = head_[set];
+    if (head_[set] != kNil)
+        prev_[head_[set]] = idx;
+    head_[set] = idx;
+    if (tail_[set] == kNil)
+        tail_[set] = idx;
+}
+
+inline bool
+Cache::access(uint64_t addr, bool write)
+{
+    const uint64_t line_number = addr >> line_shift_;
+    const uint32_t idx = findIdx(line_number);
+    if (idx == kNil) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    // FIFO recency is fixed at insertion; only LRU tracks touches.
+    // Re-touching the MRU line (the overwhelmingly common case) is a
+    // no-op, so skip the list splice entirely.
+    if (config_.policy != ReplacementPolicy::Fifo) {
+        const uint64_t set = setIndex(line_number);
+        if (head_[set] != idx) {
+            unlink(set, idx);
+            pushFront(set, idx);
+        }
+    }
+    if (write)
+        lines_[idx].dirty = true;
+    return true;
+}
+
+inline bool
+Cache::probe(uint64_t addr) const
+{
+    return findIdx(addr >> line_shift_) != kNil;
+}
+
+inline bool
+Cache::setDirty(uint64_t addr)
+{
+    const uint32_t idx = findIdx(addr >> line_shift_);
+    if (idx == kNil)
+        return false;
+    lines_[idx].dirty = true;
+    return true;
+}
 
 } // namespace secproc::mem
 

@@ -11,22 +11,6 @@
 namespace secproc::mem
 {
 
-const std::vector<uint8_t> *
-MainMemory::findPage(uint64_t page_number) const
-{
-    const auto it = pages_.find(page_number);
-    return it == pages_.end() ? nullptr : &it->second;
-}
-
-std::vector<uint8_t> &
-MainMemory::touchPage(uint64_t page_number)
-{
-    auto [it, inserted] = pages_.try_emplace(page_number);
-    if (inserted)
-        it->second.assign(kPageSize, 0);
-    return it->second;
-}
-
 void
 MainMemory::read(uint64_t addr, uint8_t *out, size_t len) const
 {
@@ -35,8 +19,8 @@ MainMemory::read(uint64_t addr, uint8_t *out, size_t len) const
         const uint64_t offset = addr % kPageSize;
         const size_t chunk =
             std::min<size_t>(len, kPageSize - offset);
-        if (const auto *page = findPage(page_number))
-            std::memcpy(out, page->data() + offset, chunk);
+        if (const uint8_t *page = findPage(page_number))
+            std::memcpy(out, page + offset, chunk);
         else
             std::memset(out, 0, chunk);
         addr += chunk;
@@ -53,33 +37,17 @@ MainMemory::write(uint64_t addr, const uint8_t *data, size_t len)
         const uint64_t offset = addr % kPageSize;
         const size_t chunk =
             std::min<size_t>(len, kPageSize - offset);
-        auto &page = touchPage(page_number);
-        std::memcpy(page.data() + offset, data, chunk);
+        std::memcpy(touchPage(page_number) + offset, data, chunk);
         addr += chunk;
         data += chunk;
         len -= chunk;
     }
 }
 
-std::vector<uint8_t>
-MainMemory::readLine(uint64_t addr, size_t line_size) const
-{
-    std::vector<uint8_t> out(line_size);
-    read(addr, out.data(), line_size);
-    return out;
-}
-
-void
-MainMemory::writeLine(uint64_t addr, const std::vector<uint8_t> &line)
-{
-    write(addr, line.data(), line.size());
-}
-
 void
 MainMemory::corruptByte(uint64_t addr, uint8_t xor_mask)
 {
-    auto &page = touchPage(addr / kPageSize);
-    page[addr % kPageSize] ^= xor_mask;
+    touchPage(addr / kPageSize)[addr % kPageSize] ^= xor_mask;
 }
 
 } // namespace secproc::mem

@@ -8,6 +8,14 @@
  * image directly, exactly as the paper's adversary taps the memory
  * bus. Sparse page-granular allocation so multi-gigabyte address
  * spaces cost only what is touched.
+ *
+ * Layout: a two-level radix page directory (util::RadixArray of raw
+ * page pointers) with page bytes carved from a util::PageArena bump
+ * allocator — one pointer dereference per page instead of an
+ * unordered_map probe plus a std::vector header chase, and no heap
+ * allocation per resident page. The span-based readLine/writeLine
+ * overloads let per-miss line traffic reuse a caller buffer so the
+ * hot path never touches the allocator.
  */
 
 #ifndef SECPROC_MEM_MAIN_MEMORY_HH
@@ -15,8 +23,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
+
+#include "util/page_arena.hh"
+#include "util/radix_array.hh"
 
 namespace secproc::mem
 {
@@ -27,7 +38,7 @@ class MainMemory
   public:
     static constexpr uint64_t kPageSize = 4096;
 
-    MainMemory() = default;
+    MainMemory() : arena_(kPageSize) {}
 
     /** Read @p len bytes at @p addr; untouched pages read as zero. */
     void read(uint64_t addr, uint8_t *out, size_t len) const;
@@ -35,9 +46,25 @@ class MainMemory
     /** Write @p len bytes at @p addr, allocating pages as needed. */
     void write(uint64_t addr, const uint8_t *data, size_t len);
 
-    /** Convenience line-sized helpers. @{ */
-    std::vector<uint8_t> readLine(uint64_t addr, size_t line_size) const;
-    void writeLine(uint64_t addr, const std::vector<uint8_t> &line);
+    /**
+     * Line-sized helpers. The span overloads fill / consume a caller
+     * buffer (no allocation); the vector overload remains for cold
+     * call sites. @{
+     */
+    void readLine(uint64_t addr, std::span<uint8_t> out) const
+    {
+        read(addr, out.data(), out.size());
+    }
+    std::vector<uint8_t> readLine(uint64_t addr, size_t line_size) const
+    {
+        std::vector<uint8_t> out(line_size);
+        read(addr, out.data(), line_size);
+        return out;
+    }
+    void writeLine(uint64_t addr, std::span<const uint8_t> line)
+    {
+        write(addr, line.data(), line.size());
+    }
     /** @} */
 
     /** XOR one byte (attack primitive: targeted bit flips). */
@@ -46,14 +73,37 @@ class MainMemory
     /** Number of resident (touched) pages. */
     size_t residentPages() const { return pages_.size(); }
 
+    /** Bytes of page storage reserved by the arena. */
+    size_t arenaBytesReserved() const { return arena_.bytesReserved(); }
+
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        arena_.clear();
+    }
 
   private:
-    std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+    /** Page number -> arena block; non-null once touched. */
+    util::RadixArray<uint8_t *> pages_;
+    util::PageArena arena_;
 
-    const std::vector<uint8_t> *findPage(uint64_t page_number) const;
-    std::vector<uint8_t> &touchPage(uint64_t page_number);
+    const uint8_t *
+    findPage(uint64_t page_number) const
+    {
+        uint8_t *const *slot = pages_.find(page_number);
+        return slot != nullptr ? *slot : nullptr;
+    }
+
+    uint8_t *
+    touchPage(uint64_t page_number)
+    {
+        uint8_t *&slot = pages_.touch(page_number);
+        if (slot == nullptr)
+            slot = arena_.allocate();
+        return slot;
+    }
 };
 
 } // namespace secproc::mem

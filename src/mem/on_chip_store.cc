@@ -5,40 +5,51 @@
 
 #include "mem/on_chip_store.hh"
 
+#include <cstring>
+
 #include "util/logging.hh"
 
 namespace secproc::mem
 {
 
 void
-OnChipStore::install(uint64_t line_addr, std::vector<uint8_t> bytes)
+OnChipStore::install(uint64_t line_addr, std::span<const uint8_t> bytes)
 {
     panic_if(bytes.size() != line_size_,
              "line size mismatch: ", bytes.size(), " vs ", line_size_);
-    lines_[line_addr] = std::move(bytes);
+    uint8_t *&slot = lines_.touch(line_addr / line_size_);
+    if (slot == nullptr)
+        slot = arena_.allocate();
+    std::memcpy(slot, bytes.data(), line_size_);
 }
 
-std::optional<std::vector<uint8_t>>
-OnChipStore::remove(uint64_t line_addr)
+bool
+OnChipStore::removeInto(uint64_t line_addr, std::span<uint8_t> out)
 {
-    std::vector<uint8_t> *it = lines_.find(line_addr);
-    if (it == nullptr)
-        return std::nullopt;
-    std::vector<uint8_t> out = std::move(*it);
-    lines_.erase(line_addr);
-    return out;
+    const uint64_t index = line_addr / line_size_;
+    uint8_t *const *slot = lines_.find(index);
+    if (slot == nullptr)
+        return false;
+    panic_if(out.size() != line_size_,
+             "line size mismatch: ", out.size(), " vs ", line_size_);
+    std::memcpy(out.data(), *slot, line_size_);
+    arena_.release(*slot);
+    lines_.erase(index);
+    return true;
 }
 
-const std::vector<uint8_t> *
+const uint8_t *
 OnChipStore::peek(uint64_t line_addr) const
 {
-    return lines_.find(line_addr);
+    uint8_t *const *slot = lines_.find(line_addr / line_size_);
+    return slot != nullptr ? *slot : nullptr;
 }
 
-std::vector<uint8_t> *
+uint8_t *
 OnChipStore::peekMutable(uint64_t line_addr)
 {
-    return lines_.find(line_addr);
+    uint8_t *const *slot = lines_.find(line_addr / line_size_);
+    return slot != nullptr ? *slot : nullptr;
 }
 
 } // namespace secproc::mem

@@ -10,16 +10,30 @@
  * (synonyms, where two VAs would disagree on the seed) and plaintext
  * segments (shared libraries, program inputs; Section 4.3). This
  * module provides exactly those facts to the protection engines.
+ *
+ * Layout: each ASID owns a radix page table (util::RadixArray vpn ->
+ * frame) and a sorted interval vector of regions with binary-search
+ * lookup; a small direct-mapped micro-TLB in front caches the
+ * translation and — when the whole page carries one attribute — the
+ * RegionKind alongside it. The TLB is flushed on every addRegion /
+ * share / rebase: the paper's virtual-address seeding makes a stale
+ * translation or attribute a *security* bug, not just a wrong
+ * number, so `SECPROC_TLB_VERIFY=1` re-walks the structures on every
+ * hit and dies on any divergence.
  */
 
 #ifndef SECPROC_MEM_VIRTUAL_MEMORY_HH
 #define SECPROC_MEM_VIRTUAL_MEMORY_HH
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
+
+#include "util/bitops.hh"
+#include "util/radix_array.hh"
 
 namespace secproc::mem
 {
@@ -52,7 +66,37 @@ class VirtualMemory
   public:
     static constexpr uint64_t kPageSize = 4096;
 
-    VirtualMemory() = default;
+    /**
+     * Key of the retired (asid, vpn) unordered_map layout, kept for
+     * the differential suite's reference implementation. @{
+     */
+    struct PageKey
+    {
+        Asid asid;
+        uint64_t vpn;
+        bool operator==(const PageKey &o) const
+        {
+            return asid == o.asid && vpn == o.vpn;
+        }
+    };
+    struct PageKeyHash
+    {
+        size_t
+        operator()(const PageKey &k) const
+        {
+            // mix64 is bijective, so collisions can only come from
+            // combining the parts — mixing *between* them keeps the
+            // pair injective up to finalizer collisions, unlike the
+            // old `(asid << 48) ^ vpn` packing which collided for
+            // any vpn with bits >= 48 (high mmap-style VAs).
+            return static_cast<size_t>(
+                util::mix64(util::mix64(k.vpn) +
+                            static_cast<uint64_t>(k.asid)));
+        }
+    };
+    /** @} */
+
+    VirtualMemory();
 
     /**
      * Translate, allocating a fresh frame on first touch.
@@ -85,38 +129,85 @@ class VirtualMemory
      * Re-randomize the physical placement of @p asid (models
      * swapping / reload at a different physical location across
      * context switches; virtual addresses are unchanged, which is
-     * why seeds must be virtual).
+     * why seeds must be virtual). Pages are re-framed in ascending
+     * vpn order — frame numbers are invisible to reports (seeds and
+     * channel addresses are virtual), so the order is free to be
+     * deterministic.
      */
     void rebase(Asid asid);
 
     /** Frames allocated so far. */
     uint64_t allocatedFrames() const { return next_frame_; }
 
+    /** Micro-TLB counters (hits include cached-kind hits). @{ */
+    uint64_t tlbHits() const { return tlb_hits_; }
+    uint64_t tlbMisses() const { return tlb_misses_; }
+    /** @} */
+
+    /** Bytes reserved by the page tables (all ASIDs). */
+    size_t pageTableBytesReserved() const;
+
   private:
-    /** Key: (asid, virtual page number). */
-    struct PageKey
+    static constexpr size_t kTlbEntries = 256;
+
+    /**
+     * Direct-mapped TLB entry. Full vpn+asid tags (no truncation:
+     * vpns can exceed 48 bits). kind is valid only when the whole
+     * page carries one attribute; pages straddling a region boundary
+     * always re-walk the interval vector.
+     */
+    struct TlbEntry
     {
-        Asid asid;
-        uint64_t vpn;
-        bool operator==(const PageKey &o) const
-        {
-            return asid == o.asid && vpn == o.vpn;
-        }
-    };
-    struct PageKeyHash
-    {
-        size_t operator()(const PageKey &k) const
-        {
-            return std::hash<uint64_t>{}(
-                (static_cast<uint64_t>(k.asid) << 48) ^ k.vpn);
-        }
+        uint64_t vpn = ~uint64_t{0};
+        uint64_t frame = 0;
+        Asid asid = 0;
+        bool kind_valid = false;
+        RegionKind kind = RegionKind::Protected;
     };
 
-    std::unordered_map<PageKey, uint64_t, PageKeyHash> page_table_;
-    std::unordered_map<Asid, std::vector<Region>> regions_;
-    uint64_t next_frame_ = 1; // frame 0 reserved
+    struct AddressSpace
+    {
+        util::RadixArray<uint64_t> frames; ///< vpn -> frame
+        std::vector<Region> regions;       ///< sorted by start
+    };
+
+    static size_t
+    tlbIndex(Asid asid, uint64_t vpn)
+    {
+        return static_cast<size_t>(vpn ^ asid) & (kTlbEntries - 1);
+    }
+
+    AddressSpace *findSpace(Asid asid) const;
+    AddressSpace &touchSpace(Asid asid);
+
+    /**
+     * Region attribute at @p vaddr plus the bounds of the uniform
+     * interval containing it (region extent, or the gap between
+     * regions), for page-uniformity checks.
+     */
+    RegionKind regionLookup(const AddressSpace *space, uint64_t vaddr,
+                            uint64_t *interval_start,
+                            uint64_t *interval_end) const;
+
+    /** Fill @p entry for (asid, vpn); kind cached when uniform. */
+    void fillTlb(TlbEntry &entry, Asid asid, uint64_t vpn,
+                 uint64_t frame) const;
+
+    /** Drop every TLB entry (region/mapping change). */
+    void flushTlb() const;
+
+    /** SECPROC_TLB_VERIFY=1: die if @p entry disagrees with a walk. */
+    void verifyTlbEntry(const TlbEntry &entry) const;
 
     uint64_t allocateFrame() { return next_frame_++; }
+
+    std::vector<std::unique_ptr<AddressSpace>> spaces_; ///< by asid
+    uint64_t next_frame_ = 1; // frame 0 reserved
+
+    mutable std::array<TlbEntry, kTlbEntries> tlb_{};
+    mutable uint64_t tlb_hits_ = 0;
+    mutable uint64_t tlb_misses_ = 0;
+    bool verify_tlb_ = false;
 };
 
 } // namespace secproc::mem

@@ -28,7 +28,7 @@ BaselineEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
     EvictPlan plan;
     plan.line_va = line_va;
     plan.state = LineCipherState::Plain;
-    line_states_[line_va] = LineCipherState::Plain;
+    line_states_.insert(lineIdx(line_va), LineCipherState::Plain);
     return plan;
 }
 
@@ -51,7 +51,7 @@ BaselineEngine::scheduleEvict(const EvictPlan &plan, uint64_t cycle)
 
 void
 BaselineEngine::applyFill(const FillPlan &plan,
-                          std::vector<uint8_t> &bytes) const
+                          std::span<uint8_t> bytes) const
 {
     (void)plan;
     (void)bytes; // memory is plaintext on the baseline machine
@@ -59,7 +59,7 @@ BaselineEngine::applyFill(const FillPlan &plan,
 
 void
 BaselineEngine::applyEvict(const EvictPlan &plan,
-                           std::vector<uint8_t> &bytes) const
+                           std::span<uint8_t> bytes) const
 {
     (void)plan;
     (void)bytes;

@@ -175,7 +175,7 @@ IntegrityEngine::updateEvict(uint64_t line_va, uint64_t cycle,
 
 LineMac
 IntegrityEngine::computeMac(uint64_t line_va, uint32_t seqnum,
-                            const std::vector<uint8_t> &ciphertext) const
+                            std::span<const uint8_t> ciphertext) const
 {
     panic_if(mac_key_.empty(), "MAC key not installed");
     std::vector<uint8_t> message(12 + ciphertext.size());
@@ -197,32 +197,32 @@ IntegrityEngine::computeMac(uint64_t line_va, uint32_t seqnum,
 void
 IntegrityEngine::storeMac(uint64_t line_va, const LineMac &mac)
 {
-    mac_table_[line_va] = mac;
+    mac_table_.insert(lineIndex(line_va), mac);
 }
 
 bool
 IntegrityEngine::verifyMac(uint64_t line_va, uint32_t seqnum,
-                           const std::vector<uint8_t> &ciphertext) const
+                           std::span<const uint8_t> ciphertext) const
 {
-    const auto it = mac_table_.find(line_va);
-    if (it == mac_table_.end())
+    const LineMac *stored = mac_table_.find(lineIndex(line_va));
+    if (stored == nullptr)
         return false;
-    return computeMac(line_va, seqnum, ciphertext) == it->second;
+    return computeMac(line_va, seqnum, ciphertext) == *stored;
 }
 
 void
 IntegrityEngine::corruptStoredMac(uint64_t line_va, const LineMac &mac)
 {
-    mac_table_[line_va] = mac;
+    mac_table_.insert(lineIndex(line_va), mac);
 }
 
 std::optional<LineMac>
 IntegrityEngine::storedMac(uint64_t line_va) const
 {
-    const auto it = mac_table_.find(line_va);
-    if (it == mac_table_.end())
+    const LineMac *stored = mac_table_.find(lineIndex(line_va));
+    if (stored == nullptr)
         return std::nullopt;
-    return it->second;
+    return *stored;
 }
 
 void

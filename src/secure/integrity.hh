@@ -27,11 +27,12 @@
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "mem/cache.hh"
 #include "mem/memory_channel.hh"
+#include "util/radix_array.hh"
 #include "util/stats.hh"
 
 namespace secproc::secure
@@ -113,7 +114,7 @@ class IntegrityEngine
 
     /** Compute the MAC binding (line, seqnum, ciphertext). */
     LineMac computeMac(uint64_t line_va, uint32_t seqnum,
-                       const std::vector<uint8_t> &ciphertext) const;
+                       std::span<const uint8_t> ciphertext) const;
 
     /** Record the MAC for a line (evict path). */
     void storeMac(uint64_t line_va, const LineMac &mac);
@@ -123,7 +124,7 @@ class IntegrityEngine
      * matches; false = tampering detected (spoof/splice/replay).
      */
     bool verifyMac(uint64_t line_va, uint32_t seqnum,
-                   const std::vector<uint8_t> &ciphertext) const;
+                   std::span<const uint8_t> ciphertext) const;
 
     /** Adversary access to the MAC table (replay simulations). */
     void corruptStoredMac(uint64_t line_va, const LineMac &mac);
@@ -148,7 +149,8 @@ class IntegrityEngine
     uint64_t hash_engine_free_ = 0;
 
     std::vector<uint8_t> mac_key_;
-    std::unordered_map<uint64_t, LineMac> mac_table_;
+    /** Keyed by line index (line_va / line_size); flat radix pages. */
+    util::RadixArray<LineMac> mac_table_;
 
     util::Counter verifications_;
     util::Counter node_hits_;
@@ -161,6 +163,13 @@ class IntegrityEngine
 
     /** Proxy address of a line's MAC-table entry (DRAM mapping). */
     uint64_t macTableAddr(uint64_t line_va) const;
+
+    /** Flat-table key: line index within the protected space. */
+    uint64_t
+    lineIndex(uint64_t line_va) const
+    {
+        return line_va / config_.line_size;
+    }
 };
 
 } // namespace secproc::secure

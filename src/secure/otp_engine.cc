@@ -48,9 +48,10 @@ void
 OtpEngine::absorbInstall(const SncInstall &install, uint64_t line_va,
                          bool *victim_spilled)
 {
-    memory_table_.erase(line_va); // authoritative copy is on chip now
+    // Authoritative copy is on chip now.
+    memory_table_.erase(lineIdx(line_va));
     for (const SncEntry &victim : install.victims)
-        memory_table_[victim.line_va] = victim.seqnum;
+        memory_table_.insert(lineIdx(victim.line_va), victim.seqnum);
     if (install.victim_valid && victim_spilled != nullptr)
         *victim_spilled = true;
 
@@ -60,11 +61,11 @@ OtpEngine::absorbInstall(const SncInstall &install, uint64_t line_va,
         if (lineState(other) != LineCipherState::Otp)
             continue;
         uint32_t seqnum;
-        if (const uint32_t *it = memory_table_.find(other)) {
+        if (const uint32_t *it = memory_table_.find(lineIdx(other))) {
             seqnum = *it;
-            memory_table_.erase(other);
+            memory_table_.erase(lineIdx(other));
         } else if (const uint32_t *preset =
-                       preset_seqnums_.find(other)) {
+                       preset_seqnums_.find(lineIdx(other))) {
             seqnum = *preset;
         } else {
             continue; // never written back: no sequence number yet
@@ -123,10 +124,11 @@ OtpEngine::planFill(uint64_t line_va, bool ifetch, mem::RegionKind kind)
     // encrypted in-memory table; fetch it and install it, possibly
     // spilling a victim (Algorithm 1 lines 1-12).
     plan.snc_query_miss = true;
-    const uint32_t *it = memory_table_.find(line_va);
+    const uint32_t *it = memory_table_.find(lineIdx(line_va));
     if (it != nullptr) {
         plan.seqnum = *it;
-    } else if (const uint32_t *preset = preset_seqnums_.find(line_va)) {
+    } else if (const uint32_t *preset =
+                   preset_seqnums_.find(lineIdx(line_va))) {
         plan.seqnum = *preset; // loader-initialized image
     } else {
         panic("OTP line ", line_va,
@@ -149,12 +151,12 @@ OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
 
     if (kind == mem::RegionKind::Plaintext) {
         plan.state = LineCipherState::Plain;
-        line_states_[line_va] = plan.state;
+        line_states_.insert(lineIdx(line_va), plan.state);
         return plan;
     }
     if (kind == mem::RegionKind::Shared) {
         plan.state = LineCipherState::Direct;
-        line_states_[line_va] = plan.state;
+        line_states_.insert(lineIdx(line_va), plan.state);
         return plan;
     }
 
@@ -162,7 +164,7 @@ OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
     if (const auto seqnum = snc_.increment(line_va)) {
         plan.state = LineCipherState::Otp;
         plan.seqnum = *seqnum;
-        line_states_[line_va] = plan.state;
+        line_states_.insert(lineIdx(line_va), plan.state);
         return plan;
     }
 
@@ -172,11 +174,12 @@ OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
         // the line ever had one), increment, install, spill victim.
         uint32_t old_seqnum = 0;
         if (lineState(line_va) == LineCipherState::Otp) {
-            if (const uint32_t *it = memory_table_.find(line_va)) {
+            if (const uint32_t *it =
+                    memory_table_.find(lineIdx(line_va))) {
                 old_seqnum = *it;
                 plan.seqnum_fetched = true;
             } else if (const uint32_t *preset =
-                           preset_seqnums_.find(line_va)) {
+                           preset_seqnums_.find(lineIdx(line_va))) {
                 old_seqnum = *preset;
                 plan.seqnum_fetched = true;
             }
@@ -192,11 +195,12 @@ OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
         // spilled value is recovered and incremented.
         uint32_t old_seqnum = 0;
         if (lineState(line_va) == LineCipherState::Otp) {
-            if (const uint32_t *it = memory_table_.find(line_va)) {
+            if (const uint32_t *it =
+                    memory_table_.find(lineIdx(line_va))) {
                 old_seqnum = *it;
                 plan.seqnum_fetched = true;
             } else if (const uint32_t *preset =
-                           preset_seqnums_.find(line_va)) {
+                           preset_seqnums_.find(lineIdx(line_va))) {
                 old_seqnum = *preset;
                 plan.seqnum_fetched = true;
             }
@@ -204,14 +208,14 @@ OtpEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
         const uint32_t fresh = wrapIncrement(old_seqnum);
         const SncInstall install = snc_.install(line_va, fresh);
         if (install.installed) {
-            memory_table_.erase(line_va);
+            memory_table_.erase(lineIdx(line_va));
             plan.state = LineCipherState::Otp;
             plan.seqnum = fresh;
         } else {
             plan.state = LineCipherState::Direct;
         }
     }
-    line_states_[line_va] = plan.state;
+    line_states_.insert(lineIdx(line_va), plan.state);
     return plan;
 }
 
@@ -344,7 +348,7 @@ OtpEngine::scheduleEvict(const EvictPlan &plan, uint64_t cycle)
 
 void
 OtpEngine::applyFill(const FillPlan &plan,
-                     std::vector<uint8_t> &bytes) const
+                     std::span<uint8_t> bytes) const
 {
     switch (plan.state) {
       case LineCipherState::Plain:
@@ -364,7 +368,7 @@ OtpEngine::applyFill(const FillPlan &plan,
 
 void
 OtpEngine::applyEvict(const EvictPlan &plan,
-                      std::vector<uint8_t> &bytes) const
+                      std::span<uint8_t> bytes) const
 {
     switch (plan.state) {
       case LineCipherState::Plain:
@@ -451,7 +455,7 @@ OtpEngine::flushSnc(uint64_t cycle)
 {
     const std::vector<SncEntry> entries = snc_.flush();
     for (const SncEntry &entry : entries) {
-        memory_table_[entry.line_va] = entry.seqnum;
+        memory_table_.insert(lineIdx(entry.line_va), entry.seqnum);
         const uint64_t encrypted = crypto_engine_.schedule(cycle);
         channel_.enqueueWrite(encrypted, mem::Traffic::SeqnumWriteback,
                               /*small=*/true,

@@ -30,7 +30,7 @@ ProtectionEngine::ProtectionEngine(const ProtectionConfig &config,
 LineCipherState
 ProtectionEngine::lineState(uint64_t line_va) const
 {
-    const LineCipherState *it = line_states_.find(line_va);
+    const LineCipherState *it = line_states_.find(lineIdx(line_va));
     return it == nullptr ? LineCipherState::Unwritten : *it;
 }
 
@@ -38,9 +38,9 @@ void
 ProtectionEngine::setLineState(uint64_t line_va, LineCipherState state,
                                uint32_t seqnum)
 {
-    line_states_[line_va] = state;
+    line_states_.insert(lineIdx(line_va), state);
     if (state == LineCipherState::Otp)
-        preset_seqnums_[line_va] = seqnum;
+        preset_seqnums_.insert(lineIdx(line_va), seqnum);
 }
 
 void
@@ -121,14 +121,14 @@ ProtectionEngine::lineEvict(uint64_t line_va, uint64_t cycle,
 void
 ProtectionEngine::decryptLine(uint64_t line_va, bool ifetch,
                               mem::RegionKind kind,
-                              std::vector<uint8_t> &bytes)
+                              std::span<uint8_t> bytes)
 {
     applyFill(planFill(line_va, ifetch, kind), bytes);
 }
 
 void
 ProtectionEngine::encryptLine(uint64_t line_va, mem::RegionKind kind,
-                              std::vector<uint8_t> &bytes)
+                              std::span<uint8_t> bytes)
 {
     applyEvict(planEvict(line_va, kind), bytes);
 }

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,7 +37,7 @@
 #include "mem/virtual_memory.hh"
 #include "secure/key_table.hh"
 #include "secure/snc.hh"
-#include "util/flat_map.hh"
+#include "util/radix_array.hh"
 #include "util/stats.hh"
 
 namespace secproc::secure
@@ -200,11 +201,11 @@ class ProtectionEngine
 
     /** Decrypt @p bytes (ciphertext image) as described by @p plan. */
     virtual void applyFill(const FillPlan &plan,
-                           std::vector<uint8_t> &bytes) const = 0;
+                           std::span<uint8_t> bytes) const = 0;
 
     /** Encrypt @p bytes (plaintext) as described by @p plan. */
     virtual void applyEvict(const EvictPlan &plan,
-                            std::vector<uint8_t> &bytes) const = 0;
+                            std::span<uint8_t> bytes) const = 0;
 
     // --------------------------------------------- convenience wrappers
 
@@ -218,11 +219,11 @@ class ProtectionEngine
 
     /** plan + apply in one call (functional-only runs). */
     void decryptLine(uint64_t line_va, bool ifetch, mem::RegionKind kind,
-                     std::vector<uint8_t> &bytes);
+                     std::span<uint8_t> bytes);
 
     /** plan + apply in one call (functional-only runs). */
     void encryptLine(uint64_t line_va, mem::RegionKind kind,
-                     std::vector<uint8_t> &bytes);
+                     std::span<uint8_t> bytes);
 
     // ------------------------------------------------------------ misc
 
@@ -291,11 +292,22 @@ class ProtectionEngine
     crypto::CryptoEngineModel &crypto_engine_;
     CompartmentId compartment_ = 1;
 
-    /** line_va -> how its memory image is currently encrypted. */
-    util::FlatMap<LineCipherState> line_states_;
-    /** line_va -> seqnum for lines recorded via setLineState or
+    /**
+     * Line index (line_va / line_size) -> how its memory image is
+     * currently encrypted. Radix layout: install streams walk lines
+     * sequentially, so neighbouring states share a group.
+     */
+    util::RadixArray<LineCipherState> line_states_;
+    /** Line index -> seqnum for lines recorded via setLineState or
      *  tracked outside the SNC (spill table is engine-specific). */
-    util::FlatMap<uint32_t> preset_seqnums_;
+    util::RadixArray<uint32_t> preset_seqnums_;
+
+    /** Key of the per-line flat tables. */
+    uint64_t
+    lineIdx(uint64_t line_va) const
+    {
+        return line_va / config_.line_size;
+    }
 
     util::Counter fast_fills_;
     util::Counter slow_fills_;

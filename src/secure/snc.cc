@@ -12,6 +12,8 @@
 
 #include "secure/snc.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace secproc::secure
@@ -46,13 +48,20 @@ makeCacheConfig(const SncConfig &config)
 } // namespace
 
 SequenceNumberCache::SequenceNumberCache(const SncConfig &config)
-    : config_(config), cache_(makeCacheConfig(config))
+    : config_(config), cache_(makeCacheConfig(config)),
+      sector_arena_(config.sector_lines * sizeof(uint32_t))
 {}
 
 uint64_t
 SequenceNumberCache::sectorBase(uint64_t line_va) const
 {
     return line_va / config_.sectorSpan() * config_.sectorSpan();
+}
+
+uint64_t
+SequenceNumberCache::sectorIndex(uint64_t line_va) const
+{
+    return line_va / config_.sectorSpan();
 }
 
 size_t
@@ -64,10 +73,10 @@ SequenceNumberCache::slotIndex(uint64_t line_va) const
 uint32_t *
 SequenceNumberCache::slotFor(uint64_t line_va)
 {
-    std::vector<uint32_t> *sector = sectors_.find(sectorBase(line_va));
+    uint32_t *const *sector = sectors_.find(sectorIndex(line_va));
     if (sector == nullptr)
         return nullptr;
-    return &(*sector)[slotIndex(line_va)];
+    return *sector + slotIndex(line_va);
 }
 
 std::optional<uint32_t>
@@ -100,8 +109,7 @@ SequenceNumberCache::peek(uint64_t line_va) const
 {
     if (!cache_.probe(line_va))
         return std::nullopt;
-    const std::vector<uint32_t> *sector =
-        sectors_.find(sectorBase(line_va));
+    uint32_t *const *sector = sectors_.find(sectorIndex(line_va));
     if (sector == nullptr)
         return std::nullopt;
     const uint32_t slot = (*sector)[slotIndex(line_va)];
@@ -159,11 +167,11 @@ SequenceNumberCache::install(uint64_t line_va, uint32_t seqnum)
     result.installed = true;
 
     if (victim->valid) {
-        const std::vector<uint32_t> *sector =
-            sectors_.find(victim->line_addr);
+        const uint64_t victim_index = sectorIndex(victim->line_addr);
+        uint32_t *const *sector = sectors_.find(victim_index);
         panic_if(sector == nullptr,
                  "SNC victim sector has no slot table");
-        for (size_t i = 0; i < sector->size(); ++i) {
+        for (size_t i = 0; i < config_.sector_lines; ++i) {
             if ((*sector)[i] == kEmptySlot)
                 continue;
             result.victims.push_back(SncEntry{
@@ -172,7 +180,9 @@ SequenceNumberCache::install(uint64_t line_va, uint32_t seqnum)
             --occupancy_;
             ++spills_;
         }
-        sectors_.erase(victim->line_addr);
+        sector_arena_.release(
+            reinterpret_cast<uint8_t *>(*sector));
+        sectors_.erase(victim_index);
         if (!result.victims.empty()) {
             result.victim_valid = true;
             result.victim_line = result.victims.front().line_va;
@@ -181,9 +191,10 @@ SequenceNumberCache::install(uint64_t line_va, uint32_t seqnum)
     }
 
     const uint64_t base = sectorBase(line_va);
-    auto &slots = sectors_.insert(
-        base,
-        std::vector<uint32_t>(config_.sector_lines, kEmptySlot));
+    uint32_t *&slots = sectors_.touch(sectorIndex(line_va));
+    panic_if(slots != nullptr, "SNC slot table leaked past its tag");
+    slots = reinterpret_cast<uint32_t *>(sector_arena_.allocate());
+    std::fill_n(slots, config_.sector_lines, kEmptySlot);
     slots[slotIndex(line_va)] = seqnum;
     ++occupancy_;
     for (uint32_t i = 0; i < config_.sector_lines; ++i) {
@@ -212,11 +223,11 @@ SequenceNumberCache::flush()
 {
     std::vector<SncEntry> entries;
     for (const mem::Victim &victim : cache_.invalidateAll()) {
-        const std::vector<uint32_t> *sector =
-            sectors_.find(victim.line_addr);
+        uint32_t *const *sector =
+            sectors_.find(sectorIndex(victim.line_addr));
         if (sector == nullptr)
             continue;
-        for (size_t i = 0; i < sector->size(); ++i) {
+        for (size_t i = 0; i < config_.sector_lines; ++i) {
             if ((*sector)[i] == kEmptySlot)
                 continue;
             entries.push_back(SncEntry{
@@ -225,6 +236,7 @@ SequenceNumberCache::flush()
         }
     }
     sectors_.clear();
+    sector_arena_.clear();
     occupancy_ = 0;
     return entries;
 }

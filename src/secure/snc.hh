@@ -25,7 +25,8 @@
 #include <vector>
 
 #include "mem/cache.hh"
-#include "util/flat_map.hh"
+#include "util/page_arena.hh"
+#include "util/radix_array.hh"
 #include "util/stats.hh"
 
 namespace secproc::secure
@@ -183,12 +184,22 @@ class SequenceNumberCache
     SncConfig config_;
     mem::Cache cache_;
 
-    /** sector base address -> per-line slots (kEmptySlot = none). */
-    util::FlatMap<std::vector<uint32_t>> sectors_;
+    /**
+     * Sector index (sector base / sector span) -> per-line slot
+     * table (kEmptySlot = none). Slot tables are fixed-size arena
+     * blocks behind a radix directory: the install/spill churn of a
+     * write-heavy workload used to allocate and free one heap
+     * vector per sector.
+     */
+    util::RadixArray<uint32_t *> sectors_;
+    util::PageArena sector_arena_;
     uint64_t occupancy_ = 0;
 
     /** Sector base address containing @p line_va. */
     uint64_t sectorBase(uint64_t line_va) const;
+
+    /** Radix key of the sector containing @p line_va. */
+    uint64_t sectorIndex(uint64_t line_va) const;
 
     /** Slot index of @p line_va within its sector. */
     size_t slotIndex(uint64_t line_va) const;

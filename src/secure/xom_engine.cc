@@ -36,7 +36,7 @@ XomEngine::planEvict(uint64_t line_va, mem::RegionKind kind)
     plan.state = kind == mem::RegionKind::Plaintext
                      ? LineCipherState::Plain
                      : LineCipherState::Direct;
-    line_states_[line_va] = plan.state;
+    line_states_.insert(lineIdx(line_va), plan.state);
     return plan;
 }
 
@@ -74,7 +74,7 @@ XomEngine::scheduleEvict(const EvictPlan &plan, uint64_t cycle)
 
 void
 XomEngine::applyFill(const FillPlan &plan,
-                     std::vector<uint8_t> &bytes) const
+                     std::span<uint8_t> bytes) const
 {
     if (plan.state == LineCipherState::Direct)
         crypto::ecbDecrypt(activeCipher(), bytes.data(), bytes.size());
@@ -82,7 +82,7 @@ XomEngine::applyFill(const FillPlan &plan,
 
 void
 XomEngine::applyEvict(const EvictPlan &plan,
-                      std::vector<uint8_t> &bytes) const
+                      std::span<uint8_t> bytes) const
 {
     if (plan.state == LineCipherState::Direct)
         crypto::ecbEncrypt(activeCipher(), bytes.data(), bytes.size());

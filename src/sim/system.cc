@@ -56,7 +56,8 @@ System::System(const SystemConfig &config, std::vector<TaskSpec> tasks)
     : config_(config), tasks_(std::move(tasks)),
       channel_(config.channel), crypto_engine_(config.protection.crypto),
       l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
-      onchip_(config.l2.line_size), core_(config.core, *this)
+      onchip_(config.l2.line_size), core_(config.core, *this),
+      line_scratch_(config.l2.line_size)
 {
     kernel_ = kernelModeFromEnvironment();
     fatal_if(config_.protection.line_size != config_.l2.line_size,
@@ -368,9 +369,9 @@ System::handleL2Victim(const mem::Victim &victim, uint64_t cycle)
         l1i_.invalidate(sub);
     }
 
-    std::optional<std::vector<uint8_t>> bytes;
+    bool have_bytes = false;
     if (config_.functional)
-        bytes = onchip_.remove(victim.line_addr);
+        have_bytes = onchip_.removeInto(victim.line_addr, line_scratch_);
 
     if (!dirty)
         return; // clean: memory image is already current
@@ -382,12 +383,11 @@ System::handleL2Victim(const mem::Victim &victim, uint64_t cycle)
     engine_->scheduleEvict(plan, cycle);
 
     if (config_.functional) {
-        std::vector<uint8_t> data =
-            bytes.has_value()
-                ? std::move(*bytes)
-                : std::vector<uint8_t>(config_.l2.line_size, 0);
-        engine_->applyEvict(plan, data);
-        memory_.writeLine(vm_.translate(asid_, victim.line_addr), data);
+        if (!have_bytes)
+            std::fill(line_scratch_.begin(), line_scratch_.end(), 0);
+        engine_->applyEvict(plan, line_scratch_);
+        memory_.writeLine(vm_.translate(asid_, victim.line_addr),
+                          line_scratch_);
     }
 }
 
@@ -395,29 +395,26 @@ void
 System::functionalFill(const secure::FillPlan &plan)
 {
     const uint64_t pa = vm_.translate(asid_, plan.line_va);
-    std::vector<uint8_t> bytes =
-        memory_.readLine(pa, config_.l2.line_size);
-    engine_->applyFill(plan, bytes);
-    onchip_.install(plan.line_va, std::move(bytes));
+    memory_.readLine(pa, line_scratch_);
+    engine_->applyFill(plan, line_scratch_);
+    onchip_.install(plan.line_va, line_scratch_);
 }
 
 void
 System::functionalEvict(uint64_t line_va, mem::RegionKind kind)
 {
     const secure::EvictPlan plan = engine_->planEvict(line_va, kind);
-    auto bytes = onchip_.remove(line_va);
-    std::vector<uint8_t> data =
-        bytes.has_value() ? std::move(*bytes)
-                          : std::vector<uint8_t>(config_.l2.line_size, 0);
-    engine_->applyEvict(plan, data);
-    memory_.writeLine(vm_.translate(asid_, line_va), data);
+    if (!onchip_.removeInto(line_va, line_scratch_))
+        std::fill(line_scratch_.begin(), line_scratch_.end(), 0);
+    engine_->applyEvict(plan, line_scratch_);
+    memory_.writeLine(vm_.translate(asid_, line_va), line_scratch_);
 }
 
 void
 System::functionalStore(uint64_t vaddr)
 {
     const uint64_t line_va = lineAlign(vaddr);
-    std::vector<uint8_t> *bytes = onchip_.peekMutable(line_va);
+    uint8_t *bytes = onchip_.peekMutable(line_va);
     if (bytes == nullptr)
         return; // line bypassed the functional fill path
     const uint64_t offset =
@@ -425,7 +422,7 @@ System::functionalStore(uint64_t vaddr)
     // Deterministic store content: mixes address and store count so
     // repeated writes change the data. Per-instance so concurrent
     // systems neither race nor perturb each other's data stream.
-    util::storeLe64(bytes->data() + offset, vaddr ^ (++store_salt_));
+    util::storeLe64(bytes + offset, vaddr ^ (++store_salt_));
 }
 
 void
@@ -677,6 +674,18 @@ System::registerMetrics(obs::MetricsRegistry &reg) const
                   [this] { return context_switches_; });
     reg.counterFn("sys.switch_flush_spills",
                   [this] { return switch_spills_; });
+
+    // Memory plane: micro-TLB effectiveness and flat-store footprint.
+    const mem::VirtualMemory *vm = &vm_;
+    reg.counterFn("mem.tlb.hits", [vm] { return vm->tlbHits(); });
+    reg.counterFn("mem.tlb.misses", [vm] { return vm->tlbMisses(); });
+    const mem::MainMemory *memory = &memory_;
+    reg.counterFn("mem.pages_resident", [memory] {
+        return static_cast<uint64_t>(memory->residentPages());
+    });
+    reg.gaugeFn("mem.arena_bytes", [memory] {
+        return static_cast<double>(memory->arenaBytesReserved());
+    });
 }
 
 void

@@ -293,6 +293,12 @@ class System : public MemorySystem
     /** Functional-store content counter (see functionalStore). */
     uint64_t store_salt_ = 0;
 
+    /**
+     * One line-sized scratch buffer reused by every functional fill
+     * and evict, so the per-miss byte movement never allocates.
+     */
+    std::vector<uint8_t> line_scratch_;
+
     /** System-lifetime metrics (bound once, in the constructor). */
     obs::MetricsRegistry metrics_;
     /** Snapshot taken by beginMeasurement(); empty before it. */

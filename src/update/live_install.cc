@@ -47,7 +47,7 @@ LiveInstall::start(const UpdateBundle &bundle, uint64_t cycle)
     fatal_if(waiting_, "start() with a channel request in flight "
              "(reset() first)");
 
-    framed_ = frameBundleBytes(bundle.serialize());
+    framed_ = frameBundle(bundle);
     // The stream must not land on top of the A/B slots: a silent
     // overlap would corrupt staged bytes mid-install. Checked here,
     // where the buffer's real extent is known.
@@ -267,7 +267,7 @@ LiveInstall::renderAdmission()
     std::vector<uint8_t> framed(framed_.size());
     system_.mainMemory().read(config_.transport_base, framed.data(),
                               framed.size());
-    const auto bundle_bytes = unframeBundleBytes(framed);
+    const auto bundle_bytes = unframeBundleView(framed);
     if (!bundle_bytes.has_value()) {
         admission_ = VerifyResult{UpdateStatus::MalformedBundle,
                                   "transport stream framing damaged"};

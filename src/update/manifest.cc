@@ -44,6 +44,14 @@ sha256Digest(const std::vector<uint8_t> &data)
 }
 
 Digest
+sha256DigestOfImage(const xom::ProgramImage &image)
+{
+    crypto::Sha256Sink sink;
+    image.serializeTo(sink);
+    return sink.digest();
+}
+
+Digest
 processorId(const crypto::RsaPublicKey &pub)
 {
     std::vector<uint8_t> material = pub.n.toBytes();
@@ -62,7 +70,7 @@ describeImage(const xom::ProgramImage &image,
     manifest.cipher = image.cipher;
     manifest.entry_point = image.entry_point;
     manifest.line_size = image.line_size;
-    manifest.image_digest = sha256Digest(image.serialize());
+    manifest.image_digest = sha256DigestOfImage(image);
     manifest.capsule_digest = sha256Digest(image.key_capsule);
     for (const xom::Section &section : image.sections) {
         SectionDigest sd;
@@ -104,6 +112,12 @@ UpdateManifest::serialize() const
 std::optional<UpdateManifest>
 UpdateManifest::deserialize(const std::vector<uint8_t> &data)
 {
+    return deserialize(std::span<const uint8_t>(data));
+}
+
+std::optional<UpdateManifest>
+UpdateManifest::deserialize(std::span<const uint8_t> data)
+{
     util::ByteReader reader(data);
     if (reader.u32() != kManifestMagic)
         return std::nullopt;
@@ -141,27 +155,52 @@ UpdateManifest::digest() const
     return sha256Digest(serialize());
 }
 
+void
+UpdateBundle::serializeTo(util::ByteSink &sink) const
+{
+    using namespace util;
+    putU32(sink, kBundleMagic);
+    putBlob(sink, manifest.serialize());
+    putBlob(sink, signature);
+    // Stream the image blob: u32 length, then the image bytes fed
+    // straight from its sections — no multi-megabyte intermediate.
+    putU32(sink, static_cast<uint32_t>(image.serializedSize()));
+    image.serializeTo(sink);
+}
+
+uint64_t
+UpdateBundle::serializedSize() const
+{
+    util::CountingSink counter;
+    serializeTo(counter);
+    return counter.total();
+}
+
 std::vector<uint8_t>
 UpdateBundle::serialize() const
 {
-    using namespace util;
     std::vector<uint8_t> out;
-    putU32(out, kBundleMagic);
-    putBlob(out, manifest.serialize());
-    putBlob(out, signature);
-    putBlob(out, image.serialize());
+    out.reserve(serializedSize());
+    util::VectorSink sink(out);
+    serializeTo(sink);
     return out;
 }
 
 std::optional<UpdateBundle>
 UpdateBundle::deserialize(const std::vector<uint8_t> &data)
 {
+    return deserialize(std::span<const uint8_t>(data));
+}
+
+std::optional<UpdateBundle>
+UpdateBundle::deserialize(std::span<const uint8_t> data)
+{
     util::ByteReader reader(data);
     if (reader.u32() != kBundleMagic)
         return std::nullopt;
-    const std::vector<uint8_t> manifest_bytes = reader.blob();
-    const std::vector<uint8_t> signature = reader.blob();
-    const std::vector<uint8_t> image_bytes = reader.blob();
+    const std::span<const uint8_t> manifest_bytes = reader.blobView();
+    const std::span<const uint8_t> signature = reader.blobView();
+    const std::span<const uint8_t> image_bytes = reader.blobView();
     if (!reader.atEnd())
         return std::nullopt;
 
@@ -169,19 +208,19 @@ UpdateBundle::deserialize(const std::vector<uint8_t> &data)
     if (!manifest.has_value())
         return std::nullopt;
 
-    // The manifest's image digest must match before the bytes are
-    // trusted any further (cheap consistency gate; the authenticated
-    // check is UpdateEngine::verify, which the engine runs on every
-    // parsed bundle).
-    if (sha256Digest(image_bytes) != manifest->image_digest)
-        return std::nullopt;
+    // No digest check here: parsing only establishes structure. The
+    // authoritative integrity check is UpdateEngine::verify, which
+    // every caller runs on the parsed bundle before trusting it — a
+    // digest-only gate adds no authentication (an attacker who edits
+    // the image can recompute the unsigned digest) but costs a full
+    // multi-megabyte hash per parse.
     auto image = xom::ProgramImage::tryDeserialize(image_bytes);
     if (!image.has_value())
         return std::nullopt;
 
     UpdateBundle bundle;
     bundle.manifest = *manifest;
-    bundle.signature = signature;
+    bundle.signature.assign(signature.begin(), signature.end());
     bundle.image = std::move(*image);
     return bundle;
 }

@@ -75,9 +75,12 @@ struct UpdateManifest
     /** Canonical byte form — the exact bytes the vendor signs. */
     std::vector<uint8_t> serialize() const;
 
-    /** Parse; std::nullopt on malformed/truncated input. */
+    /** Parse; std::nullopt on malformed/truncated input. @{ */
     static std::optional<UpdateManifest>
     deserialize(const std::vector<uint8_t> &data);
+    static std::optional<UpdateManifest>
+    deserialize(std::span<const uint8_t> data);
+    /** @} */
 
     /** SHA-256 over serialize(); the value rsaSignDigest signs. */
     Digest digest() const;
@@ -86,6 +89,15 @@ struct UpdateManifest
 /** SHA-256 over a byte buffer as a Digest value. */
 Digest sha256Digest(const uint8_t *data, size_t len);
 Digest sha256Digest(const std::vector<uint8_t> &data);
+
+/**
+ * SHA-256 of image.serialize() without materializing the bytes —
+ * same value as sha256Digest(image.serialize()), minus the
+ * multi-megabyte allocation and copy. Every verify re-runs this at
+ * a trust boundary, so the copy was the memory plane's single
+ * largest hidden cost.
+ */
+Digest sha256DigestOfImage(const xom::ProgramImage &image);
 
 /**
  * A processor's identity for update targeting: SHA-256 fingerprint
@@ -116,14 +128,26 @@ struct UpdateBundle
     /** Flat byte form for files and staging slots. */
     std::vector<uint8_t> serialize() const;
 
+    /** Stream the exact serialize() byte sequence into @p sink. */
+    void serializeTo(util::ByteSink &sink) const;
+
+    /** Bytes serialize() would produce. */
+    uint64_t serializedSize() const;
+
     /**
      * Parse; std::nullopt on malformed/truncated input (an
-     * interrupted staging write, a corrupted download). The embedded
-     * image blob is only parsed after its digest matches the
-     * manifest, so arbitrary corruption is reported, never fatal.
+     * interrupted staging write, a corrupted download). Arbitrary
+     * corruption is reported, never fatal; integrity of the parsed
+     * contents is established by UpdateEngine::verify, which every
+     * consumer must (and does) run before trusting the bundle. The
+     * span form parses a view in place (no per-layer copies of the
+     * multi-megabyte image blob). @{
      */
     static std::optional<UpdateBundle>
     deserialize(const std::vector<uint8_t> &data);
+    static std::optional<UpdateBundle>
+    deserialize(std::span<const uint8_t> data);
+    /** @} */
 };
 
 } // namespace secproc::update

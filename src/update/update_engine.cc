@@ -32,8 +32,30 @@ frameBundleBytes(const std::vector<uint8_t> &bundle_bytes)
     return out;
 }
 
+std::vector<uint8_t>
+frameBundle(const UpdateBundle &bundle)
+{
+    const uint64_t bundle_size = bundle.serializedSize();
+    std::vector<uint8_t> out;
+    out.reserve(kSlotHeaderBytes + bundle_size);
+    util::putU32(out, kSlotMagic);
+    util::putU64(out, bundle_size);
+    util::VectorSink sink(out);
+    bundle.serializeTo(sink);
+    return out;
+}
+
 std::optional<std::vector<uint8_t>>
 unframeBundleBytes(const std::vector<uint8_t> &framed)
+{
+    const auto view = unframeBundleView(framed);
+    if (!view.has_value())
+        return std::nullopt;
+    return std::vector<uint8_t>(view->begin(), view->end());
+}
+
+std::optional<std::span<const uint8_t>>
+unframeBundleView(std::span<const uint8_t> framed)
 {
     if (framed.size() < kSlotHeaderBytes)
         return std::nullopt;
@@ -43,9 +65,7 @@ unframeBundleBytes(const std::vector<uint8_t> &framed)
     if (magic != kSlotMagic || len == 0 ||
         len > framed.size() - kSlotHeaderBytes)
         return std::nullopt;
-    return std::vector<uint8_t>(
-        framed.begin() + kSlotHeaderBytes,
-        framed.begin() + static_cast<ptrdiff_t>(kSlotHeaderBytes + len));
+    return framed.subspan(kSlotHeaderBytes, len);
 }
 
 const char *
@@ -152,9 +172,10 @@ UpdateEngine::verify(const UpdateBundle &bundle) const
     }
     // Whole-image digest last: it authenticates everything the
     // per-section digests do not cover (entry point, cipher, line
-    // size, per-section encryption modes).
-    const std::vector<uint8_t> image_bytes = bundle.image.serialize();
-    if (manifest.image_digest != sha256Digest(image_bytes)) {
+    // size, per-section encryption modes). Streamed — re-verification
+    // happens at every trust boundary and must not re-materialize
+    // the multi-megabyte image each time.
+    if (manifest.image_digest != sha256DigestOfImage(bundle.image)) {
         return {UpdateStatus::DigestMismatch,
                 "image does not match its signed whole-image digest"};
     }
@@ -193,7 +214,7 @@ UpdateEngine::verify(const UpdateBundle &bundle) const
     const uint64_t framed_size = kSlotHeaderBytes + 4 +
                                  (4 + manifest_bytes.size()) +
                                  (4 + bundle.signature.size()) +
-                                 (4 + image_bytes.size());
+                                 (4 + bundle.image.serializedSize());
     if (framed_size > staging_.slot_size) {
         return {UpdateStatus::TooLarge,
                 "bundle does not fit the " +
@@ -213,8 +234,7 @@ UpdateEngine::stage(const UpdateBundle &bundle, mem::MainMemory &memory)
 
     // verify() already gated the size; this only guards the framing
     // arithmetic itself.
-    const std::vector<uint8_t> framed =
-        frameBundleBytes(bundle.serialize());
+    const std::vector<uint8_t> framed = frameBundle(bundle);
     panic_if(framed.size() > staging_.slot_size,
              "verified bundle does not fit its slot");
     memory.write(slotBase(stagingSlot()), framed.data(), framed.size());
@@ -255,8 +275,7 @@ UpdateEngine::activate(secure::CompartmentId compartment,
     const auto staged = UpdateBundle::deserialize(bundle_bytes);
     if (!staged.has_value()) {
         return {UpdateStatus::StagingCorrupt,
-                "staged bundle bytes no longer parse or match "
-                "their image digest",
+                "staged bundle bytes no longer parse",
                 compartment, 0, active_slot_};
     }
 

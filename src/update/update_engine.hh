@@ -107,12 +107,23 @@ std::vector<uint8_t>
 frameBundleBytes(const std::vector<uint8_t> &bundle_bytes);
 
 /**
+ * Frame @p bundle directly — identical bytes to
+ * frameBundleBytes(bundle.serialize()) with one exact-sized
+ * allocation instead of serializing the multi-megabyte bundle twice.
+ */
+std::vector<uint8_t> frameBundle(const UpdateBundle &bundle);
+
+/**
  * Undo frameBundleBytes on bytes read back from untrusted memory.
  * @return the bundle bytes, or std::nullopt when the framing is
  * damaged (torn write, corruption).
  */
 std::optional<std::vector<uint8_t>>
 unframeBundleBytes(const std::vector<uint8_t> &framed);
+
+/** View form of unframeBundleBytes: no copy, borrows @p framed. */
+std::optional<std::span<const uint8_t>>
+unframeBundleView(std::span<const uint8_t> framed);
 
 /** Geometry of the A/B staging area in untrusted memory. */
 struct StagingConfig

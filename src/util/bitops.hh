@@ -87,6 +87,22 @@ rotl28(uint32_t v, unsigned n)
     return ((v << n) | (v >> (28 - n))) & 0x0FFFFFFFu;
 }
 
+/**
+ * splitmix64 finalizer: a strong 64-bit bijective mix. Used wherever
+ * structured keys (line addresses with zero low bits, (asid, vpn)
+ * pairs) must spread over a power-of-two table. Being bijective, it
+ * never *introduces* collisions — combine multi-part keys by mixing
+ * between parts, e.g. mix64(mix64(vpn) + asid), not by packing bits.
+ */
+constexpr uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 /** Load a big-endian 32-bit word from @p p. */
 inline uint32_t
 loadBe32(const uint8_t *p)

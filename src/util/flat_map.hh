@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/bitops.hh"
+
 namespace secproc::util
 {
 
@@ -141,10 +143,7 @@ class FlatMap
     size_t
     home(uint64_t key) const
     {
-        uint64_t z = key + 0x9E3779B97F4A7C15ull;
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-        return static_cast<size_t>(z ^ (z >> 31)) & mask_;
+        return static_cast<size_t>(mix64(key)) & mask_;
     }
 
     void

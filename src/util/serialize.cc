@@ -44,10 +44,48 @@ putString(std::vector<uint8_t> &out, const std::string &s)
              s.size());
 }
 
+void
+putU32(ByteSink &out, uint32_t v)
+{
+    uint8_t bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+    out.write(bytes, sizeof(bytes));
+}
+
+void
+putU64(ByteSink &out, uint64_t v)
+{
+    uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+    out.write(bytes, sizeof(bytes));
+}
+
+void
+putBytes(ByteSink &out, const uint8_t *data, size_t len)
+{
+    putU32(out, static_cast<uint32_t>(len));
+    out.write(data, len);
+}
+
+void
+putBlob(ByteSink &out, const std::vector<uint8_t> &blob)
+{
+    putBytes(out, blob.data(), blob.size());
+}
+
+void
+putString(ByteSink &out, const std::string &s)
+{
+    putBytes(out, reinterpret_cast<const uint8_t *>(s.data()),
+             s.size());
+}
+
 bool
 ByteReader::need(size_t n)
 {
-    if (!ok_ || pos_ + n > data_.size() || pos_ + n < pos_) {
+    if (!ok_ || pos_ + n > size_ || pos_ + n < pos_) {
         ok_ = false;
         return false;
     }
@@ -79,12 +117,17 @@ ByteReader::u64()
 std::vector<uint8_t>
 ByteReader::blob()
 {
+    const auto view = blobView();
+    return std::vector<uint8_t>(view.begin(), view.end());
+}
+
+std::span<const uint8_t>
+ByteReader::blobView()
+{
     const uint32_t len = u32();
     if (!need(len))
         return {};
-    std::vector<uint8_t> out(data_.begin() + static_cast<long>(pos_),
-                             data_.begin() +
-                                 static_cast<long>(pos_ + len));
+    const std::span<const uint8_t> out(data_ + pos_, len);
     pos_ += len;
     return out;
 }
@@ -92,8 +135,8 @@ ByteReader::blob()
 std::string
 ByteReader::str()
 {
-    const auto bytes = blob();
-    return std::string(bytes.begin(), bytes.end());
+    const auto view = blobView();
+    return std::string(view.begin(), view.end());
 }
 
 } // namespace secproc::util

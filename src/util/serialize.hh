@@ -17,25 +17,73 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace secproc::util
 {
 
+/**
+ * Destination for streamed serialization. Formats that hold
+ * multi-megabyte payloads (program images, update bundles) write
+ * through a sink so a caller can hash or size a serialization
+ * without materializing the bytes — verifying a staged bundle used
+ * to allocate and copy the whole image just to digest it.
+ */
+class ByteSink
+{
+  public:
+    virtual ~ByteSink() = default;
+    virtual void write(const uint8_t *data, size_t len) = 0;
+};
+
+/** Sink that appends to a byte vector. */
+class VectorSink final : public ByteSink
+{
+  public:
+    explicit VectorSink(std::vector<uint8_t> &out) : out_(out) {}
+
+    void
+    write(const uint8_t *data, size_t len) override
+    {
+        out_.insert(out_.end(), data, data + len);
+    }
+
+  private:
+    std::vector<uint8_t> &out_;
+};
+
+/** Sink that only counts bytes (serialized-size queries). */
+class CountingSink final : public ByteSink
+{
+  public:
+    void write(const uint8_t *, size_t len) override { total_ += len; }
+
+    uint64_t total() const { return total_; }
+
+  private:
+    uint64_t total_ = 0;
+};
+
 /** Append @p v little-endian. @{ */
 void putU32(std::vector<uint8_t> &out, uint32_t v);
 void putU64(std::vector<uint8_t> &out, uint64_t v);
+void putU32(ByteSink &out, uint32_t v);
+void putU64(ByteSink &out, uint64_t v);
 /** @} */
 
 /** Append u32 length then @p len raw bytes. */
 void putBytes(std::vector<uint8_t> &out, const uint8_t *data,
               size_t len);
+void putBytes(ByteSink &out, const uint8_t *data, size_t len);
 
 /** Append u32 length then the blob/string bytes. @{ */
 void putBlob(std::vector<uint8_t> &out,
              const std::vector<uint8_t> &blob);
 void putString(std::vector<uint8_t> &out, const std::string &s);
+void putBlob(ByteSink &out, const std::vector<uint8_t> &blob);
+void putString(ByteSink &out, const std::string &s);
 /** @} */
 
 /** Append a fixed-size array verbatim (no length prefix). */
@@ -44,6 +92,13 @@ void
 putArray(std::vector<uint8_t> &out, const std::array<uint8_t, N> &a)
 {
     out.insert(out.end(), a.begin(), a.end());
+}
+
+template <size_t N>
+void
+putArray(ByteSink &out, const std::array<uint8_t, N> &a)
+{
+    out.write(a.data(), N);
 }
 
 /**
@@ -56,18 +111,30 @@ class ByteReader
 {
   public:
     explicit ByteReader(const std::vector<uint8_t> &data)
-        : data_(data)
+        : data_(data.data()), size_(data.size())
+    {}
+
+    /** Read from any contiguous byte view (no copy, no ownership). */
+    explicit ByteReader(std::span<const uint8_t> data)
+        : data_(data.data()), size_(data.size())
     {}
 
     bool ok() const { return ok_; }
     /** All bytes consumed and no read ever ran off the end. */
-    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+    bool atEnd() const { return ok_ && pos_ == size_; }
 
     uint32_t u32();
     uint64_t u64();
 
     /** u32 length + raw bytes. */
     std::vector<uint8_t> blob();
+    /**
+     * Like blob() but a view into the reader's buffer: no copy, valid
+     * only while the underlying bytes are. The multi-megabyte blobs
+     * on the update path (framed bundles, image payloads) are parsed
+     * through views so a parse costs no allocation per layer.
+     */
+    std::span<const uint8_t> blobView();
     std::string str();
 
     /** Fixed-size array, no length prefix. */
@@ -78,14 +145,14 @@ class ByteReader
         std::array<uint8_t, N> out = {};
         if (!need(N))
             return out;
-        std::copy_n(data_.begin() + static_cast<long>(pos_), N,
-                    out.begin());
+        std::copy_n(data_ + pos_, N, out.begin());
         pos_ += N;
         return out;
     }
 
   private:
-    const std::vector<uint8_t> &data_;
+    const uint8_t *data_;
+    size_t size_;
     size_t pos_ = 0;
     bool ok_ = true;
 

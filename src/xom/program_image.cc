@@ -34,30 +34,52 @@ ProgramImage::totalBytes() const
     return total;
 }
 
+void
+ProgramImage::serializeTo(util::ByteSink &sink) const
+{
+    using namespace util;
+    putU32(sink, kMagic);
+    putU32(sink, kVersion);
+    putU32(sink, static_cast<uint32_t>(cipher));
+    putU64(sink, entry_point);
+    putU32(sink, line_size);
+    putString(sink, title);
+    putBlob(sink, key_capsule);
+    putU32(sink, static_cast<uint32_t>(sections.size()));
+    for (const Section &section : sections) {
+        putString(sink, section.name);
+        putU64(sink, section.vaddr);
+        putU32(sink, static_cast<uint32_t>(section.encryption));
+        putBlob(sink, section.bytes);
+    }
+}
+
+uint64_t
+ProgramImage::serializedSize() const
+{
+    util::CountingSink counter;
+    serializeTo(counter);
+    return counter.total();
+}
+
 std::vector<uint8_t>
 ProgramImage::serialize() const
 {
-    using namespace util;
     std::vector<uint8_t> out;
-    putU32(out, kMagic);
-    putU32(out, kVersion);
-    putU32(out, static_cast<uint32_t>(cipher));
-    putU64(out, entry_point);
-    putU32(out, line_size);
-    putString(out, title);
-    putBlob(out, key_capsule);
-    putU32(out, static_cast<uint32_t>(sections.size()));
-    for (const Section &section : sections) {
-        putString(out, section.name);
-        putU64(out, section.vaddr);
-        putU32(out, static_cast<uint32_t>(section.encryption));
-        putBlob(out, section.bytes);
-    }
+    out.reserve(serializedSize());
+    util::VectorSink sink(out);
+    serializeTo(sink);
     return out;
 }
 
 std::optional<ProgramImage>
 ProgramImage::tryDeserialize(const std::vector<uint8_t> &data)
+{
+    return tryDeserialize(std::span<const uint8_t>(data));
+}
+
+std::optional<ProgramImage>
+ProgramImage::tryDeserialize(std::span<const uint8_t> data)
 {
     util::ByteReader reader(data);
     if (reader.u32() != kMagic || reader.u32() != kVersion)

@@ -596,13 +596,29 @@ TEST(OnChipStore, InstallPeekRemove)
     std::vector<uint8_t> line(64, 0x5A);
     store.install(0x1000, line);
     ASSERT_NE(store.peek(0x1000), nullptr);
-    EXPECT_EQ((*store.peek(0x1000))[0], 0x5A);
-    (*store.peekMutable(0x1000))[0] = 0x11;
-    const auto removed = store.remove(0x1000);
-    ASSERT_TRUE(removed.has_value());
-    EXPECT_EQ((*removed)[0], 0x11);
+    EXPECT_EQ(store.peek(0x1000)[0], 0x5A);
+    store.peekMutable(0x1000)[0] = 0x11;
+    std::vector<uint8_t> removed(64, 0);
+    ASSERT_TRUE(store.removeInto(0x1000, removed));
+    EXPECT_EQ(removed[0], 0x11);
     EXPECT_EQ(store.peek(0x1000), nullptr);
-    EXPECT_FALSE(store.remove(0x1000).has_value());
+    EXPECT_FALSE(store.removeInto(0x1000, removed));
+}
+
+TEST(OnChipStore, ArenaSlotsAreRecycled)
+{
+    OnChipStore store(64);
+    std::vector<uint8_t> line(64, 0xFF);
+    std::vector<uint8_t> out(64, 0);
+    store.install(0x1000, line);
+    ASSERT_TRUE(store.removeInto(0x1000, out));
+    // A recycled slot must come back zeroed before the new install
+    // copies over it; installing then peeking shows the new bytes.
+    std::vector<uint8_t> other(64, 0x21);
+    store.install(0x2000, other);
+    ASSERT_NE(store.peek(0x2000), nullptr);
+    EXPECT_EQ(store.peek(0x2000)[63], 0x21);
+    EXPECT_EQ(store.residentLines(), 1u);
 }
 
 } // namespace
