@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Delta vs full-bundle OTA cost, on the unified install plane.
+ *
+ * Every cell ships ONE release to a machine already running its
+ * predecessor: the base image is installed functionally, then the
+ * successor streams in over the OTA downlink and installs as a
+ * background agent while the foreground workload runs — once as a
+ * signed delta bundle (reconstructed slot-to-slot against the base),
+ * once as the full bundle. The measured value is the foreground
+ * slowdown of the *delta* install over the measurement window;
+ * `full_slowdown` is the same window shipping the full bundle, and
+ * `delta_below_full` must be 1 wherever the change fraction is small
+ * — the DFU-grade claim that a point release is cheaper to take as a
+ * delta. `identical` rides along as the functional verdict: both
+ * machines' final slot bytes must match a pure functional
+ * full-bundle install byte for byte.
+ *
+ * Grid: image size x change fraction x downlink class x crypto
+ * engine latency, gcc foreground.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "crypto/latency.hh"
+#include "exp/cell_cache.hh"
+#include "exp/cli.hh"
+#include "sim/profiles.hh"
+#include "update/delta.hh"
+#include "update/image_builder.hh"
+#include "update/live_install.hh"
+#include "update/update_engine.hh"
+
+using namespace secproc;
+
+namespace
+{
+
+constexpr uint32_t kLine = 128;
+constexpr uint64_t kStagingBase = 0x4000'0000;
+constexpr uint64_t kSlotSize = 8ull << 20;
+constexpr uint64_t kImageBase = 0x0800'0000;
+
+struct GridPoint
+{
+    const char *label;
+    uint64_t image_bytes;
+    double change_fraction;
+    uint32_t crypto_latency;
+    bool slow_link;
+};
+
+constexpr GridPoint kGrid[] = {
+    {"256KB-d2-fast-c50", 256ull << 10, 0.02,
+     crypto::kPaperCryptoLatency, false},
+    {"256KB-d10-fast-c50", 256ull << 10, 0.10,
+     crypto::kPaperCryptoLatency, false},
+    {"256KB-d50-fast-c50", 256ull << 10, 0.50,
+     crypto::kPaperCryptoLatency, false},
+    {"256KB-d10-slow-c50", 256ull << 10, 0.10,
+     crypto::kPaperCryptoLatency, true},
+    {"256KB-d10-fast-c102", 256ull << 10, 0.10,
+     crypto::kStrongCipherLatency, false},
+    {"256KB-d10-slow-c102", 256ull << 10, 0.10,
+     crypto::kStrongCipherLatency, true},
+    {"64KB-d10-fast-c50", 64ull << 10, 0.10,
+     crypto::kPaperCryptoLatency, false},
+};
+
+sim::SystemConfig
+machineConfig(uint32_t crypto_latency)
+{
+    sim::SystemConfig config =
+        sim::paperConfig(secure::SecurityModel::OtpSnc);
+    config.protection.crypto.latency = crypto_latency;
+    return config;
+}
+
+ota::TransportConfig
+downlink(bool slow)
+{
+    ota::TransportConfig transport;
+    transport.chunk_bytes = 1024;
+    transport.cycles_per_chunk = slow ? 512 : 64;
+    if (slow) {
+        transport.loss_rate = 0.05;
+        transport.burst_length = 2.0;
+        transport.retransmit_delay = 8192;
+        transport.seed = 0x0D17A;
+    }
+    return transport;
+}
+
+/** Payload generation @p generation: gen 1 fresh random, each later
+ *  one rewrites change_fraction of its predecessor's 64B blocks. */
+xom::PlainProgram
+makeProgram(uint64_t seed, uint64_t image_bytes, uint32_t generation,
+            double change_fraction)
+{
+    constexpr uint64_t kBlock = 64;
+    xom::PlainProgram program;
+    program.title = "fw";
+    program.entry_point = kImageBase;
+    xom::PlainProgram::PlainSection text;
+    text.name = ".text";
+    text.vaddr = kImageBase;
+    text.bytes.resize(image_bytes);
+    util::Rng fill(seed ^ 0xF111);
+    for (auto &byte : text.bytes)
+        byte = static_cast<uint8_t>(fill.nextRange(256));
+    const uint64_t blocks = (image_bytes + kBlock - 1) / kBlock;
+    const auto changed = static_cast<uint64_t>(
+        static_cast<double>(blocks) * change_fraction);
+    for (uint32_t gen = 2; gen <= generation; ++gen) {
+        util::Rng mutate(seed ^ (0xD1FFull + gen));
+        for (uint64_t c = 0; c < changed; ++c) {
+            const uint64_t block = mutate.nextRange(blocks);
+            for (uint64_t i = block * kBlock;
+                 i < std::min(block * kBlock + kBlock, image_bytes);
+                 ++i)
+                text.bytes[i] =
+                    static_cast<uint8_t>(mutate.nextRange(256));
+        }
+    }
+    program.sections = {text};
+    return program;
+}
+
+/**
+ * Shared vendor identity per (image size, change fraction): the base
+ * and successor releases plus the delta between them are built once
+ * and reused by every engine/link variant. Both builds draw the same
+ * RNG seed — same symmetric key, so unchanged plaintext lines keep
+ * their ciphertext and the delta actually collapses.
+ */
+struct VendorContext
+{
+    util::Rng rng;
+    update::ImageBuilder vendor;
+    crypto::RsaKeyPair processor;
+    update::UpdateBundle base;
+    update::UpdateBundle next;
+    update::DeltaBundle delta;
+
+    VendorContext(uint64_t image_bytes, double change_fraction)
+        : rng(0xDE17A'0001 ^ image_bytes ^
+              static_cast<uint64_t>(change_fraction * 1000.0)),
+          vendor(crypto::rsaGenerate(512, rng)),
+          processor(crypto::rsaGenerate(512, rng))
+    {
+        const uint64_t key_seed = rng.next64();
+        update::UpdateSpec spec;
+        spec.image_version = 1;
+        spec.rollback_counter = 1;
+        spec.cipher = secure::CipherKind::Des;
+        spec.line_size = kLine;
+
+        util::Rng rng_base(key_seed);
+        base = vendor.build(
+            makeProgram(key_seed, image_bytes, 1, change_fraction),
+            spec, processor.pub, rng_base);
+
+        spec.image_version = 2;
+        spec.rollback_counter = 2;
+        spec.base_digest = update::sha256DigestOfImage(base.image);
+        util::Rng rng_next(key_seed);
+        next = vendor.build(
+            makeProgram(key_seed, image_bytes, 2, change_fraction),
+            spec, processor.pub, rng_next);
+
+        delta = vendor.buildDelta(base, next);
+    }
+};
+
+VendorContext &
+vendorContext(uint64_t image_bytes, double change_fraction)
+{
+    static std::mutex registry_mutex;
+    static std::map<std::pair<uint64_t, uint64_t>,
+                    std::unique_ptr<VendorContext>>
+        registry;
+    const auto key = std::make_pair(
+        image_bytes, static_cast<uint64_t>(change_fraction * 1000.0));
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto &slot = registry[key];
+    if (slot == nullptr)
+        slot = std::make_unique<VendorContext>(image_bytes,
+                                               change_fraction);
+    return *slot;
+}
+
+/** One shipped release on one machine. */
+struct ShipResult
+{
+    uint64_t cycles = 0;       ///< foreground cycles of the window
+    uint64_t instructions = 0; ///< foreground instructions it spanned
+    bool done = false;         ///< install landed within the window
+    bool identical = false;    ///< slot bytes match the reference
+};
+
+/**
+ * Install the base functionally, then ship the successor through the
+ * unified plane (as a delta when @p via_delta) over the measurement
+ * window. @p reference_slot is the framed slot a pure functional
+ * full-bundle install of the successor produced. @p window is the
+ * measured instruction count; 0 probes instead — run until the
+ * install lands and report the instructions that took, so the caller
+ * can pick one window long enough for every shipping mode.
+ */
+ShipResult
+shipRelease(const std::string &bench, const GridPoint &point,
+            const exp::RunOptions &options, VendorContext &ctx,
+            const std::vector<uint8_t> &reference_slot, bool via_delta,
+            uint64_t window)
+{
+    const sim::SystemConfig config =
+        machineConfig(point.crypto_latency);
+    secure::KeyTable update_keys;
+    update::RollbackStore rollback(64);
+    update::UpdateEngine updater(
+        ctx.vendor.publicKey(), ctx.processor, update_keys, rollback,
+        update::StagingConfig{kStagingBase, kSlotSize});
+
+    sim::SyntheticWorkload workload(sim::benchmarkProfile(bench),
+                                    config.l2.line_size);
+    sim::System system(config, workload);
+
+    update::LiveInstallConfig live_config;
+    live_config.line_bytes = config.l2.line_size;
+    live_config.pacing = update::InstallPacing::Arbiter;
+    live_config.transport = downlink(point.slow_link);
+    update::LiveInstall live(live_config, system, updater, 1);
+    system.attachAgent(&live);
+
+    ShipResult result;
+    if (!updater
+             .install(ctx.base, 1, system.mainMemory(),
+                      system.virtualMemory(), 1, system.engine())
+             .ok())
+        return result;
+
+    system.run(options.warmup_instructions);
+    system.beginMeasurement();
+    if (via_delta)
+        live.startDelta(ctx.delta, system.core().cycles());
+    else
+        live.start(ctx.next, system.core().cycles());
+    if (window == 0) {
+        // Probe: step until the install lands, whatever it takes.
+        constexpr uint64_t kStep = 10'000;
+        uint64_t ran = 0;
+        while (live.phase() != update::LiveInstallPhase::Done &&
+               ran < (1ull << 28)) {
+            system.run(kStep);
+            ran += kStep;
+        }
+        result.instructions = ran;
+        // Exact start-to-done span (the run-step granularity above
+        // is too coarse): the phases are contiguous, so their cycle
+        // accounts sum to the wall time the install occupied.
+        uint64_t span = 0;
+        for (const auto phase :
+             {update::LiveInstallPhase::Admission,
+              update::LiveInstallPhase::Stage,
+              update::LiveInstallPhase::Reverify,
+              update::LiveInstallPhase::Load,
+              update::LiveInstallPhase::Attest})
+            span += live.phaseCycles(phase);
+        result.cycles = span;
+        result.done =
+            live.phase() == update::LiveInstallPhase::Done;
+        return result;
+    } else {
+        // The shared window covers the whole install plus an
+        // install-free tail in every shipping mode, so the modes are
+        // compared over identical instruction counts.
+        system.run(window);
+        result.instructions = window;
+    }
+    result.cycles = system.stats().cycles;
+    result.done = live.phase() == update::LiveInstallPhase::Done;
+    if (!result.done)
+        return result;
+
+    std::vector<uint8_t> got(reference_slot.size());
+    system.mainMemory().read(updater.slotBase(updater.activeSlot()),
+                             got.data(), got.size());
+    result.identical = got == reference_slot;
+    system.channel().assertFullyAttributed();
+    return result;
+}
+
+exp::RunFn
+makeCell(const GridPoint &point)
+{
+    return [point](const std::string &bench,
+                   const exp::RunOptions &options) {
+        const sim::SystemConfig config =
+            machineConfig(point.crypto_latency);
+
+        VendorContext &ctx =
+            vendorContext(point.image_bytes, point.change_fraction);
+
+        // Pure functional full-bundle install: the byte-identity
+        // reference both shipping modes must reproduce.
+        std::vector<uint8_t> reference_slot;
+        {
+            secure::KeyTable keys;
+            mem::MemoryChannel channel(config.channel);
+            secure::ProtectionConfig protection = config.protection;
+            protection.line_size = config.l2.line_size;
+            auto engine =
+                secure::makeProtectionEngine(protection, channel, keys);
+            update::RollbackStore rollback(64);
+            update::UpdateEngine reference(
+                ctx.vendor.publicKey(), ctx.processor, keys, rollback,
+                update::StagingConfig{kStagingBase, kSlotSize});
+            mem::MainMemory memory;
+            mem::VirtualMemory vm;
+            if (!reference
+                     .install(ctx.base, 1, memory, vm, 1, *engine)
+                     .ok() ||
+                !reference
+                     .install(ctx.next, 1, memory, vm, 1, *engine)
+                     .ok())
+                return exp::CellOutput{};
+            reference_slot.resize(update::kSlotHeaderBytes +
+                                  ctx.next.serializedSize());
+            memory.read(
+                reference.slotBase(reference.activeSlot()),
+                reference_slot.data(), reference_slot.size());
+        }
+
+        // Pass 1 — probe each mode to completion, then size ONE
+        // window long enough for the slower of the two. A fixed
+        // smoke-length window would leave the full install still
+        // downloading on slow links, turning the comparison into
+        // finished-delta vs half-shipped-full noise.
+        const ShipResult probe_delta = shipRelease(
+            bench, point, options, ctx, reference_slot, true, 0);
+        const ShipResult probe_full = shipRelease(
+            bench, point, options, ctx, reference_slot, false, 0);
+        const uint64_t window =
+            std::max({options.measure_instructions,
+                      probe_delta.instructions,
+                      probe_full.instructions});
+
+        exp::RunOptions windowed = options;
+        windowed.measure_instructions = window;
+        const sim::RunStats alone =
+            exp::cachedRunCell(bench, config, windowed);
+
+        // Pass 2 — the measured runs, both over the same window.
+        const ShipResult delta = shipRelease(
+            bench, point, options, ctx, reference_slot, true, window);
+        const ShipResult full = shipRelease(
+            bench, point, options, ctx, reference_slot, false, window);
+
+        const double delta_slowdown =
+            exp::slowdownPct(alone.cycles, delta.cycles);
+        const double full_slowdown =
+            exp::slowdownPct(alone.cycles, full.cycles);
+        const double delta_kb =
+            static_cast<double>(update::kSlotHeaderBytes +
+                                ctx.delta.serializedSize()) /
+            1024.0;
+        const double full_kb =
+            static_cast<double>(update::kSlotHeaderBytes +
+                                ctx.next.serializedSize()) /
+            1024.0;
+
+        exp::CellOutput cell;
+        cell.measured = delta_slowdown;
+        cell.extras.emplace_back("full_slowdown", full_slowdown);
+        cell.extras.emplace_back(
+            "delta_below_full",
+            delta_slowdown < full_slowdown ? 1.0 : 0.0);
+        cell.extras.emplace_back("delta_kb", delta_kb);
+        cell.extras.emplace_back("full_kb", full_kb);
+        cell.extras.emplace_back(
+            "bytes_saved_pct",
+            100.0 * (1.0 - delta_kb / full_kb));
+        cell.extras.emplace_back(
+            "installs_done",
+            (delta.done ? 1.0 : 0.0) + (full.done ? 1.0 : 0.0));
+        cell.extras.emplace_back(
+            "identical",
+            delta.identical && full.identical ? 1.0 : 0.0);
+        // Time-to-completion, from the probe pass: on a trickle
+        // link the full bundle hides behind network wait (so its
+        // *interference* can dip below the delta's base-readback
+        // bandwidth), but the delta still lands much sooner.
+        cell.extras.emplace_back(
+            "delta_done_cycles",
+            static_cast<double>(probe_delta.cycles));
+        cell.extras.emplace_back(
+            "full_done_cycles",
+            static_cast<double>(probe_full.cycles));
+        cell.extras.emplace_back(
+            "delta_finishes_first",
+            probe_delta.cycles < probe_full.cycles ? 1.0 : 0.0);
+        return cell;
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const exp::BenchCli cli = exp::parseBenchCli(argc, argv);
+
+    exp::ExperimentSpec spec;
+    spec.name = "delta_update";
+    spec.title = "Delta vs full-bundle OTA "
+                 "(signed deltas, slot-to-slot reconstruction)";
+    spec.subtitle = "foreground slowdown in % shipping one release "
+                    "as a delta (full_slowdown = same release, full "
+                    "bundle)";
+    spec.benchmarks = {"gcc"};
+    spec.options = cli.options;
+    for (const GridPoint &point : kGrid)
+        spec.addCustom(point.label, makeCell(point));
+
+    const exp::Report report = exp::Runner(cli.runner).run(spec);
+    report.printTable(std::cout);
+    if (cli.write_json)
+        report.writeJson(cli.json_path);
+    return 0;
+}

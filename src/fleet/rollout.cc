@@ -170,6 +170,10 @@ RolloutResult::toJson() const
         wave.set("p99_device_hours", w.p99_device_hours);
         wave.set("mean_queue_delay_cycles",
                  w.mean_queue_delay_cycles);
+        wave.set("delta_installs", w.delta_installs);
+        wave.set("full_installs", w.full_installs);
+        wave.set("transport_bytes", w.transport_bytes);
+        wave.set("transport_bytes_full", w.transport_bytes_full);
         wave.set("halted_after", w.halted_after);
         wave_list.push(std::move(wave));
     }
@@ -184,6 +188,10 @@ RolloutResult::toJson() const
     tot.set("power_cut_retries", power_cut_retries);
     tot.set("halts", halts);
     tot.set("rollback_waves", rollback_waves);
+    tot.set("delta_installs", delta_installs);
+    tot.set("full_installs", full_installs);
+    tot.set("transport_bytes", transport_bytes);
+    tot.set("transport_bytes_full", transport_bytes_full);
     json.set("totals", std::move(tot));
 
     util::Json gt_list = util::Json::array();
@@ -197,6 +205,7 @@ RolloutResult::toJson() const
         dev.set("rel_error", gt.rel_error);
         dev.set("within_tolerance", gt.within_tolerance);
         dev.set("functional_ok", gt.functional_ok);
+        dev.set("via_delta", gt.via_delta);
         gt_list.push(std::move(dev));
     }
     json.set("ground_truth", std::move(gt_list));
@@ -259,6 +268,14 @@ FleetSimulator::registerMetrics(obs::MetricsRegistry &reg)
     reg.counterFn("fleet.halts", [this] { return totals_.halts; });
     reg.counterFn("fleet.rollback_waves",
                   [this] { return totals_.rollback_waves; });
+    reg.counterFn("fleet.delta_installs",
+                  [this] { return totals_.delta_installs; });
+    reg.counterFn("fleet.full_installs",
+                  [this] { return totals_.full_installs; });
+    reg.counterFn("fleet.transport_bytes",
+                  [this] { return totals_.transport_bytes; });
+    reg.counterFn("fleet.transport_bytes_full",
+                  [this] { return totals_.transport_bytes_full; });
     reg.gaugeFn("fleet.convergence_hours",
                 [this] { return totals_.convergence_hours; });
     reg.histogram("fleet.device_hours", &totals_.device_hours);
@@ -332,6 +349,9 @@ FleetSimulator::runWave(uint32_t index, const std::string &kind,
         uint64_t target_updated = 0;
         uint64_t rolled_back = 0;
         uint64_t max_completion = 0;
+        uint64_t delta_installs = 0;
+        uint64_t full_installs = 0;
+        uint64_t transport_bytes = 0;
         util::Histogram hours{kHoursBucket, kHoursBuckets};
         util::Histogram healthy_hours{kHoursBucket, kHoursBuckets};
         std::vector<LedgerRecord> ledger;
@@ -370,10 +390,28 @@ FleetSimulator::runWave(uint32_t index, const std::string &kind,
             ota::TransportConfig link = linkTransport(traits.link);
             link.seed = mixSeed(traits.seed, release.version);
 
+            // A device running exactly the delta's base version
+            // downloads the delta stream; everyone else — and every
+            // release without a delta — takes the full bundle.
+            const bool via_delta =
+                release.delta_base_version != 0 &&
+                states_[id].version == release.delta_base_version;
+            const InstallCostModel &cost =
+                via_delta ? release.deltaCost(traits.engine_latency)
+                          : release.cost(traits.engine_latency);
+            const uint64_t downlink_bytes =
+                via_delta ? release.delta_framed_bytes
+                          : release.framed_bytes;
+
             const InstallSim sim = simulateInstall(
-                traits, release.cost(traits.engine_latency), link,
-                release.framed_bytes, rng);
+                traits, cost, link, downlink_bytes, rng);
             const uint64_t completion = dispatch + sim.cycles;
+
+            if (via_delta)
+                ++out.delta_installs;
+            else
+                ++out.full_installs;
+            out.transport_bytes += downlink_bytes;
 
             const bool failed =
                 release.defective_variant >= 0 &&
@@ -438,8 +476,16 @@ FleetSimulator::runWave(uint32_t index, const std::string &kind,
         totals_.rolled_back += out.rolled_back;
         totals_.attempts += out.attempts;
         totals_.power_cut_retries += out.retries;
+        wave.delta_installs += out.delta_installs;
+        wave.full_installs += out.full_installs;
+        wave.transport_bytes += out.transport_bytes;
         vendor_.appendLedger(out.ledger);
     }
+    wave.transport_bytes_full = wave.offered * release.framed_bytes;
+    totals_.delta_installs += wave.delta_installs;
+    totals_.full_installs += wave.full_installs;
+    totals_.transport_bytes += wave.transport_bytes;
+    totals_.transport_bytes_full += wave.transport_bytes_full;
 
     if (wave.offered > 0) {
         wave.failure_rate =
@@ -540,7 +586,30 @@ FleetSimulator::runGroundTruth(const ReleaseInfo &release)
         update::LiveInstall live(live_config, system, updater, 1);
         system.attachAgent(&live);
 
-        live.start(release.bundle, 0);
+        gt.via_delta = release.delta_base_version != 0;
+        if (gt.via_delta) {
+            // The delta reconstructs against the device's active
+            // slot: pre-install the base release functionally (zero
+            // cycles — the device shipped from the factory with it)
+            // so the live install measures only the delta path.
+            const ReleaseInfo &base =
+                vendor_.release(release.delta_base_version);
+            const update::VerifyResult staged =
+                updater.stage(base.bundle, system.mainMemory());
+            fatal_if(!staged.ok(),
+                     "ground-truth base release refused to stage");
+            const update::InstallResult activated = updater.activate(
+                1, system.mainMemory(), system.virtualMemory(),
+                live_config.asid, system.engine());
+            fatal_if(!activated.ok(),
+                     "ground-truth base release refused to activate");
+            gt.predicted_cycles = predictCleanInstallCycles(
+                release.deltaCost(combo.engine_latency), link,
+                release.delta_framed_bytes);
+            live.startDelta(release.delta, 0);
+        } else {
+            live.start(release.bundle, 0);
+        }
         live.replay();
 
         gt.measured_cycles = live.installCycles();
@@ -576,10 +645,21 @@ FleetSimulator::run(int32_t defective_variant, double defect_rate)
 
     buildPopulation();
 
+    // Shipping deltas means the factory firmware must exist as a
+    // real published release — the delta is cut against its signed
+    // bundle, and ground-truth devices pre-install it so their
+    // active slot holds the base to reconstruct from.
+    if (config_.ship_deltas) {
+        vendor_.publish(kFactoryVersion,
+                        /*rollback_counter=*/kFactoryVersion,
+                        /*payload_version=*/kFactoryVersion);
+    }
     const ReleaseInfo &target = vendor_.publish(
         kTargetVersion, /*rollback_counter=*/kTargetVersion,
         /*payload_version=*/kTargetVersion, defective_variant,
-        defect_rate);
+        defect_rate, /*rollback_of=*/0,
+        /*delta_base_version=*/
+        config_.ship_deltas ? kFactoryVersion : 0);
     if (trace_ != nullptr)
         trace_->instant(track_, "publish", 0,
                         {{"release", target.version}});
@@ -696,6 +776,9 @@ FleetSimulator::run(int32_t defective_variant, double defect_rate)
                 static_cast<int64_t>(info.defective_variant));
         rel.set("defect_rate", info.defect_rate);
         rel.set("rollback_of", uint64_t{info.rollback_of});
+        rel.set("delta_base_version",
+                uint64_t{info.delta_base_version});
+        rel.set("delta_framed_bytes", info.delta_framed_bytes);
         totals_.releases.push(std::move(rel));
     }
 

@@ -100,6 +100,17 @@ struct FleetConfig
 
     /** Full LiveInstall machines embedded as ground truth. */
     uint32_t ground_truth_devices = 3;
+
+    /**
+     * Ship the target release as a delta against the factory
+     * firmware: the vendor publishes the factory image as a real
+     * release, cuts a signed delta, and every device still running
+     * the factory version downloads the (much smaller) delta stream;
+     * devices on any other version — and the rollback wave — fall
+     * back to the full bundle. Off by default: the classic
+     * full-bundle rollout stays byte-identical.
+     */
+    bool ship_deltas = false;
 };
 
 /**
@@ -160,6 +171,17 @@ struct WaveStats
     /** Mean CDN queueing delay of the wave's dispatches. */
     double mean_queue_delay_cycles = 0.0;
 
+    /** Devices served by the delta stream vs the full bundle. @{ */
+    uint64_t delta_installs = 0;
+    uint64_t full_installs = 0;
+    /** @} */
+
+    /** Bytes the wave's downlinks actually carried (clean-attempt
+     *  payloads; retries re-stream), and what the same wave would
+     *  have carried shipping full bundles to everyone. */
+    uint64_t transport_bytes = 0;
+    uint64_t transport_bytes_full = 0;
+
     /** This wave's telemetry tripped the halt threshold. */
     bool halted_after = false;
 };
@@ -182,6 +204,9 @@ struct GroundTruthReport
 
     /** The functional plane activated the image (phase Done). */
     bool functional_ok = false;
+
+    /** The install consumed the delta stream (base pre-installed). */
+    bool via_delta = false;
 };
 
 /** Everything one rollout produced. */
@@ -209,6 +234,10 @@ struct RolloutResult
     uint64_t power_cut_retries = 0;
     uint64_t halts = 0;
     uint64_t rollback_waves = 0;
+    uint64_t delta_installs = 0;
+    uint64_t full_installs = 0;
+    uint64_t transport_bytes = 0;
+    uint64_t transport_bytes_full = 0;
     /** @} */
 
     /**

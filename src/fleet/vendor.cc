@@ -5,6 +5,8 @@
 
 #include "fleet/vendor.hh"
 
+#include <algorithm>
+
 #include "crypto/latency.hh"
 #include "mem/memory_channel.hh"
 #include "obs/metrics.hh"
@@ -40,17 +42,36 @@ ReleaseInfo::cost(uint32_t engine_latency) const
                : cost_paper;
 }
 
+const InstallCostModel &
+ReleaseInfo::deltaCost(uint32_t engine_latency) const
+{
+    fatal_if(delta_base_version == 0,
+             "release ships no delta to cost");
+    fatal_if(engine_latency != crypto::kPaperCryptoLatency &&
+                 engine_latency != crypto::kStrongCipherLatency,
+             "release calibrated for the 50/102-cycle engine "
+             "classes, not ",
+             engine_latency);
+    return engine_latency == crypto::kStrongCipherLatency
+               ? delta_cost_strong
+               : delta_cost_paper;
+}
+
 namespace
 {
 
 /** The image a given payload generation ships: deterministic bytes
  *  from the vendor seed, so a rollback release byte-matches the
- *  release it reverts to. */
+ *  release it reverts to. Generation 1 is a fresh random image;
+ *  every later generation rewrites change_fraction of its
+ *  predecessor's 64-byte blocks — the similarity a delta bundle
+ *  exploits. */
 xom::PlainProgram
 makeProgram(uint64_t vendor_seed, uint32_t payload_version,
-            uint64_t image_bytes)
+            uint64_t image_bytes, double change_fraction)
 {
     constexpr uint64_t kImageBase = 0x0800'0000;
+    constexpr uint64_t kBlock = 64;
     xom::PlainProgram program;
     program.title = "fleet-fw";
     program.entry_point = kImageBase;
@@ -59,9 +80,26 @@ makeProgram(uint64_t vendor_seed, uint32_t payload_version,
     text.name = ".text";
     text.vaddr = kImageBase;
     text.bytes.resize(image_bytes);
-    util::Rng fill(mixSeed(vendor_seed, payload_version));
+    util::Rng fill(mixSeed(vendor_seed, 1));
     for (auto &byte : text.bytes)
         byte = static_cast<uint8_t>(fill.nextRange(256));
+
+    const uint64_t blocks = (image_bytes + kBlock - 1) / kBlock;
+    const auto changed = static_cast<uint64_t>(
+        static_cast<double>(blocks) * change_fraction);
+    for (uint32_t gen = 2; gen <= payload_version; ++gen) {
+        util::Rng mutate(mixSeed(vendor_seed, 0xD1FFull + gen));
+        for (uint64_t c = 0; c < changed; ++c) {
+            const uint64_t block = mutate.nextRange(blocks);
+            const uint64_t begin = block * kBlock;
+            const uint64_t end =
+                std::min<uint64_t>(begin + kBlock, image_bytes);
+            for (uint64_t i = begin; i < end; ++i) {
+                text.bytes[i] =
+                    static_cast<uint8_t>(mutate.nextRange(256));
+            }
+        }
+    }
     program.sections = {text};
     return program;
 }
@@ -75,7 +113,7 @@ makeProgram(uint64_t vendor_seed, uint32_t payload_version,
  * reuses the result.
  */
 InstallCostModel
-calibrate(const update::UpdateBundle &bundle, uint32_t line_bytes,
+calibrate(const update::InstallPlan &plan, uint32_t line_bytes,
           uint32_t engine_latency)
 {
     mem::MemoryChannel channel;
@@ -90,8 +128,7 @@ calibrate(const update::UpdateBundle &bundle, uint32_t line_bytes,
     obs::MetricsRegistry registry;
     timing.registerMetrics(registry);
 
-    timing.start(update::InstallPlan::fromBundle(bundle, line_bytes),
-                 0);
+    timing.start(plan, 0);
     timing.replay();
 
     const obs::MetricsSnapshot snap = registry.snapshot();
@@ -125,7 +162,8 @@ const ReleaseInfo &
 VendorService::publish(uint32_t version, uint64_t rollback_counter,
                        uint32_t payload_version,
                        int32_t defective_variant, double defect_rate,
-                       uint32_t rollback_of)
+                       uint32_t rollback_of,
+                       uint32_t delta_base_version)
 {
     fatal_if(releases_.count(version) != 0, "release ", version,
              " already published");
@@ -138,9 +176,11 @@ VendorService::publish(uint32_t version, uint64_t rollback_counter,
     info.defective_variant = defective_variant;
     info.defect_rate = defect_rate;
     info.rollback_of = rollback_of;
+    info.delta_base_version = delta_base_version;
 
-    const xom::PlainProgram program = makeProgram(
-        config_.seed, payload_version, config_.image_bytes);
+    const xom::PlainProgram program =
+        makeProgram(config_.seed, payload_version, config_.image_bytes,
+                    config_.change_fraction);
 
     update::UpdateSpec spec;
     spec.image_version = version;
@@ -151,16 +191,48 @@ VendorService::publish(uint32_t version, uint64_t rollback_counter,
 
     // Bundle entropy is keyed by version, not call order, so
     // re-running a scenario reproduces every release byte for byte.
-    util::Rng bundle_rng(mixSeed(config_.seed, 0xB0B0ull + version));
+    // A delta release draws the *base's* stream instead: the same
+    // symmetric key means unchanged plaintext lines keep their
+    // ciphertext (the OTP pad is keyed by key and address alone),
+    // which is the whole delta opportunity.
+    const ReleaseInfo *base = nullptr;
+    uint64_t rng_key = 0xB0B0ull + version;
+    if (delta_base_version != 0) {
+        const auto it = releases_.find(delta_base_version);
+        fatal_if(it == releases_.end(), "delta base release ",
+                 delta_base_version, " not published");
+        base = &it->second;
+        spec.base_digest =
+            update::sha256DigestOfImage(base->bundle.image);
+        rng_key = 0xB0B0ull + delta_base_version;
+    }
+    util::Rng bundle_rng(mixSeed(config_.seed, rng_key));
     info.bundle = builder_.build(program, spec,
                                  device_class_key_.pub, bundle_rng);
     info.framed_bytes = update::kSlotHeaderBytes +
                         info.bundle.serialize().size();
 
-    info.cost_paper = calibrate(info.bundle, config_.line_bytes,
-                                crypto::kPaperCryptoLatency);
-    info.cost_strong = calibrate(info.bundle, config_.line_bytes,
-                                 crypto::kStrongCipherLatency);
+    info.cost_paper = calibrate(
+        update::InstallPlan::fromBundle(info.bundle,
+                                        config_.line_bytes),
+        config_.line_bytes, crypto::kPaperCryptoLatency);
+    info.cost_strong = calibrate(
+        update::InstallPlan::fromBundle(info.bundle,
+                                        config_.line_bytes),
+        config_.line_bytes, crypto::kStrongCipherLatency);
+
+    if (base != nullptr) {
+        info.delta = builder_.buildDelta(base->bundle, info.bundle);
+        info.delta_framed_bytes = update::kSlotHeaderBytes +
+                                  info.delta.serializedSize();
+        const update::InstallPlan plan = update::InstallPlan::fromDelta(
+            info.delta, info.bundle, base->framed_bytes,
+            config_.line_bytes);
+        info.delta_cost_paper = calibrate(
+            plan, config_.line_bytes, crypto::kPaperCryptoLatency);
+        info.delta_cost_strong = calibrate(
+            plan, config_.line_bytes, crypto::kStrongCipherLatency);
+    }
 
     return releases_.emplace(version, std::move(info))
         .first->second;

@@ -47,6 +47,15 @@ struct VendorConfig
     /** Payload bytes of each release's .text section. */
     uint64_t image_bytes = 64ull << 10;
 
+    /**
+     * Fraction of the payload's 64-byte blocks each successive
+     * payload generation rewrites relative to its predecessor. A
+     * realistic point release touches a small slice of the image —
+     * this is what makes delta bundles worth shipping. Generation 1
+     * is always a fresh random image.
+     */
+    double change_fraction = 0.10;
+
     /** Line size the cost calibration replays at. */
     uint32_t line_bytes = 128;
 
@@ -104,12 +113,34 @@ struct ReleaseInfo
     /** The real signed bundle (what ground-truth devices install). */
     update::UpdateBundle bundle;
 
+    /**
+     * Version this release ships a delta against (0 = full-bundle
+     * only). Devices running exactly that version download the delta
+     * stream; everyone else falls back to the full bundle.
+     */
+    uint32_t delta_base_version = 0;
+
+    /** Bytes of the framed delta stream (0 when full-only) — what
+     *  the downlink carries for a delta-eligible device. */
+    uint64_t delta_framed_bytes = 0;
+
+    /** The signed delta bundle (when delta_base_version != 0). */
+    update::DeltaBundle delta;
+
     /** Calibrated install cost per engine-latency class. @{ */
     InstallCostModel cost_paper;   ///< 50-cycle engine
     InstallCostModel cost_strong;  ///< 102-cycle engine
     /** @} */
 
+    /** Delta-install cost (admission covers the delta stream plus
+     *  the base-slot readback; later phases match the full
+     *  install). Meaningful when delta_base_version != 0. @{ */
+    InstallCostModel delta_cost_paper;
+    InstallCostModel delta_cost_strong;
+    /** @} */
+
     const InstallCostModel &cost(uint32_t engine_latency) const;
+    const InstallCostModel &deltaCost(uint32_t engine_latency) const;
 };
 
 /** One install-history ledger entry (24 bytes; a million-device
@@ -137,14 +168,20 @@ class VendorService
      * selects the program bytes (reuse an old one for a rollback
      * release); @p defective_variant / @p defect_rate model a
      * release that breaks one hardware variant's health check;
-     * @p rollback_of marks an emergency rollback release.
+     * @p rollback_of marks an emergency rollback release. A nonzero
+     * @p delta_base_version (an already-published release) also cuts
+     * and calibrates a delta bundle against that base: the build
+     * reuses the base's key stream so unchanged payload lines keep
+     * their ciphertext, and the manifest names the base image's
+     * digest for the device-side base check.
      */
     const ReleaseInfo &publish(uint32_t version,
                                uint64_t rollback_counter,
                                uint32_t payload_version,
                                int32_t defective_variant = -1,
                                double defect_rate = 0.0,
-                               uint32_t rollback_of = 0);
+                               uint32_t rollback_of = 0,
+                               uint32_t delta_base_version = 0);
 
     /** Published release @p version; fatal() when unknown. */
     const ReleaseInfo &release(uint32_t version) const;

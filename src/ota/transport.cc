@@ -28,24 +28,41 @@ Transport::Transport(const TransportConfig &config)
 void
 Transport::send(std::vector<uint8_t> payload, uint64_t cycle)
 {
+    send(std::move(payload), cycle, {});
+}
+
+void
+Transport::send(std::vector<uint8_t> payload, uint64_t cycle,
+                const std::vector<bool> &held)
+{
     payload_ = std::move(payload);
     schedule_.clear();
     next_ = 0;
+    sent_ = true;
+    send_cycle_ = cycle;
     chunks_sent_ = 0;
     chunks_lost_ = 0;
     chunks_reordered_ = 0;
+    chunks_skipped_ = 0;
     passes_ = 0;
 
     util::Rng rng(config_.seed);
 
     // The work list for the current pass: chunk offsets still
     // undelivered. The first pass covers the whole payload in offset
-    // order; every later pass retransmits the previous pass's drop
-    // set one NACK round trip later.
+    // order (minus chunks the receiver reported already held — a
+    // resumed staging session); every later pass retransmits the
+    // previous pass's drop set one NACK round trip later.
     std::vector<uint64_t> todo;
     for (uint64_t off = 0; off < payload_.size();
-         off += config_.chunk_bytes)
+         off += config_.chunk_bytes) {
+        const uint64_t index = off / config_.chunk_bytes;
+        if (index < held.size() && held[index]) {
+            ++chunks_skipped_;
+            continue;
+        }
         todo.push_back(off);
+    }
 
     uint64_t clock = cycle;
     uint64_t burst_remaining = 0;
@@ -141,8 +158,12 @@ Transport::setTraceSink(obs::TraceSink *sink)
 uint64_t
 Transport::completionCycle() const
 {
-    panic_if(schedule_.empty(), "no stream was sent");
-    return schedule_.back().cycle;
+    panic_if(!sent_, "no stream was sent");
+    // A degenerate stream (empty payload, or every chunk held by a
+    // resumed receiver) schedules nothing and completes at the send
+    // cycle itself; this used to panic on the empty schedule, which
+    // delta bundles' tiny payloads turned into a real crash.
+    return schedule_.empty() ? send_cycle_ : schedule_.back().cycle;
 }
 
 } // namespace secproc::ota

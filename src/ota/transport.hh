@@ -82,9 +82,22 @@ class Transport
     /**
      * Begin streaming @p payload at @p cycle. Computes the full
      * arrival schedule (transmissions, losses, retransmissions)
-     * up front; resets any previous stream.
+     * up front; resets any previous stream. An empty payload is a
+     * legal degenerate stream: complete() immediately, nothing to
+     * poll, completionCycle() == @p cycle.
      */
     void send(std::vector<uint8_t> payload, uint64_t cycle);
+
+    /**
+     * Resume-aware send: like send(), but chunk indices marked true
+     * in @p held (payload offset / chunk_bytes) are already in the
+     * receiver's hands — a resumed staging session after a power
+     * cut — so the device NACKs only the missing ranges and the held
+     * chunks are never transmitted. Indices past the end of @p held
+     * are treated as missing.
+     */
+    void send(std::vector<uint8_t> payload, uint64_t cycle,
+              const std::vector<bool> &held);
 
     /**
      * Chunks that have arrived by @p cycle and have not been
@@ -110,7 +123,10 @@ class Transport
                                         : UINT64_MAX;
     }
 
-    /** Cycle the last chunk of the stream arrives. */
+    /** Cycle the last chunk of the stream arrives (the send cycle
+     *  itself when nothing needed transmitting: empty payload, or
+     *  every chunk already held). Panics only if send() was never
+     *  called. */
     uint64_t completionCycle() const;
 
     /** Payload size of the current stream. */
@@ -120,6 +136,8 @@ class Transport
     uint64_t chunksSent() const { return chunks_sent_; }
     uint64_t chunksLost() const { return chunks_lost_; }
     uint64_t chunksReordered() const { return chunks_reordered_; }
+    /** Chunks skipped because the receiver already held them. */
+    uint64_t chunksSkipped() const { return chunks_skipped_; }
     uint64_t retransmitPasses() const
     {
         return passes_ == 0 ? 0 : passes_ - 1;
@@ -150,9 +168,12 @@ class Transport
     std::vector<uint8_t> payload_;
     std::vector<Arrival> schedule_; ///< sorted by arrival cycle
     size_t next_ = 0;               ///< first uncollected arrival
+    bool sent_ = false;             ///< send() has been called
+    uint64_t send_cycle_ = 0;
     uint64_t chunks_sent_ = 0;
     uint64_t chunks_lost_ = 0;
     uint64_t chunks_reordered_ = 0;
+    uint64_t chunks_skipped_ = 0;
     uint64_t passes_ = 0;
     obs::TraceSink *trace_ = nullptr;
     obs::TrackId trace_track_ = 0;

@@ -5,6 +5,8 @@
 
 #include "update/image_builder.hh"
 
+#include "util/logging.hh"
+
 namespace secproc::update
 {
 
@@ -22,8 +24,29 @@ ImageBuilder::build(const xom::PlainProgram &program,
     bundle.manifest = describeImage(bundle.image, processor_key);
     bundle.manifest.image_version = spec.image_version;
     bundle.manifest.rollback_counter = spec.rollback_counter;
+    bundle.manifest.base_digest = spec.base_digest;
 
     return resign(std::move(bundle));
+}
+
+DeltaBundle
+ImageBuilder::buildDelta(const UpdateBundle &base,
+                         const UpdateBundle &next) const
+{
+    fatal_if(!next.manifest.hasBase(),
+             "buildDelta: next bundle names no base "
+             "(build it with spec.base_digest set)");
+    fatal_if(next.manifest.base_digest !=
+                 sha256DigestOfImage(base.image),
+             "buildDelta: next bundle's signed base_digest does not "
+             "match the given base image");
+
+    DeltaBundle delta;
+    delta.manifest = next.manifest;
+    delta.signature = next.signature;
+    delta.key_capsule = next.image.key_capsule;
+    delta.sections = diffImages(base.image, next.image);
+    return delta;
 }
 
 UpdateBundle

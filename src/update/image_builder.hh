@@ -14,6 +14,7 @@
 #define SECPROC_UPDATE_IMAGE_BUILDER_HH
 
 #include "crypto/rsa.hh"
+#include "update/delta.hh"
 #include "update/manifest.hh"
 #include "util/random.hh"
 #include "xom/vendor_tool.hh"
@@ -31,6 +32,14 @@ struct UpdateSpec
     xom::VendorScheme scheme = xom::VendorScheme::Otp;
     secure::CipherKind cipher = secure::CipherKind::Des;
     uint32_t line_size = 128;
+    /**
+     * Digest of the base image this release is diffed against
+     * (signed into the manifest), or all-zero for no base. Set it
+     * when a delta will be cut from this build so the full bundle
+     * and the delta-reconstructed bundle are byte-identical — the
+     * manifest (and thus the signature) already names the base.
+     */
+    Digest base_digest = {};
 };
 
 /**
@@ -64,6 +73,19 @@ class ImageBuilder
      * a lower rollback counter with a valid signature).
      */
     UpdateBundle resign(UpdateBundle bundle) const;
+
+    /**
+     * Cut a delta bundle shipping @p next as a patch against
+     * @p base. @p next must have been built with spec.base_digest
+     * naming @p base's image (fatal otherwise — a vendor-side build
+     * pipeline error, not attacker input): the delta reuses @p next's
+     * manifest and signature verbatim, so applying it on a device
+     * reconstructs a bundle byte-identical to @p next. Deltas are
+     * only *small* when base and next were built with the same
+     * symmetric key and layout (see delta.hh).
+     */
+    DeltaBundle buildDelta(const UpdateBundle &base,
+                           const UpdateBundle &next) const;
 
     /** The public half verifiers carry. */
     const crypto::RsaPublicKey &publicKey() const

@@ -58,6 +58,19 @@ InstallPlan::fromImageBytes(uint64_t image_bytes, uint32_t line_bytes)
     return plan;
 }
 
+InstallPlan
+InstallPlan::fromDelta(const DeltaBundle &delta,
+                       const UpdateBundle &reconstructed,
+                       uint64_t base_framed_bytes, uint32_t line_bytes)
+{
+    InstallPlan plan = fromBundle(reconstructed, line_bytes);
+    plan.admission_lines =
+        ceilDiv(kSlotHeaderBytes + delta.serializedSize(),
+                line_bytes) +
+        ceilDiv(base_framed_bytes, line_bytes);
+    return plan;
+}
+
 InstallTiming::InstallTiming(const InstallTimingConfig &config,
                              mem::MemoryChannel &channel,
                              crypto::CryptoEngineModel &engine)
@@ -134,6 +147,7 @@ InstallTiming::phaseItems(Phase phase) const
 {
     switch (phase) {
       case Phase::AdmissionRead:
+        return plan_.admissionLines();
       case Phase::ReverifyRead:
         return plan_.verify_lines;
       case Phase::StageWrite:

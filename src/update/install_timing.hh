@@ -43,6 +43,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/agent.hh"
+#include "update/delta.hh"
 #include "update/manifest.hh"
 
 namespace secproc::update
@@ -62,6 +63,16 @@ struct InstallPlan
     /** Bundle lines read back and digested per verification pass. */
     uint64_t verify_lines = 0;
 
+    /**
+     * Lines fetched + digested during admission, when different from
+     * verify_lines (0 means "same as verify_lines"). A delta install
+     * admits far fewer transport lines than it re-verifies: the
+     * downlink carries only the delta, but admission also reads and
+     * digests the base bundle out of the active slot to check the
+     * manifest's base_digest before reconstruction.
+     */
+    uint64_t admission_lines = 0;
+
     /** Image lines streamed to their home region at load. */
     uint64_t load_lines = 0;
 
@@ -75,6 +86,24 @@ struct InstallPlan
     /** Synthetic plan for an image of @p image_bytes payload. */
     static InstallPlan fromImageBytes(uint64_t image_bytes,
                                       uint32_t line_bytes);
+
+    /**
+     * The demands of a delta install: admission covers the framed
+     * delta stream plus the base-bundle readback; staging, reverify
+     * and load cover the full @p reconstructed bundle (slot-to-slot
+     * reconstruction writes every line of the new image).
+     */
+    static InstallPlan fromDelta(const DeltaBundle &delta,
+                                 const UpdateBundle &reconstructed,
+                                 uint64_t base_framed_bytes,
+                                 uint32_t line_bytes);
+
+    /** Lines the admission pass actually touches. */
+    uint64_t
+    admissionLines() const
+    {
+        return admission_lines != 0 ? admission_lines : verify_lines;
+    }
 };
 
 /**

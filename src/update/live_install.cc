@@ -47,18 +47,10 @@ LiveInstall::start(const UpdateBundle &bundle, uint64_t cycle)
     fatal_if(waiting_, "start() with a channel request in flight "
              "(reset() first)");
 
+    delta_mode_ = false;
     framed_ = frameBundle(bundle);
-    // The stream must not land on top of the A/B slots: a silent
-    // overlap would corrupt staged bytes mid-install. Checked here,
-    // where the buffer's real extent is known.
-    const uint64_t transport_end =
-        config_.transport_base + framed_.size();
-    const uint64_t staging_end =
-        updater_.slotBase(1) + updater_.staging().slot_size;
-    fatal_if(config_.transport_base < staging_end &&
-                 transport_end > updater_.staging().base,
-             "transport buffer [", config_.transport_base, ", ",
-             transport_end, ") overlaps the A/B staging area");
+    framed_slot_.clear();
+    base_framed_bytes_ = 0;
     // Same line counts InstallPlan::fromBundle derives, but from the
     // framed bytes already in hand — no second multi-MB serialize.
     const auto ceil_lines = [this](uint64_t bytes) {
@@ -71,16 +63,81 @@ LiveInstall::start(const UpdateBundle &bundle, uint64_t cycle)
     plan_.attest = config_.attest;
     slot_ = updater_.stagingSlot();
 
-    line_missing_.assign(plan_.verify_lines, 0);
-    line_ready_.assign(plan_.verify_lines, 0);
-    for (uint64_t i = 0; i < plan_.verify_lines; ++i) {
+    beginInstall(cycle);
+}
+
+void
+LiveInstall::startDelta(const DeltaBundle &delta, uint64_t cycle)
+{
+    fatal_if(!done(), "an install is already in flight");
+    fatal_if(waiting_, "start() with a channel request in flight "
+             "(reset() first)");
+
+    delta_mode_ = true;
+    framed_ = frameBundleBytes(delta.serialize());
+    framed_slot_.clear();
+    // The base-bundle readback is part of admission's channel bill;
+    // its extent comes from the active slot's header. An unreadable
+    // header costs nothing extra here — reconstructDelta() renders
+    // the BaseMismatch verdict after the (tiny) delta stream lands.
+    base_framed_bytes_ =
+        updater_
+            .framedExtent(updater_.activeSlot(), system_.mainMemory())
+            .value_or(0);
+    const auto ceil_lines = [this](uint64_t bytes) {
+        return (bytes + config_.line_bytes - 1) / config_.line_bytes;
+    };
+    plan_ = InstallPlan{};
+    plan_.admission_lines =
+        ceil_lines(framed_.size()) + ceil_lines(base_framed_bytes_);
+    // stage/verify/load extents belong to the *reconstructed* bundle
+    // and are filled in by renderAdmission(); until then only the
+    // admission pass can run, and its count is final already.
+    plan_.attest = config_.attest;
+    slot_ = updater_.stagingSlot();
+
+    beginInstall(cycle);
+}
+
+void
+LiveInstall::beginInstall(uint64_t cycle)
+{
+    // The stream must not land on top of the A/B slots: a silent
+    // overlap would corrupt staged bytes mid-install. Checked here,
+    // where the buffer's real extent is known.
+    const uint64_t transport_end =
+        config_.transport_base + framed_.size();
+    const uint64_t staging_end =
+        updater_.slotBase(1) + updater_.staging().slot_size;
+    fatal_if(config_.transport_base < staging_end &&
+                 transport_end > updater_.staging().base,
+             "transport buffer [", config_.transport_base, ", ",
+             transport_end, ") overlaps the A/B staging area");
+
+    const uint64_t transport_lines =
+        (framed_.size() + config_.line_bytes - 1) / config_.line_bytes;
+    line_missing_.assign(transport_lines, 0);
+    line_ready_.assign(transport_lines, 0);
+    for (uint64_t i = 0; i < transport_lines; ++i) {
         const uint64_t begin = i * config_.line_bytes;
         line_missing_[i] = static_cast<uint32_t>(
             std::min<uint64_t>(config_.line_bytes,
                                framed_.size() - begin));
     }
 
-    transport_.send(framed_, cycle);
+    // A matching journal record turns this into a resumed session:
+    // chunks whose bytes already sit in the slot are NACKed away
+    // before the transport ever transmits them. A delta's stream
+    // carries patch ops, not slot bytes — its journal resume applies
+    // to the stage writes only, wired up after reconstruction.
+    std::vector<bool> held;
+    if (!delta_mode_) {
+        stage_line_resumed_.assign(plan_.stage_lines, 0);
+        held = resumeFromJournal(cycle);
+    } else {
+        stage_line_resumed_.clear();
+    }
+    transport_.send(framed_, cycle, held);
 
     phase_ = LiveInstallPhase::Admission;
     phase_index_ = 0;
@@ -94,6 +151,74 @@ LiveInstall::start(const UpdateBundle &bundle, uint64_t cycle)
     admission_.reset();
     result_.reset();
     bundle_.reset();
+}
+
+std::vector<bool>
+LiveInstall::resumeFromJournal(uint64_t cycle)
+{
+    StagingJournal *journal = updater_.journal();
+    if (journal == nullptr)
+        return {};
+    if (!journal->begin(slot_, sha256Digest(framed_), framed_.size(),
+                        config_.line_bytes))
+        return {}; // fresh session (different payload, or first try)
+    for (uint64_t i = 0; i < plan_.stage_lines; ++i)
+        stage_line_resumed_[i] = journal->chunkDone(slot_, i) ? 1 : 0;
+
+    // A transport chunk is held — never re-downloaded — iff every
+    // slot line it overlaps was journaled complete. The device then
+    // copies those bytes back out of the slot into the transport
+    // buffer itself: the journal is only a hint, so the resumed
+    // bytes flow through the same admission fetch/digest/parse as
+    // fresh ones and a slot that rotted while powered off fails
+    // verification exactly like a torn download.
+    const uint32_t chunk_bytes = config_.transport.chunk_bytes;
+    const uint64_t nchunks =
+        (framed_.size() + chunk_bytes - 1) / chunk_bytes;
+    std::vector<bool> held(nchunks, false);
+    std::vector<uint8_t> copy;
+    for (uint64_t c = 0; c < nchunks; ++c) {
+        const uint64_t begin = c * chunk_bytes;
+        const uint64_t end =
+            std::min<uint64_t>(begin + chunk_bytes, framed_.size());
+        const uint64_t first = begin / config_.line_bytes;
+        const uint64_t last = (end - 1) / config_.line_bytes;
+        bool complete = true;
+        for (uint64_t line = first; line <= last; ++line) {
+            if (stage_line_resumed_[line] == 0) {
+                complete = false;
+                break;
+            }
+        }
+        if (!complete)
+            continue;
+        held[c] = true;
+        copy.resize(end - begin);
+        system_.mainMemory().read(updater_.slotBase(slot_) + begin,
+                                  copy.data(), copy.size());
+        system_.mainMemory().write(config_.transport_base + begin,
+                                   copy.data(), copy.size());
+        // Book the held range as delivered, per overlapped line; a
+        // line straddling a held and a missing chunk keeps exactly
+        // its missing remainder, which the retransmitted neighbour
+        // chunk covers without double-counting.
+        for (uint64_t line = first; line <= last; ++line) {
+            const uint64_t line_begin = line * config_.line_bytes;
+            const uint64_t line_end =
+                std::min<uint64_t>(line_begin + config_.line_bytes,
+                                   framed_.size());
+            const uint64_t lo = std::max<uint64_t>(line_begin, begin);
+            const uint64_t hi = std::min<uint64_t>(line_end, end);
+            if (hi <= lo)
+                continue;
+            const auto covered = static_cast<uint32_t>(hi - lo);
+            panic_if(line_missing_[line] < covered,
+                     "journal resume double-covered a line");
+            line_missing_[line] -= covered;
+            line_ready_[line] = std::max(line_ready_[line], cycle);
+        }
+    }
+    return held;
 }
 
 void
@@ -208,6 +333,10 @@ LiveInstall::phaseItems(LiveInstallPhase phase) const
 {
     switch (phase) {
       case LiveInstallPhase::Admission:
+        // A delta admits fewer transport lines than it re-verifies
+        // (plus the base-slot readback); a full install admits
+        // exactly what it re-verifies.
+        return plan_.admissionLines();
       case LiveInstallPhase::Reverify:
         return plan_.verify_lines;
       case LiveInstallPhase::Stage:
@@ -225,8 +354,19 @@ uint64_t
 LiveInstall::lineAddr(LiveInstallPhase phase, uint64_t index) const
 {
     switch (phase) {
-      case LiveInstallPhase::Admission:
-        return config_.transport_base + index * config_.line_bytes;
+      case LiveInstallPhase::Admission: {
+        // A delta admission's base-bundle readback leads: those
+        // lines are already resident in the active slot, so hashing
+        // them overlaps the (network-locked) delta stream instead of
+        // serializing after it. The transport-stream lines follow.
+        const uint64_t base_lines = admissionBaseLines();
+        if (index < base_lines) {
+            return updater_.slotBase(updater_.activeSlot()) +
+                   index * config_.line_bytes;
+        }
+        return config_.transport_base +
+               (index - base_lines) * config_.line_bytes;
+      }
       case LiveInstallPhase::Stage:
       case LiveInstallPhase::Reverify:
         return updater_.slotBase(slot_) + index * config_.line_bytes;
@@ -248,14 +388,20 @@ LiveInstall::lineAddr(LiveInstallPhase phase, uint64_t index) const
 void
 LiveInstall::functionalStageLine(uint64_t index)
 {
+    const std::vector<uint8_t> &payload = slotPayload();
     const uint64_t begin = index * config_.line_bytes;
-    if (begin >= framed_.size())
+    if (begin >= payload.size())
         return;
     const uint64_t len =
-        std::min<uint64_t>(config_.line_bytes, framed_.size() - begin);
+        std::min<uint64_t>(config_.line_bytes, payload.size() - begin);
     system_.mainMemory().write(updater_.slotBase(slot_) + begin,
-                               framed_.data() + begin, len);
+                               payload.data() + begin, len);
     staged_bytes_ += len;
+    // Journal granularity is the line: the chunk is durable the
+    // moment its write lands, so a power cut on the next cycle
+    // resumes past it.
+    if (StagingJournal *journal = updater_.journal(); journal != nullptr)
+        journal->markChunk(slot_, index);
 }
 
 void
@@ -271,6 +417,42 @@ LiveInstall::renderAdmission()
     if (!bundle_bytes.has_value()) {
         admission_ = VerifyResult{UpdateStatus::MalformedBundle,
                                   "transport stream framing damaged"};
+        return;
+    }
+    if (delta_mode_) {
+        const auto delta = DeltaBundle::deserialize(*bundle_bytes);
+        if (!delta.has_value()) {
+            admission_ =
+                VerifyResult{UpdateStatus::MalformedBundle,
+                             "transport delta stream does not parse"};
+            return;
+        }
+        auto rec =
+            updater_.reconstructDelta(*delta, system_.mainMemory());
+        admission_ = rec.result;
+        if (!admission_->ok())
+            return; // BaseMismatch here = "request the full bundle"
+        bundle_ = std::move(rec.bundle);
+        framed_slot_ = frameBundle(*bundle_);
+        // The reconstructed extent is known only now: fill in the
+        // stage/reverify/load line counts the remaining phases bill.
+        const bool attest = plan_.attest;
+        plan_ = InstallPlan::fromDelta(*delta, *bundle_,
+                                       base_framed_bytes_,
+                                       config_.line_bytes);
+        plan_.attest = attest;
+        // Open (or resume) the journal session over the slot payload
+        // the Stage phase is about to write.
+        stage_line_resumed_.assign(plan_.stage_lines, 0);
+        StagingJournal *journal = updater_.journal();
+        if (journal != nullptr &&
+            journal->begin(slot_, sha256Digest(framed_slot_),
+                           framed_slot_.size(), config_.line_bytes)) {
+            for (uint64_t i = 0; i < plan_.stage_lines; ++i) {
+                stage_line_resumed_[i] =
+                    journal->chunkDone(slot_, i) ? 1 : 0;
+            }
+        }
         return;
     }
     auto parsed = UpdateBundle::deserialize(*bundle_bytes);
@@ -372,14 +554,20 @@ LiveInstall::issueNext()
     switch (phase_) {
       case LiveInstallPhase::Admission:
       case LiveInstallPhase::Reverify: {
-        // Admission step-locks against the network: a line cannot be
-        // fetched before the transport delivered its last byte.
-        // Re-verification reads the slot the machine wrote itself.
+        // Admission step-locks against the network: a transport
+        // line cannot be fetched before the network delivered its
+        // last byte. A delta's base-slot readback lines (issued
+        // first) are always resident. Re-verification reads the slot
+        // the machine wrote itself.
         uint64_t ready = cursor_;
-        if (phase_ == LiveInstallPhase::Admission) {
-            if (line_missing_[phase_index_] != 0)
-                return false;
-            ready = std::max(cursor_, line_ready_[phase_index_]);
+        if (phase_ == LiveInstallPhase::Admission &&
+            phase_index_ >= admissionBaseLines()) {
+            const uint64_t line = phase_index_ - admissionBaseLines();
+            if (line < line_missing_.size()) {
+                if (line_missing_[line] != 0)
+                    return false;
+                ready = std::max(cursor_, line_ready_[line]);
+            }
         }
         if (config_.pacing == InstallPacing::Arbiter) {
             channel.requestBackground(ready, mem::Traffic::UpdateFill,
@@ -399,6 +587,18 @@ LiveInstall::issueNext()
       }
       case LiveInstallPhase::Stage:
       case LiveInstallPhase::Load: {
+        if (phase_ == LiveInstallPhase::Stage) {
+            // Resumed lines already sit in the slot (journaled by a
+            // previous attempt): no write issued, no bytes counted.
+            while (phase_index_ < phaseItems(phase_) &&
+                   phase_index_ < stage_line_resumed_.size() &&
+                   stage_line_resumed_[phase_index_] != 0)
+                ++phase_index_;
+            if (phase_index_ >= phaseItems(phase_)) {
+                completePhase();
+                return true;
+            }
+        }
         if (config_.pacing == InstallPacing::Arbiter) {
             channel.requestBackground(
                 cursor_, mem::Traffic::UpdateWriteback, /*write=*/true,
@@ -470,7 +670,11 @@ LiveInstall::nextEventCycle(uint64_t now) const
         wake = std::min(wake,
                         system_.channel().nextArbiterEventCycle());
     } else if (phase_ == LiveInstallPhase::Admission &&
-               line_missing_[phase_index_] != 0) {
+               phase_index_ >= admissionBaseLines() &&
+               phase_index_ - admissionBaseLines() <
+                   line_missing_.size() &&
+               line_missing_[phase_index_ - admissionBaseLines()] !=
+                   0) {
         // Blocked on the network: only a chunk arrival (the wake
         // above) can unblock issueNext().
     } else {

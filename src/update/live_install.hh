@@ -57,6 +57,7 @@
 #include "obs/trace.hh"
 #include "ota/transport.hh"
 #include "sim/system.hh"
+#include "update/delta.hh"
 #include "update/install_timing.hh"
 #include "update/manifest.hh"
 #include "update/update_engine.hh"
@@ -137,8 +138,28 @@ class LiveInstall : public sim::BackgroundAgent
     /**
      * Begin installing @p bundle at @p cycle: the framed bundle
      * starts streaming through the transport model immediately.
+     * When the UpdateEngine carries a StagingJournal and its record
+     * for the target slot matches this payload, the install resumes:
+     * transport chunks whose bytes were already staged before a
+     * power cut are NACKed away (never re-downloaded) and their slot
+     * writes are skipped, so stagedBytesWritten() covers only the
+     * lines the cut had not reached.
      */
     void start(const UpdateBundle &bundle, uint64_t cycle);
+
+    /**
+     * Begin a *delta* install at @p cycle: the framed delta bundle —
+     * typically a small fraction of the full bundle — streams through
+     * the transport model. Admission fetches the delta stream AND
+     * reads the base bundle back out of the active slot (both paid on
+     * the channel), then UpdateEngine::reconstructDelta() renders the
+     * verdict: a BaseMismatch fails the install so the caller can
+     * fall back to requesting the full bundle; on success the
+     * reconstructed full bundle stages exactly like start()'s,
+     * re-verified line by line. A journal record matching the
+     * reconstructed payload resumes the stage writes the same way.
+     */
+    void startDelta(const DeltaBundle &delta, uint64_t cycle);
 
     // BackgroundAgent interface.
     void advance(uint64_t cycle) override;
@@ -233,13 +254,27 @@ class LiveInstall : public sim::BackgroundAgent
     uint64_t cursor_ = 0;      ///< completion cycle of the last action
     bool waiting_ = false;     ///< a channel request is in flight
 
-    std::vector<uint8_t> framed_;  ///< magic | len | bundle bytes
+    std::vector<uint8_t> framed_;  ///< transport stream: magic|len|bytes
+    /** Bytes the Stage phase writes into the slot. For a full
+     *  install this is framed_ itself; for a delta it is the framed
+     *  *reconstructed* bundle, known only once admission
+     *  reconstructs it (empty until then). */
+    std::vector<uint8_t> framed_slot_;
+    bool delta_mode_ = false;      ///< startDelta() drove this install
+    /** Framed extent of the base bundle in the active slot (delta
+     *  admission readback cost; 0 when the header is unreadable). */
+    uint64_t base_framed_bytes_ = 0;
     InstallPlan plan_;             ///< line counts derived from framed_
     uint32_t slot_ = 0;            ///< slot this install stages into
-    /** Undelivered bytes per framed line (transport step-lock). */
+    /** Undelivered bytes per *transport* line (network step-lock);
+     *  sized by the transport stream, not the slot payload. */
     std::vector<uint32_t> line_missing_;
-    /** Cycle each framed line became fully delivered. */
+    /** Cycle each transport line became fully delivered. */
     std::vector<uint64_t> line_ready_;
+    /** Slot lines the journal proved already staged (resume): their
+     *  Stage writes are skipped and stagedBytesWritten() excludes
+     *  them. */
+    std::vector<uint8_t> stage_line_resumed_;
     /** Parsed from the transport buffer at admission. */
     std::optional<UpdateBundle> bundle_;
     uint64_t staged_bytes_ = 0;
@@ -284,6 +319,31 @@ class LiveInstall : public sim::BackgroundAgent
     uint64_t lineAddr(LiveInstallPhase phase, uint64_t index) const;
     void functionalStageLine(uint64_t index);
     void renderAdmission();
+
+    /** Shared tail of start()/startDelta(): overlap check, transport
+     *  line bookkeeping, journal resume, transport send, state
+     *  reset. Expects framed_/plan_/slot_/delta_mode_ set. */
+    void beginInstall(uint64_t cycle);
+
+    /** The bytes the Stage phase writes (framed_ or framed_slot_). */
+    const std::vector<uint8_t> &slotPayload() const
+    {
+        return delta_mode_ ? framed_slot_ : framed_;
+    }
+
+    /** Admission lines read back from the active slot (a delta's
+     *  base bundle; 0 for a full install). Issued before the
+     *  network-locked transport lines so they overlap the download. */
+    uint64_t admissionBaseLines() const
+    {
+        return (base_framed_bytes_ + config_.line_bytes - 1) /
+               config_.line_bytes;
+    }
+
+    /** Journal-driven resume: mark resumed slot lines, pre-fill the
+     *  transport buffer from the slot, and return the held-chunk map
+     *  for the resume-aware transport send. */
+    std::vector<bool> resumeFromJournal(uint64_t cycle);
 };
 
 } // namespace secproc::update

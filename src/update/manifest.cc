@@ -9,10 +9,15 @@
  *
  *   manifest: magic "SPUM" | u32 version | title | u32 image_version |
  *             u64 rollback | processor_id | u32 cipher | u64 entry |
- *             u32 line | image_digest | capsule_digest |
+ *             u32 line | image_digest | capsule_digest | base_digest |
  *             u32 nsections | { name u64 vaddr u64 size digest }...
  *   bundle:   magic "SPUB" | manifest blob | signature blob |
- *             image blob
+ *             u64-framed image blob
+ *
+ * Format rev 2 (delta updates): the manifest carries the signed
+ * base-image digest, and the bundle's image blob is framed with a
+ * u64 length — the old u32 frame silently truncated
+ * image.serializedSize() for ≥4 GiB images.
  */
 
 #include "update/manifest.hh"
@@ -99,6 +104,7 @@ UpdateManifest::serialize() const
     putU32(out, line_size);
     putArray(out, image_digest);
     putArray(out, capsule_digest);
+    putArray(out, base_digest);
     putU32(out, static_cast<uint32_t>(sections.size()));
     for (const SectionDigest &sd : sections) {
         putString(out, sd.name);
@@ -128,11 +134,18 @@ UpdateManifest::deserialize(std::span<const uint8_t> data)
     manifest.image_version = reader.u32();
     manifest.rollback_counter = reader.u64();
     manifest.processor_id = reader.array<32>();
-    manifest.cipher = static_cast<secure::CipherKind>(reader.u32());
+    // The cipher field is attacker-controlled: an out-of-range value
+    // must die here as a malformed manifest, not survive the cast to
+    // panic inside makeCipher()/cipherKeySize() after verification.
+    const auto cipher = secure::cipherKindFromU32(reader.u32());
+    if (!cipher.has_value())
+        return std::nullopt;
+    manifest.cipher = *cipher;
     manifest.entry_point = reader.u64();
     manifest.line_size = reader.u32();
     manifest.image_digest = reader.array<32>();
     manifest.capsule_digest = reader.array<32>();
+    manifest.base_digest = reader.array<32>();
     const uint32_t nsections = reader.u32();
     if (!reader.ok() || nsections > kMaxSections)
         return std::nullopt;
@@ -155,6 +168,15 @@ UpdateManifest::digest() const
     return sha256Digest(serialize());
 }
 
+bool
+UpdateManifest::hasBase() const
+{
+    for (const uint8_t byte : base_digest)
+        if (byte != 0)
+            return true;
+    return false;
+}
+
 void
 UpdateBundle::serializeTo(util::ByteSink &sink) const
 {
@@ -162,9 +184,11 @@ UpdateBundle::serializeTo(util::ByteSink &sink) const
     putU32(sink, kBundleMagic);
     putBlob(sink, manifest.serialize());
     putBlob(sink, signature);
-    // Stream the image blob: u32 length, then the image bytes fed
+    // Stream the image blob: u64 length, then the image bytes fed
     // straight from its sections — no multi-megabyte intermediate.
-    putU32(sink, static_cast<uint32_t>(image.serializedSize()));
+    // u64 framing because serializedSize() can exceed the u32 range;
+    // the old u32 cast framed ≥4 GiB images silently corrupt.
+    putU64(sink, image.serializedSize());
     image.serializeTo(sink);
 }
 
@@ -200,7 +224,7 @@ UpdateBundle::deserialize(std::span<const uint8_t> data)
         return std::nullopt;
     const std::span<const uint8_t> manifest_bytes = reader.blobView();
     const std::span<const uint8_t> signature = reader.blobView();
-    const std::span<const uint8_t> image_bytes = reader.blobView();
+    const std::span<const uint8_t> image_bytes = reader.blobView64();
     if (!reader.atEnd())
         return std::nullopt;
 

@@ -50,7 +50,11 @@ struct SectionDigest
  */
 struct UpdateManifest
 {
-    static constexpr uint32_t kFormatVersion = 1;
+    /**
+     * Format rev 2: adds the signed base-image digest (delta
+     * updates) and widens the bundle's image-blob framing to u64.
+     */
+    static constexpr uint32_t kFormatVersion = 2;
 
     std::string title;
     /** Human-facing image version (display only). */
@@ -70,7 +74,20 @@ struct UpdateManifest
     Digest image_digest = {};
     /** Digest of the RSA key capsule inside the image. */
     Digest capsule_digest = {};
+    /**
+     * Digest of the serialized base ProgramImage this release was
+     * diffed against, or all-zero when no base is named. Because it
+     * is signed, a delta bundle's base requirement is authenticated:
+     * the engine compares it against the image in the active slot
+     * and falls back to requesting a full bundle on mismatch rather
+     * than trusting attacker-chosen patch input. Full-bundle
+     * installs ignore the field.
+     */
+    Digest base_digest = {};
     std::vector<SectionDigest> sections;
+
+    /** True when base_digest names a base image (any nonzero byte). */
+    bool hasBase() const;
 
     /** Canonical byte form — the exact bytes the vendor signs. */
     std::vector<uint8_t> serialize() const;

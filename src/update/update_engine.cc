@@ -83,6 +83,7 @@ updateStatusName(UpdateStatus status)
       case UpdateStatus::StagingCorrupt: return "staging-corrupt";
       case UpdateStatus::NothingStaged: return "nothing-staged";
       case UpdateStatus::LoadFailed: return "load-failed";
+      case UpdateStatus::BaseMismatch: return "base-mismatch";
     }
     panic("unknown update status");
 }
@@ -109,10 +110,10 @@ UpdateEngine::attestationKey() const
 }
 
 VerifyResult
-UpdateEngine::verify(const UpdateBundle &bundle) const
+UpdateEngine::verifyManifest(
+    const UpdateManifest &manifest,
+    const std::vector<uint8_t> &signature) const
 {
-    const UpdateManifest &manifest = bundle.manifest;
-
     // 0. Structural sanity: downstream consumers (protection engine
     //    geometry, loader alignment checks) assume a power-of-two
     //    line size.
@@ -135,17 +136,58 @@ UpdateEngine::verify(const UpdateBundle &bundle) const
     }
 
     // 2. Vendor signature over the manifest's canonical bytes.
-    const std::vector<uint8_t> manifest_bytes = manifest.serialize();
-    const Digest digest = sha256Digest(manifest_bytes);
+    const Digest digest = manifest.digest();
     if (!crypto::rsaVerifyDigest(vendor_key_,
                                  {digest.begin(), digest.end()},
-                                 bundle.signature)) {
+                                 signature)) {
         return {UpdateStatus::BadSignature,
                 "manifest signature does not verify under the "
                 "trusted vendor key"};
     }
 
-    // 3. The image must be exactly what the manifest signed:
+    // 3. Anti-rollback: strictly monotonic per title, with bank
+    //    exhaustion reported as its own condition (a provisioning
+    //    limit, not an attack).
+    const uint64_t stored_counter = rollback_.current(manifest.title);
+    if (trace_ != nullptr) {
+        trace_->instant(
+            trace_track_, "decision.sequence_check", trace_cycle_,
+            {{"counter", manifest.rollback_counter},
+             {"stored", stored_counter},
+             {"pass", manifest.rollback_counter > stored_counter}});
+    }
+    if (manifest.rollback_counter <= stored_counter) {
+        return {UpdateStatus::Rollback,
+                "rollback counter " +
+                    std::to_string(manifest.rollback_counter) +
+                    " not above stored " +
+                    std::to_string(stored_counter) + " for '" +
+                    manifest.title + "'"};
+    }
+    if (!rollback_.hasSlotFor(manifest.title)) {
+        return {UpdateStatus::CounterBankFull,
+                "no rollback counter slot free for new title '" +
+                    manifest.title + "' (" +
+                    std::to_string(rollback_.capacity()) +
+                    " slots in use)"};
+    }
+
+    return {UpdateStatus::Ok, {}};
+}
+
+VerifyResult
+UpdateEngine::verify(const UpdateBundle &bundle) const
+{
+    const UpdateManifest &manifest = bundle.manifest;
+
+    // Steps 0-2 and anti-rollback live in verifyManifest — one
+    // implementation shared with the delta path.
+    const VerifyResult head =
+        verifyManifest(manifest, bundle.signature);
+    if (!head.ok())
+        return head;
+
+    // The image must be exactly what the manifest signed:
     //    per-section digests, then the key capsule.
     if (manifest.sections.size() != bundle.image.sections.size()) {
         return {UpdateStatus::DigestMismatch,
@@ -180,41 +222,12 @@ UpdateEngine::verify(const UpdateBundle &bundle) const
                 "image does not match its signed whole-image digest"};
     }
 
-    // 4. Anti-rollback: strictly monotonic per title, with bank
-    //    exhaustion reported as its own condition (a provisioning
-    //    limit, not an attack).
-    const uint64_t stored_counter = rollback_.current(manifest.title);
-    if (trace_ != nullptr) {
-        trace_->instant(
-            trace_track_, "decision.sequence_check", trace_cycle_,
-            {{"counter", manifest.rollback_counter},
-             {"stored", stored_counter},
-             {"pass", manifest.rollback_counter > stored_counter}});
-    }
-    if (manifest.rollback_counter <= stored_counter) {
-        return {UpdateStatus::Rollback,
-                "rollback counter " +
-                    std::to_string(manifest.rollback_counter) +
-                    " not above stored " +
-                    std::to_string(stored_counter) + " for '" +
-                    manifest.title + "'"};
-    }
-    if (!rollback_.hasSlotFor(manifest.title)) {
-        return {UpdateStatus::CounterBankFull,
-                "no rollback counter slot free for new title '" +
-                    manifest.title + "' (" +
-                    std::to_string(rollback_.capacity()) +
-                    " slots in use)"};
-    }
-
-    // 5. The bundle must fit the staging slot, or it can never be
-    //    installed on this device. Size computed from the parts
-    //    already serialized above (bundle framing is magic + three
-    //    length-prefixed blobs).
-    const uint64_t framed_size = kSlotHeaderBytes + 4 +
-                                 (4 + manifest_bytes.size()) +
-                                 (4 + bundle.signature.size()) +
-                                 (4 + bundle.image.serializedSize());
+    // Finally, the bundle must fit the staging slot, or it can never
+    // be installed on this device. Derived from the serializer itself
+    // (CountingSink behind serializedSize) — a hand-mirrored layout
+    // here silently broke the gate every time the format revved.
+    const uint64_t framed_size =
+        kSlotHeaderBytes + bundle.serializedSize();
     if (framed_size > staging_.slot_size) {
         return {UpdateStatus::TooLarge,
                 "bundle does not fit the " +
@@ -239,7 +252,119 @@ UpdateEngine::stage(const UpdateBundle &bundle, mem::MainMemory &memory)
              "verified bundle does not fit its slot");
     memory.write(slotBase(stagingSlot()), framed.data(), framed.size());
     staged_pending_ = true;
+    if (journal_ != nullptr) {
+        // A monolithic stage() writes the whole payload at once:
+        // open (or adopt) the record and mark every chunk, so an
+        // activation failure later still resumes for free.
+        const uint32_t slot = stagingSlot();
+        journal_->begin(slot, sha256Digest(framed), framed.size(),
+                        bundle.manifest.line_size);
+        const uint64_t chunks = journal_->chunkCount(slot);
+        for (uint64_t i = 0; i < chunks; ++i)
+            journal_->markChunk(slot, i);
+    }
     return admission;
+}
+
+std::optional<uint64_t>
+UpdateEngine::framedExtent(uint32_t slot, mem::MainMemory &memory) const
+{
+    std::vector<uint8_t> header(kSlotHeaderBytes);
+    memory.read(slotBase(slot), header.data(), header.size());
+    util::ByteReader reader(header);
+    const uint32_t magic = reader.u32();
+    const uint64_t len = reader.u64();
+    if (magic != kSlotMagic || len == 0 ||
+        len > staging_.slot_size - kSlotHeaderBytes)
+        return std::nullopt;
+    return kSlotHeaderBytes + len;
+}
+
+UpdateEngine::DeltaReconstruction
+UpdateEngine::reconstructDelta(const DeltaBundle &delta,
+                               mem::MainMemory &memory) const
+{
+    // Authenticate the manifest before spending anything on the
+    // base slot or the (attacker-controlled) patch ops.
+    const VerifyResult head =
+        verifyManifest(delta.manifest, delta.signature);
+    if (!head.ok())
+        return {head, std::nullopt};
+
+    if (!delta.manifest.hasBase()) {
+        return {{UpdateStatus::MalformedBundle,
+                 "delta bundle names no base image"},
+                std::nullopt};
+    }
+
+    // The base lives in the *active* slot: the framed bundle of the
+    // image this device currently runs. Anything that keeps the base
+    // from being read — never installed, or an unparseable slot — is
+    // BaseMismatch: not an attack verdict, the device just needs the
+    // full bundle instead.
+    if (!active_manifest_.has_value()) {
+        return {{UpdateStatus::BaseMismatch,
+                 "no active image to apply a delta against"},
+                std::nullopt};
+    }
+    const uint64_t base = slotBase(active_slot_);
+    std::vector<uint8_t> header(kSlotHeaderBytes);
+    memory.read(base, header.data(), header.size());
+    util::ByteReader reader(header);
+    const uint32_t magic = reader.u32();
+    const uint64_t len = reader.u64();
+    if (magic != kSlotMagic || len == 0 ||
+        len > staging_.slot_size - kSlotHeaderBytes) {
+        return {{UpdateStatus::BaseMismatch,
+                 "active slot holds no readable base bundle"},
+                std::nullopt};
+    }
+    std::vector<uint8_t> base_bytes(len);
+    memory.read(base + kSlotHeaderBytes, base_bytes.data(), len);
+    const auto base_bundle = UpdateBundle::deserialize(base_bytes);
+    if (!base_bundle.has_value()) {
+        return {{UpdateStatus::BaseMismatch,
+                 "active slot bundle no longer parses"},
+                std::nullopt};
+    }
+    if (sha256DigestOfImage(base_bundle->image) !=
+        delta.manifest.base_digest) {
+        return {{UpdateStatus::BaseMismatch,
+                 "active image is not the base this delta requires"},
+                std::nullopt};
+    }
+
+    auto image = applyDelta(delta, base_bundle->image);
+    if (!image.has_value()) {
+        return {{UpdateStatus::MalformedBundle,
+                 "delta patch ops are inconsistent with the signed "
+                 "manifest"},
+                std::nullopt};
+    }
+
+    UpdateBundle bundle;
+    bundle.manifest = delta.manifest;
+    bundle.signature = delta.signature;
+    bundle.image = std::move(*image);
+
+    // The reconstructed bundle goes through the complete admission
+    // chain — a tampered literal op that survived the bounds checks
+    // dies here on the signed digests, exactly like any other
+    // corrupted full bundle.
+    const VerifyResult admission = verify(bundle);
+    if (!admission.ok())
+        return {admission, std::nullopt};
+    return {admission, std::move(bundle)};
+}
+
+VerifyResult
+UpdateEngine::stageDelta(const DeltaBundle &delta,
+                         mem::MainMemory &memory)
+{
+    DeltaReconstruction rec = reconstructDelta(delta, memory);
+    if (!rec.result.ok())
+        return rec.result;
+    return stage(*rec.bundle, memory);
 }
 
 InstallResult
@@ -314,6 +439,9 @@ UpdateEngine::activate(secure::CompartmentId compartment,
     // Commit: flip slots, burn the counter, remember the manifest.
     active_slot_ = slot;
     staged_pending_ = false;
+    if (journal_ != nullptr)
+        journal_->clear(slot); // staging finished; nothing to resume
+
     rollback_.commit(staged->manifest.title,
                      staged->manifest.rollback_counter);
     active_manifest_ = staged->manifest;

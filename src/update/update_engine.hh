@@ -34,8 +34,10 @@
 #include "obs/trace.hh"
 #include "secure/key_table.hh"
 #include "secure/protection_engine.hh"
+#include "update/delta.hh"
 #include "update/manifest.hh"
 #include "update/rollback_store.hh"
+#include "update/staging_journal.hh"
 #include "xom/secure_loader.hh"
 
 namespace secproc::update
@@ -65,6 +67,12 @@ enum class UpdateStatus
     NothingStaged,
     /** Key capsule failed to unwrap at activation (loader). */
     LoadFailed,
+    /**
+     * Delta bundle names a base image this device does not have in
+     * its active slot. Not an attack: the defined fallback is to
+     * request the full bundle instead (fleet waves do exactly that).
+     */
+    BaseMismatch,
 };
 
 /** Short name for reports, e.g. "rollback". */
@@ -162,12 +170,47 @@ class UpdateEngine
     VerifyResult verify(const UpdateBundle &bundle) const;
 
     /**
+     * The manifest-only half of verify(): structural sanity,
+     * processor identity, vendor signature and anti-rollback — every
+     * check that needs no image bytes. verify() layers the digest
+     * and slot-fit checks on top; the delta path runs this *before*
+     * touching the base slot or applying patch ops, so unsigned
+     * garbage is rejected at the cheapest possible point.
+     */
+    VerifyResult
+    verifyManifest(const UpdateManifest &manifest,
+                   const std::vector<uint8_t> &signature) const;
+
+    /**
      * Verify @p bundle and write its serialized form into the
      * inactive staging slot in @p memory. Does not touch the
      * running image.
      */
     VerifyResult stage(const UpdateBundle &bundle,
                        mem::MainMemory &memory);
+
+    /** Outcome of reconstructDelta: the full bundle when Ok. */
+    struct DeltaReconstruction
+    {
+        VerifyResult result;
+        std::optional<UpdateBundle> bundle;
+    };
+
+    /**
+     * Rebuild the full update bundle a delta describes, slot-to-slot:
+     * verify the delta's signed manifest, read the base bundle out of
+     * the *active* slot in @p memory, check its image against the
+     * manifest's base_digest (BaseMismatch on any disagreement — the
+     * caller's fallback is to fetch the full bundle), apply the patch
+     * ops, and run the reconstructed bundle through the complete
+     * verify() chain. Read-only: no engine or memory state changes.
+     */
+    DeltaReconstruction reconstructDelta(const DeltaBundle &delta,
+                                         mem::MainMemory &memory) const;
+
+    /** reconstructDelta + stage of the reconstructed bundle. */
+    VerifyResult stageDelta(const DeltaBundle &delta,
+                            mem::MainMemory &memory);
 
     /**
      * Take the staged update live: re-read and re-verify the staged
@@ -201,6 +244,16 @@ class UpdateEngine
     {
         return staging_.base + slot * staging_.slot_size;
     }
+
+    /**
+     * Framed byte extent (header + bundle bytes) of whatever sits in
+     * @p slot, judged by the slot header alone, or std::nullopt when
+     * the header is torn or empty. Cycle-plane planners use this to
+     * cost the base-bundle readback of a delta admission; it proves
+     * nothing about the slot's integrity.
+     */
+    std::optional<uint64_t> framedExtent(uint32_t slot,
+                                         mem::MainMemory &memory) const;
 
     /** True while a staged update awaits activation. */
     bool stagedPending() const { return staged_pending_; }
@@ -245,6 +298,18 @@ class UpdateEngine
     const RollbackStore &rollback() const { return rollback_; }
 
     /**
+     * Attach a resumable-staging journal (nullptr detaches). When
+     * attached, stage()/stageDelta() record the staged payload as
+     * fully written and a successful activate() clears the slot's
+     * record; the chunk-granular bookkeeping during an incremental
+     * stage is driven by LiveInstall. Purely an efficiency aid —
+     * see staging_journal.hh for why it is untrusted by design.
+     */
+    void setJournal(StagingJournal *journal) { journal_ = journal; }
+
+    StagingJournal *journal() const { return journal_; }
+
+    /**
      * Trace security decisions onto @p sink (nullptr detaches): the
      * "update_engine" track carries one instant per anti-rollback
      * sequence-number comparison and per re-verification at
@@ -271,6 +336,8 @@ class UpdateEngine
     obs::TraceSink *trace_ = nullptr;
     obs::TrackId trace_track_ = 0;
     uint64_t trace_cycle_ = 0;
+
+    StagingJournal *journal_ = nullptr;
 
     uint32_t active_slot_ = 1; // first stage() lands in slot 0 (A)
     bool staged_pending_ = false;

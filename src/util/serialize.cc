@@ -82,6 +82,20 @@ putString(ByteSink &out, const std::string &s)
              s.size());
 }
 
+void
+putBytes64(std::vector<uint8_t> &out, const uint8_t *data, size_t len)
+{
+    putU64(out, static_cast<uint64_t>(len));
+    out.insert(out.end(), data, data + len);
+}
+
+void
+putBytes64(ByteSink &out, const uint8_t *data, size_t len)
+{
+    putU64(out, static_cast<uint64_t>(len));
+    out.write(data, len);
+}
+
 bool
 ByteReader::need(size_t n)
 {
@@ -129,6 +143,20 @@ ByteReader::blobView()
         return {};
     const std::span<const uint8_t> out(data_ + pos_, len);
     pos_ += len;
+    return out;
+}
+
+std::span<const uint8_t>
+ByteReader::blobView64()
+{
+    const uint64_t len = u64();
+    // On 32-bit size_t a >4 GiB claim can't fit the buffer anyway;
+    // reject before the narrowing conversion can wrap.
+    if (len > size_ || !need(static_cast<size_t>(len)))
+        return {};
+    const std::span<const uint8_t> out(data_ + pos_,
+                                       static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
     return out;
 }
 

@@ -86,6 +86,13 @@ void putBlob(ByteSink &out, const std::vector<uint8_t> &blob);
 void putString(ByteSink &out, const std::string &s);
 /** @} */
 
+/** Append u64 length then @p len raw bytes (blobs that may exceed
+ *  the u32 range, e.g. multi-gigabyte image payloads). @{ */
+void putBytes64(std::vector<uint8_t> &out, const uint8_t *data,
+                size_t len);
+void putBytes64(ByteSink &out, const uint8_t *data, size_t len);
+/** @} */
+
 /** Append a fixed-size array verbatim (no length prefix). */
 template <size_t N>
 void
@@ -135,6 +142,14 @@ class ByteReader
      * through views so a parse costs no allocation per layer.
      */
     std::span<const uint8_t> blobView();
+    /**
+     * u64-length-prefixed view. Blobs that can exceed 4 GiB (the
+     * image payload inside an update bundle) are framed with a u64
+     * length; a u32 frame would silently truncate the length and
+     * "parse" garbage. A claimed length past the end of the buffer
+     * latches ok() false like every other over-read.
+     */
+    std::span<const uint8_t> blobView64();
     std::string str();
 
     /** Fixed-size array, no length prefix. */

@@ -85,7 +85,13 @@ ProgramImage::tryDeserialize(std::span<const uint8_t> data)
     if (reader.u32() != kMagic || reader.u32() != kVersion)
         return std::nullopt;
     ProgramImage image;
-    image.cipher = static_cast<secure::CipherKind>(reader.u32());
+    // Same trust boundary as the manifest parser: enum fields are
+    // attacker bytes until validated, and a raw cast would carry an
+    // out-of-range kind into a downstream panic.
+    const auto cipher = secure::cipherKindFromU32(reader.u32());
+    if (!cipher.has_value())
+        return std::nullopt;
+    image.cipher = *cipher;
     image.entry_point = reader.u64();
     image.line_size = reader.u32();
     image.title = reader.str();
@@ -97,8 +103,11 @@ ProgramImage::tryDeserialize(std::span<const uint8_t> data)
         Section section;
         section.name = reader.str();
         section.vaddr = reader.u64();
-        section.encryption =
-            static_cast<SectionEncryption>(reader.u32());
+        const uint32_t encryption = reader.u32();
+        if (encryption >
+            static_cast<uint32_t>(SectionEncryption::Plaintext))
+            return std::nullopt;
+        section.encryption = static_cast<SectionEncryption>(encryption);
         section.bytes = reader.blob();
         image.sections.push_back(std::move(section));
     }

@@ -148,6 +148,60 @@ TEST(FleetRollout, GroundTruthWithinDocumentedTolerance)
     }
 }
 
+// Delta shipping: devices still on the factory firmware ride the
+// small delta stream, so the rollout's downlink total must shrink
+// against the everyone-gets-the-full-bundle counterfactual — and the
+// embedded ground-truth machines prove the delta cost model against
+// a real delta LiveInstall, to the same tolerance as the full path.
+TEST(FleetRollout, DeltaWavesShipFewerBytesAndStayGrounded)
+{
+    FleetConfig config;
+    config.devices = 2'000;
+    config.vendor.image_bytes = 16 << 10;
+    config.ship_deltas = true;
+    const exp::Runner runner = serialRunner();
+    FleetSimulator sim(config, RolloutPolicy::canaryStaged(),
+                       runner);
+    const RolloutResult result = sim.run();
+
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.delta_installs, 0u);
+    EXPECT_LT(result.transport_bytes, result.transport_bytes_full)
+        << "the delta stream saved nothing over full bundles";
+    for (const WaveStats &wave : result.waves) {
+        if (wave.delta_installs == 0)
+            continue;
+        EXPECT_LT(wave.transport_bytes, wave.transport_bytes_full)
+            << "a delta-serving wave must carry fewer bytes";
+    }
+
+    ASSERT_EQ(result.ground_truth.size(), 3u);
+    bool any_via_delta = false;
+    for (const GroundTruthReport &gt : result.ground_truth) {
+        EXPECT_TRUE(gt.functional_ok)
+            << "device " << gt.device << " did not activate";
+        EXPECT_TRUE(gt.within_tolerance)
+            << "device " << gt.device << ": predicted "
+            << gt.predicted_cycles << " vs measured "
+            << gt.measured_cycles;
+        any_via_delta |= gt.via_delta;
+    }
+    EXPECT_TRUE(any_via_delta)
+        << "no ground-truth machine exercised the delta path";
+
+    // The flag off reproduces the classic full-bundle rollout: no
+    // delta traffic, and the same devices land on the release.
+    FleetConfig classic = config;
+    classic.ship_deltas = false;
+    const RolloutResult full =
+        FleetSimulator(classic, RolloutPolicy::canaryStaged(), runner)
+            .run();
+    EXPECT_EQ(full.delta_installs, 0u);
+    EXPECT_EQ(full.transport_bytes, full.transport_bytes_full);
+    EXPECT_TRUE(full.converged);
+    EXPECT_EQ(full.updated, result.updated);
+}
+
 // Acceptance: a fault-heavy release must trip the automatic canary
 // halt and the rollback wave must clear every device off the pulled
 // release.

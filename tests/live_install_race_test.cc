@@ -27,6 +27,7 @@
 #include "sim/system.hh"
 #include "update/image_builder.hh"
 #include "update/live_install.hh"
+#include "update/staging_journal.hh"
 #include "update/update_engine.hh"
 
 namespace
@@ -54,6 +55,7 @@ enum class Scenario
 {
     PowerCut,
     ContextSwitch,
+    JournalResume,
 };
 
 struct KeyRing
@@ -296,6 +298,87 @@ contextSwitchTrial(KeyRing &ring, const UpdateBundle &v1,
     return rig.activeSlotIntact(framed_v2);
 }
 
+/**
+ * One journal-resume trial: cut power at two successive mid-stage
+ * points, re-attempting the SAME bundle each time with the staging
+ * journal persisted across the cuts (serialize round-trip, like the
+ * rollback store). A resume must be a resume, not a restart: every
+ * attempt writes only the lines the previous cut had not reached —
+ * the three attempts sum to exactly one framed bundle, never more —
+ * already-staged chunks are NACKed out of the downlink instead of
+ * re-transmitted, and the remaining work strictly decreases across
+ * each cut. The final image must match an uninterrupted install and
+ * activation must retire the journal record.
+ */
+bool
+journalResumeTrial(KeyRing &ring, const UpdateBundle &v1,
+                   const UpdateBundle &v2,
+                   const std::vector<uint8_t> &framed_v2,
+                   const ota::TransportConfig &transport, int point)
+{
+    RaceRig rig(ring, transport, /*two_tasks=*/false);
+    StagingJournal journal;
+    rig.updater->setJournal(&journal);
+    if (!rig.installFunctionally(v1))
+        return false;
+    const uint32_t slot = rig.updater->stagingSlot();
+
+    const uint64_t total = framed_v2.size();
+    // Stage writes drain fast once admission ends (the downlink, not
+    // the slot, bounds the install), so step at fine granularity to
+    // observe a genuinely partial stage.
+    auto runUntilStaged = [&](uint64_t target) {
+        for (int i = 0; i < 500000 && !rig.live->done() &&
+                        rig.live->stagedBytesWritten() < target;
+             ++i)
+            rig.system->run(1);
+        return rig.live->stagedBytesWritten();
+    };
+
+    // First cut: an injection-point fraction of the staged bytes.
+    rig.live->start(v2, rig.system->core().cycles());
+    const uint64_t s1 = runUntilStaged(total * (point + 1) / 4);
+    if (rig.live->done() || s1 == 0 || s1 >= total)
+        return false; // the cut must land mid-stage
+    rig.system->reset();
+
+    // The journal survives the reboot through its serialized image.
+    const auto persisted =
+        StagingJournal::deserialize(journal.serialize());
+    if (!persisted.has_value())
+        return false;
+    journal = *persisted;
+
+    // Second attempt resumes past the journaled lines; cut it again
+    // halfway through what remains.
+    rig.live->start(v2, rig.system->core().cycles());
+    const uint64_t s2 = runUntilStaged((total - s1) / 2);
+    const uint64_t skipped2 = rig.live->transport().chunksSkipped();
+    if (rig.live->done() || s2 == 0 || s1 + s2 >= total)
+        return false;
+    if (skipped2 == 0)
+        return false; // staged chunks must be NACKed, not re-sent
+    rig.system->reset();
+
+    // Third attempt runs to completion.
+    rig.live->start(v2, rig.system->core().cycles());
+    for (int i = 0; i < 4000 && !rig.live->done(); ++i)
+        rig.system->run(2'000);
+    if (rig.live->phase() != LiveInstallPhase::Done)
+        return false;
+    if (rig.live->transport().chunksSkipped() <= skipped2)
+        return false; // remaining downlink work strictly decreased
+    // Resume, not restart: the attempts cover each payload byte
+    // exactly once between them.
+    if (s1 + s2 + rig.live->stagedBytesWritten() != total)
+        return false;
+    if (rig.activeVersion() != 2 || rig.rollback.current("fw") != 2)
+        return false;
+    if (journal.active(slot))
+        return false; // activation must retire the record
+    return rig.activeSlotIntact(framed_v2);
+}
+
 struct Pattern
 {
     const char *label;
@@ -328,6 +411,8 @@ patterns()
         {"powercut-reorder", Scenario::PowerCut, reorder},
         {"ctxswitch-lossless", Scenario::ContextSwitch, lossless},
         {"ctxswitch-burst", Scenario::ContextSwitch, burst},
+        {"resume-lossless", Scenario::JournalResume, lossless},
+        {"resume-burst", Scenario::JournalResume, burst},
     };
 }
 
@@ -364,6 +449,12 @@ raceCell(const Pattern &pattern, const std::string &bench,
             survived += powerCutTrial(ring, v1, v2, framed_v1,
                                       framed_v2, pattern.transport,
                                       cut, cipher);
+        }
+    } else if (pattern.scenario == Scenario::JournalResume) {
+        for (int k = 0; k < 3; ++k) {
+            ++trials;
+            survived += journalResumeTrial(ring, v1, v2, framed_v2,
+                                           pattern.transport, k);
         }
     } else {
         ++trials;
@@ -408,7 +499,7 @@ TEST(LiveInstallRaceMatrix, AlwaysLandsInAnAllowedState)
             << " reached a torn or unrecoverable state";
         ++checked;
     }
-    EXPECT_EQ(checked, 10u);
+    EXPECT_EQ(checked, 14u);
 }
 
 } // namespace

@@ -152,6 +152,91 @@ TEST(Transport, ReorderingJittersButLosesNothing)
         EXPECT_GE(all[i].arrival_cycle, all[i - 1].arrival_cycle);
 }
 
+TEST(Transport, EmptyPayloadIsALegalDegenerateStream)
+{
+    // Regression: completionCycle() used to panic after send({}) —
+    // it asserted a non-empty schedule instead of falling back to
+    // the send cycle. An empty stream completes at the send instant.
+    TransportConfig config;
+    config.chunk_bytes = 256;
+    config.cycles_per_chunk = 100;
+    Transport transport(config);
+    transport.send({}, 777);
+
+    EXPECT_TRUE(transport.complete());
+    EXPECT_TRUE(transport.poll(1'000'000).empty());
+    EXPECT_EQ(transport.completionCycle(), 777u);
+    EXPECT_EQ(transport.chunksSent(), 0u);
+    EXPECT_EQ(transport.nextArrivalCycle(), UINT64_MAX);
+
+    // A fresh stream on the same transport still works after the
+    // degenerate one.
+    const auto sent = payload(600);
+    transport.send(sent, 1000);
+    EXPECT_FALSE(transport.complete());
+    drain(transport, sent);
+    EXPECT_EQ(transport.completionCycle(), 1000u + 3 * 100u);
+}
+
+TEST(Transport, SubChunkPayloadIsOneShortChunk)
+{
+    TransportConfig config;
+    config.chunk_bytes = 1024;
+    config.cycles_per_chunk = 50;
+    Transport transport(config);
+    const auto sent = payload(100); // well under one chunk
+    transport.send(sent, 0);
+
+    const auto all = drain(transport, sent);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].offset, 0u);
+    EXPECT_EQ(all[0].bytes.size(), 100u);
+    EXPECT_EQ(transport.chunksSent(), 1u);
+    EXPECT_EQ(transport.completionCycle(), 50u);
+}
+
+TEST(Transport, HeldChunksAreNeverRetransmitted)
+{
+    // The resume path: chunks the receiver already staged before a
+    // power cut are NACKed away — not transmitted, not delivered.
+    TransportConfig config;
+    config.chunk_bytes = 256;
+    config.cycles_per_chunk = 100;
+    Transport transport(config);
+    const auto sent = payload(1024); // 4 chunks
+    std::vector<bool> held = {true, false, true, false};
+    transport.send(sent, 0, held);
+
+    std::vector<Transport::Chunk> all;
+    uint64_t cycle = 0;
+    while (!transport.complete()) {
+        cycle += 100;
+        for (auto &chunk : transport.poll(cycle))
+            all.push_back(std::move(chunk));
+        ASSERT_LT(cycle, 1u << 20);
+    }
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].offset, 256u);
+    EXPECT_EQ(all[1].offset, 768u);
+    EXPECT_EQ(transport.chunksSkipped(), 2u);
+    EXPECT_EQ(transport.chunksSent(), 2u);
+    // Two transmissions at the cap: done at 200, not 400.
+    EXPECT_EQ(transport.completionCycle(), 200u);
+
+    // Everything held: nothing to send, complete at the send cycle.
+    Transport resumed(config);
+    resumed.send(sent, 42, std::vector<bool>(4, true));
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(resumed.completionCycle(), 42u);
+    EXPECT_EQ(resumed.chunksSkipped(), 4u);
+
+    // A short held map treats the tail as missing.
+    Transport partial(config);
+    partial.send(sent, 0, {true});
+    EXPECT_EQ(partial.chunksSkipped(), 1u);
+    EXPECT_FALSE(partial.complete());
+}
+
 TEST(TransportDeath, RejectsBrokenConfigs)
 {
     TransportConfig config;

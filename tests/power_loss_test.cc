@@ -241,6 +241,55 @@ stagedBytesCell(const std::string &bench, bool truncate)
     return cell;
 }
 
+/**
+ * Rewrite the staged manifest's cipher-kind field to out-of-range
+ * values a hijacked OS could plant in the slot. Regression for the
+ * untrusted-u32 cast: pre-fix these parsed "successfully" and blew
+ * up inside makeCipher() after the signature check; they must die at
+ * activation as a structural rejection, previous image intact.
+ */
+exp::CellOutput
+cipherKindMutantCell(const std::string &bench, const exp::RunOptions &)
+{
+    Rig rig;
+    const secure::CipherKind cipher = cipherFor(bench);
+    exp::CellOutput cell;
+    bool setup_ok = rig.install(rig.bundle(1, cipher)).ok();
+    const UpdateBundle good = rig.bundle(2, cipher);
+    const uint64_t slot_base =
+        kStagingBase + rig.updater->stagingSlot() * kSlotSize;
+    // Slot header | bundle magic u32 | manifest blob len u32 |
+    // manifest: magic u32, format u32, title (u32 len + bytes),
+    // image_version u32, rollback u64, processor_id[32], cipher u32.
+    const uint64_t cipher_off =
+        kSlotHeaderBytes + 4 + 4 +
+        (4 + 4 + 4 + good.manifest.title.size() + 4 + 8 + 32);
+
+    Tally tally;
+    for (const uint32_t evil : {99u, 3u, 0xFFFF'FFFFu}) {
+        if (!setup_ok)
+            break;
+        setup_ok = rig.updater->stage(good, rig.memory).ok();
+        if (!setup_ok)
+            break;
+        uint8_t field[4];
+        for (int i = 0; i < 4; ++i)
+            field[i] = static_cast<uint8_t>(evil >> (8 * i));
+        rig.memory.write(slot_base + cipher_off, field, sizeof field);
+        tally.record(rig, rig.activate(), 1);
+    }
+
+    const bool recovered =
+        setup_ok && rig.updater->stage(good, rig.memory).ok() &&
+        rig.activate().ok();
+    cell.extras.emplace_back("setup_ok", setup_ok ? 1.0 : 0.0);
+    cell.extras.emplace_back("recovered", recovered ? 1.0 : 0.0);
+    cell.measured = setup_ok ? tally.rejectionPct() : 0.0;
+    cell.extras.emplace_back("trials",
+                             static_cast<double>(tally.trials));
+    return cell;
+}
+
 TEST(PowerLossMatrix, NoTornImageEverBoots)
 {
     exp::ExperimentSpec spec;
@@ -259,6 +308,7 @@ TEST(PowerLossMatrix, NoTornImageEverBoots)
                       const exp::RunOptions &) {
                        return stagedBytesCell(bench, true);
                    });
+    spec.addCustom("staged-cipher-kind", cipherKindMutantCell);
 
     exp::RunnerOptions runner_options;
     runner_options.threads = 2;
@@ -279,7 +329,7 @@ TEST(PowerLossMatrix, NoTornImageEverBoots)
         }
         ++checked;
     }
-    EXPECT_EQ(checked, 6u);
+    EXPECT_EQ(checked, 8u);
 }
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "update/manifest.hh"
 #include "update/rollback_store.hh"
 #include "update/update_engine.hh"
+#include "util/serialize.hh"
 #include "xom/secure_loader.hh"
 #include "xom/vendor_tool.hh"
 
@@ -363,6 +364,80 @@ TEST(UpdateRejection, AbsurdLineSizeIsMalformed)
     bundle.manifest.line_size = 96; // not a power of two
     EXPECT_EQ(device.updater->verify(bundle).status,
               UpdateStatus::MalformedBundle);
+}
+
+TEST(UpdateRejection, UnknownCipherKindIsMalformedNotFatal)
+{
+    // Regression: the cipher field used to be cast straight from the
+    // untrusted u32 into secure::CipherKind, surviving parse with an
+    // out-of-range value and panicking later inside makeCipher().
+    // It must die at deserialize as a malformed manifest.
+    Vendor vendor(53);
+    util::Rng rng(54);
+    const auto processor = crypto::rsaGenerate(512, rng);
+    const UpdateBundle bundle = vendor.release(processor.pub, 1, 1);
+
+    std::vector<uint8_t> bytes = bundle.manifest.serialize();
+    // Manifest layout: magic u32 | format u32 | title (u32 len +
+    // bytes) | image_version u32 | rollback u64 | processor_id[32] |
+    // cipher u32 | ...
+    const size_t cipher_off =
+        4 + 4 + 4 + bundle.manifest.title.size() + 4 + 8 + 32;
+    ASSERT_LT(cipher_off + 4, bytes.size());
+    ASSERT_TRUE(UpdateManifest::deserialize(bytes).has_value())
+        << "the unpatched manifest must parse";
+
+    for (const uint32_t evil : {99u, 3u, 0xFFFF'FFFFu}) {
+        std::vector<uint8_t> patched = bytes;
+        for (int i = 0; i < 4; ++i)
+            patched[cipher_off + i] =
+                static_cast<uint8_t>(evil >> (8 * i));
+        EXPECT_FALSE(UpdateManifest::deserialize(patched).has_value())
+            << "cipher kind " << evil << " parsed";
+    }
+}
+
+TEST(UpdateRejection, ImageLengthPastU32IsNotTruncated)
+{
+    // Regression: the image blob's length used to be framed as a u32
+    // cast of a u64 size, so a crafted length of 2^32 + N read back
+    // as N and "parsed" with silent wraparound. The u64 framing must
+    // reject any claimed length the buffer cannot back.
+    Vendor vendor(55);
+    util::Rng rng(56);
+    const auto processor = crypto::rsaGenerate(512, rng);
+    const UpdateBundle bundle = vendor.release(processor.pub, 1, 1);
+
+    const std::vector<uint8_t> manifest_bytes =
+        bundle.manifest.serialize();
+    const std::vector<uint8_t> tail(16, 0xEE);
+
+    auto craft = [&](uint64_t claimed_image_len) {
+        std::vector<uint8_t> out;
+        util::putU32(out, 0x53505542); // "SPUB"
+        util::putBlob(out, manifest_bytes);
+        util::putBlob(out, bundle.signature);
+        util::putU64(out, claimed_image_len);
+        out.insert(out.end(), tail.begin(), tail.end());
+        return out;
+    };
+
+    // The wraparound probe: 2^32 + 16 with 16 bytes present. A u32
+    // frame would have read this as a 16-byte image.
+    EXPECT_FALSE(UpdateBundle::deserialize(
+                     craft((1ull << 32) + tail.size()))
+                     .has_value());
+    // Boundary neighbours on both sides of the u32 range.
+    EXPECT_FALSE(UpdateBundle::deserialize(craft(1ull << 32))
+                     .has_value());
+    EXPECT_FALSE(UpdateBundle::deserialize(craft(0xFFFF'FFFFull))
+                     .has_value());
+
+    // Control: a genuine bundle still frames and parses, and its
+    // size query matches the serializer exactly.
+    EXPECT_EQ(bundle.serializedSize(), bundle.serialize().size());
+    EXPECT_TRUE(
+        UpdateBundle::deserialize(bundle.serialize()).has_value());
 }
 
 // ------------------------------------------------- interrupted install

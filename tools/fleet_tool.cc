@@ -38,6 +38,7 @@ struct Options
     std::string scenario = "healthy";
     uint64_t devices = 100'000;
     uint64_t seed = 0;       // 0 = the FleetConfig default
+    bool deltas = false;
     unsigned threads = 1;
     std::string out;         // rollout JSON path
     std::string trace_out;
@@ -56,6 +57,9 @@ usage(int code)
         "(default healthy)\n"
         "  --devices=N        fleet population (default 100000)\n"
         "  --seed=N           fleet seed override\n"
+        "  --deltas           ship delta bundles to devices that\n"
+        "                     run the base release (full-bundle\n"
+        "                     fallback on base mismatch)\n"
         "  --threads=N        worker threads (0 = all cores; also\n"
         "                     SECPROC_THREADS); the report is\n"
         "                     bit-identical at any setting\n"
@@ -91,7 +95,9 @@ parse(int argc, char **argv)
                            &options.trace_out) ||
                  flagValue(arg, "--metrics-json=",
                            &options.metrics_json)) {
-        } else if (flagU64(arg, "--threads=", &n))
+        } else if (flag(arg, "--deltas"))
+            options.deltas = true;
+        else if (flagU64(arg, "--threads=", &n))
             options.threads = static_cast<unsigned>(n);
         else {
             std::cerr << "unknown option: " << arg << "\n";
@@ -116,6 +122,7 @@ main(int argc, char **argv)
     fleet::FleetConfig config;
     config.devices = options.devices;
     config.dist = scenario.dist;
+    config.ship_deltas = options.deltas;
     if (options.seed != 0)
         config.fleet_seed = options.seed;
 
@@ -167,6 +174,13 @@ main(int argc, char **argv)
               << "\n"
               << "ledger records "
               << sim.vendor().ledger().size() << "\n";
+    if (options.deltas || result.delta_installs > 0)
+        std::cout << "delta installs "
+                  << result.delta_installs << " ("
+                  << result.transport_bytes
+                  << " transport bytes vs "
+                  << result.transport_bytes_full
+                  << " if every device took the full bundle)\n";
     for (const fleet::GroundTruthReport &gt : result.ground_truth) {
         std::cout << "ground truth   device " << gt.device << " ("
                   << gt.engine_latency << "c, "

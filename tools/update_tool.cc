@@ -33,6 +33,7 @@
 #include "obs/trace.hh"
 #include "secure/engines.hh"
 #include "update/attestation.hh"
+#include "update/delta.hh"
 #include "update/image_builder.hh"
 #include "update/update_engine.hh"
 #include "util/logging.hh"
@@ -55,11 +56,19 @@ usage(int code)
         "          [--title=NAME] [--version=N] [--counter=N]\n"
         "          [--text=FILE] [--scheme=otp|xom]\n"
         "          [--cipher=des|3des|aes]\n"
+        "          [--delta-base=BUNDLE]  cut a signed delta against\n"
+        "          that base release instead of a full bundle (use\n"
+        "          the same --seed the base was built with, or the\n"
+        "          key streams diverge and the delta stops shrinking)\n"
         "  info    --bundle=FILE\n"
         "  verify  --bundle=FILE --vendor=PUBFILE --processor=PREFIX\n"
         "          [--state=FILE]\n"
         "  install --bundle=FILE --vendor=PUBFILE --processor=PREFIX\n"
         "          [--state=FILE]\n"
+        "          [--delta-base=BUNDLE]  --bundle names a delta\n"
+        "          file: install the base first (the factory image a\n"
+        "          fielded device already runs), then reconstruct and\n"
+        "          activate the delta slot-to-slot\n"
         "  attest  --processor=PREFIX --vendor=PUBFILE --bundle=FILE\n"
         "          [--state=FILE] [--nonce=HEX]\n"
         "  any verify/install command also accepts --trace-out=FILE:\n"
@@ -152,6 +161,7 @@ struct Options
     std::string cipher = "des";
     std::string nonce_hex;
     std::string trace_out;
+    std::string delta_base;
     unsigned bits = 512;
     uint64_t seed = 1;
     uint32_t version = 1;
@@ -185,6 +195,8 @@ parse(int argc, char **argv)
                  flagValue(arg, "--scheme=", &options.scheme) ||
                  flagValue(arg, "--cipher=", &options.cipher) ||
                  flagValue(arg, "--nonce=", &options.nonce_hex) ||
+                 flagValue(arg, "--delta-base=",
+                           &options.delta_base) ||
                  flagValue(arg, "--trace-out=",
                            &options.trace_out) ||
                  flagU64(arg, "--seed=", &options.seed) ||
@@ -209,6 +221,8 @@ cipherKind(const std::string &name)
 }
 
 // ------------------------------------------------------------ commands
+
+UpdateBundle loadBundle(const std::string &path);
 
 int
 cmdKeygen(const Options &options)
@@ -240,6 +254,10 @@ cmdBuild(const Options &options)
                  options.out.empty(),
              "build needs --vendor, --processor and --out");
 
+    std::optional<UpdateBundle> base;
+    if (!options.delta_base.empty())
+        base = loadBundle(options.delta_base);
+
     xom::PlainProgram program;
     program.title = options.title;
     program.entry_point = 0x400000;
@@ -248,6 +266,21 @@ cmdBuild(const Options &options)
     text.vaddr = 0x400000;
     if (!options.text.empty()) {
         text.bytes = readFile(options.text);
+    } else if (base.has_value()) {
+        // Demo payload for a delta release: the base release's demo
+        // payload with ~10% of its 64-byte blocks rewritten — the
+        // block-level similarity a delta exploits.
+        const uint32_t base_version = base->manifest.image_version;
+        util::Rng rng(options.seed + base_version);
+        text.bytes.resize(16 * 128);
+        rng.fillBytes(text.bytes.data(), text.bytes.size());
+        constexpr uint64_t kBlock = 64;
+        const uint64_t blocks = text.bytes.size() / kBlock;
+        util::Rng mutate(options.seed + options.version);
+        for (uint64_t c = 0; c < blocks / 10 + 1; ++c) {
+            const uint64_t begin = mutate.nextRange(blocks) * kBlock;
+            mutate.fillBytes(text.bytes.data() + begin, kBlock);
+        }
     } else {
         // Deterministic demo payload derived from the release.
         util::Rng rng(options.seed + options.version);
@@ -262,12 +295,26 @@ cmdBuild(const Options &options)
     spec.scheme = options.scheme == "xom" ? xom::VendorScheme::Xom
                                           : xom::VendorScheme::Otp;
     spec.cipher = cipherKind(options.cipher);
+    if (base.has_value())
+        spec.base_digest = sha256DigestOfImage(base->image);
 
     util::Rng rng(options.seed);
     const ImageBuilder builder(readKeyPair(options.vendor));
     const UpdateBundle bundle =
         builder.build(program, spec, readPublicKey(options.processor),
                       rng);
+    if (base.has_value()) {
+        const DeltaBundle delta = builder.buildDelta(*base, bundle);
+        const std::vector<uint8_t> delta_bytes = delta.serialize();
+        writeFile(options.out, delta_bytes);
+        std::cout << "wrote '" << options.out << "': delta "
+                  << options.title << " v"
+                  << base->manifest.image_version << " -> v"
+                  << options.version << ", " << delta_bytes.size()
+                  << " delta bytes vs "
+                  << bundle.serialize().size() << " full\n";
+        return 0;
+    }
     writeFile(options.out, bundle.serialize());
     std::cout << "wrote '" << options.out << "': " << options.title
               << " v" << options.version << ", rollback counter "
@@ -326,12 +373,97 @@ loadState(const std::string &path)
     return *parsed;
 }
 
+/**
+ * Delta flow: --bundle names a delta file and --delta-base the full
+ * bundle of the release the device already runs. The tool recreates
+ * that fielded state (base installed and active), then verifies or
+ * installs the delta against the active slot — a BaseMismatch is the
+ * signal to go fetch the full bundle instead.
+ */
+int
+cmdDeltaVerifyOrInstall(const Options &options, bool install)
+{
+    const UpdateBundle base = loadBundle(options.delta_base);
+    const auto delta =
+        DeltaBundle::deserialize(readFile(options.bundle));
+    fatal_if(!delta.has_value(),
+             "'", options.bundle,
+             "' is not a well-formed delta bundle");
+
+    RollbackStore rollback = loadState(options.state);
+    secure::KeyTable keys;
+    UpdateEngine updater(readPublicKey(options.vendor),
+                         readKeyPair(options.processor), keys,
+                         rollback);
+
+    mem::MemoryChannel channel;
+    secure::ProtectionConfig config;
+    config.line_size = base.manifest.line_size;
+    config.snc.l2_line_size = base.manifest.line_size;
+    auto engine = secure::makeProtectionEngine(config, channel, keys);
+    mem::MainMemory memory;
+    mem::VirtualMemory vm;
+
+    const VerifyResult base_admission = updater.verify(base);
+    fatal_if(!base_admission.ok(), "base bundle refused: ",
+             updateStatusName(base_admission.status),
+             " -- ", base_admission.detail);
+    const InstallResult base_install =
+        updater.install(base, 1, memory, vm, 1, *engine);
+    fatal_if(!base_install.ok(), "base bundle did not install: ",
+             updateStatusName(base_install.status),
+             " -- ", base_install.detail);
+
+    const auto report = [&](const VerifyResult &verdict) {
+        std::cout << updateStatusName(verdict.status)
+                  << (verdict.detail.empty() ? ""
+                                             : ": " + verdict.detail)
+                  << "\n";
+        if (verdict.status == UpdateStatus::BaseMismatch) {
+            std::cout << "base mismatch: request the full bundle "
+                         "instead\n";
+        }
+    };
+
+    if (!install) {
+        const auto rec = updater.reconstructDelta(*delta, memory);
+        report(rec.result);
+        return rec.result.ok() ? 0 : 1;
+    }
+
+    const VerifyResult staged = updater.stageDelta(*delta, memory);
+    if (!staged.ok()) {
+        report(staged);
+        return 1;
+    }
+    const InstallResult result =
+        updater.activate(1, memory, vm, 1, *engine);
+    std::cout << updateStatusName(result.status)
+              << (result.detail.empty() ? "" : ": " + result.detail)
+              << "\n";
+    if (!result.ok())
+        return 1;
+    std::cout << "'" << delta->manifest.title << "' v"
+              << delta->manifest.image_version << " active in slot "
+              << (result.slot == 0 ? "A" : "B") << " via delta ("
+              << readFile(options.bundle).size()
+              << " delta bytes)\n";
+    if (!options.state.empty()) {
+        writeFile(options.state, rollback.serialize());
+        std::cout << "rollback state saved to '" << options.state
+                  << "'\n";
+    }
+    return 0;
+}
+
 int
 cmdVerifyOrInstall(const Options &options, bool install)
 {
     fatal_if(options.bundle.empty() || options.vendor.empty() ||
                  options.processor.empty(),
              "needs --bundle, --vendor and --processor");
+    if (!options.delta_base.empty())
+        return cmdDeltaVerifyOrInstall(options, install);
 
     const UpdateBundle bundle = loadBundle(options.bundle);
     RollbackStore rollback = loadState(options.state);
